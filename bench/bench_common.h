@@ -1,0 +1,24 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/stats_math.h"
+#include "stats/table.h"
+
+namespace vca::bench {
+
+inline std::string ci_cell(const ConfidenceInterval& ci, int prec = 2) {
+  return fmt(ci.mean, prec) + " [" + fmt(ci.lo, prec) + "," +
+         fmt(ci.hi, prec) + "]";
+}
+
+inline void header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+}  // namespace vca::bench

@@ -1,0 +1,75 @@
+// Reproduces Figure 1: median utilization under static shaping.
+//   1a: upstream bitrate vs uplink capacity (meet / teams / zoom, native)
+//   1b: downstream bitrate vs downlink capacity
+//   1c: native vs Chrome clients, upstream
+// Five repetitions per point; cells show the mean across runs.
+#include "bench_common.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bench;
+
+const std::vector<double> kCapsMbps = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                                       1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 2.0,
+                                       5.0, 10.0};
+constexpr int kReps = 5;
+
+double sweep_point(const std::string& profile, double cap_mbps, bool uplink) {
+  std::vector<double> vals;
+  for (int rep = 0; rep < kReps; ++rep) {
+    TwoPartyConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = 500 + static_cast<uint64_t>(rep);
+    if (uplink) {
+      cfg.c1_up = DataRate::mbps_d(cap_mbps);
+    } else {
+      cfg.c1_down = DataRate::mbps_d(cap_mbps);
+    }
+    TwoPartyResult r = run_two_party(cfg);
+    vals.push_back(uplink ? r.c1_up_mbps : r.c1_down_mbps);
+  }
+  return mean_of(vals);
+}
+
+void sweep(const std::string& title, const std::vector<std::string>& profiles,
+           bool uplink) {
+  TextTable table([&] {
+    std::vector<std::string> h = {uplink ? "uplink cap (Mbps)"
+                                         : "downlink cap (Mbps)"};
+    for (const auto& p : profiles) h.push_back(p);
+    return h;
+  }());
+  for (double cap : kCapsMbps) {
+    std::vector<std::string> row = {fmt(cap, 1)};
+    for (const auto& p : profiles) {
+      row.push_back(fmt(sweep_point(p, cap, uplink)));
+    }
+    table.add_row(row);
+  }
+  note(title);
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 1a", "Upstream utilization vs uplink capacity");
+  sweep("median sent bitrate (Mbps), native clients:",
+        {"meet", "teams", "zoom"}, /*uplink=*/true);
+
+  header("Figure 1b", "Downstream utilization vs downlink capacity");
+  sweep("median received bitrate (Mbps):", {"meet", "teams", "zoom"},
+        /*uplink=*/false);
+  note("Expect: Meet plateaus near 0.19 Mbps below ~0.7 Mbps (simulcast low "
+       "copy, 39-70% utilization); Zoom downstream exceeds its upstream "
+       "(server-side FEC).");
+
+  header("Figure 1c", "Browser vs native clients, upstream");
+  sweep("median sent bitrate (Mbps):",
+        {"teams", "teams-chrome", "zoom", "zoom-chrome"}, /*uplink=*/true);
+  note("Expect: Teams-Chrome well below Teams-native (0.61 vs 0.84 at 1 "
+       "Mbps); Zoom-Chrome ~= Zoom-native.");
+  return 0;
+}

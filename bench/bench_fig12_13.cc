@@ -1,0 +1,91 @@
+// Reproduces Figures 12 and 13: VCA vs a long TCP (iPerf3) flow.
+//   12a/12b: link share on a 2 Mbps symmetric link, uplink and downlink
+//   13: Zoom's probe bursts collapsing iPerf3 on a 0.5 Mbps link
+#include "bench_common.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bench;
+
+constexpr int kReps = 3;
+
+}  // namespace
+
+int main() {
+  header("Figure 12", "iPerf3 link sharing with VCAs on a 2 Mbps link");
+  {
+    TextTable table({"VCA", "VCA up share [CI]", "iperf up share [CI]",
+                     "VCA down share [CI]", "iperf down share [CI]"});
+    for (const std::string inc : {"meet", "teams", "zoom"}) {
+      std::vector<double> vu, iu, vd, id;
+      for (int rep = 0; rep < kReps; ++rep) {
+        CompetitionConfig cfg;
+        cfg.incumbent = inc;
+        cfg.link = DataRate::mbps(2);
+        cfg.seed = 2500 + static_cast<uint64_t>(rep);
+        cfg.competitor = CompetitorKind::kIperfUp;      // uplink experiment
+        CompetitionResult up = run_competition(cfg);
+        cfg.competitor = CompetitorKind::kIperfDown;    // downlink experiment
+        CompetitionResult down = run_competition(cfg);
+        vu.push_back(up.incumbent_up_share);
+        iu.push_back(up.competitor_up_share);
+        vd.push_back(down.incumbent_down_share);
+        id.push_back(down.competitor_down_share);
+      }
+      table.add_row({inc, ci_cell(confidence_interval(vu)),
+                     ci_cell(confidence_interval(iu)),
+                     ci_cell(confidence_interval(vd)),
+                     ci_cell(confidence_interval(id))});
+    }
+    table.print(std::cout);
+    note("Expect: at 2 Mbps Meet and Zoom reach their nominal rates and "
+         "iPerf3 takes the rest; Teams is passive — ~37% uplink and ~20% "
+         "downlink of capacity.");
+  }
+
+  header("Figure 12 (scarce)", "iPerf3 vs VCAs on a 0.5 Mbps link");
+  {
+    TextTable table({"VCA", "VCA up share [CI]", "VCA down share [CI]"});
+    for (const std::string inc : {"meet", "teams", "zoom"}) {
+      std::vector<double> vu, vd;
+      for (int rep = 0; rep < kReps; ++rep) {
+        CompetitionConfig cfg;
+        cfg.incumbent = inc;
+        cfg.link = DataRate::kbps(500);
+        cfg.seed = 2600 + static_cast<uint64_t>(rep);
+        cfg.competitor = CompetitorKind::kIperfUp;
+        vu.push_back(run_competition(cfg).incumbent_up_share);
+        cfg.competitor = CompetitorKind::kIperfDown;
+        vd.push_back(run_competition(cfg).incumbent_down_share);
+      }
+      table.add_row({inc, ci_cell(confidence_interval(vu)),
+                     ci_cell(confidence_interval(vd))});
+    }
+    table.print(std::cout);
+    note("Expect: Zoom >75% in both directions; Meet TCP-friendly on the "
+         "uplink but ~75% on the downlink; Teams passive everywhere.");
+  }
+
+  header("Figure 13", "Zoom probing vs iPerf3 on a 0.5 Mbps link (timeseries)");
+  {
+    CompetitionConfig cfg;
+    cfg.incumbent = "zoom";
+    cfg.competitor = CompetitorKind::kIperfUp;
+    cfg.link = DataRate::kbps(500);
+    cfg.seed = 23;
+    CompetitionResult r = run_competition(cfg);
+    std::cout << "uplink (zoom/iperf Mbps):\n  ";
+    const auto& a = r.incumbent_up_series.samples();
+    const auto& b = r.competitor_up_series.samples();
+    for (size_t i = 0; i < a.size() && i < b.size(); i += 10) {
+      std::cout << static_cast<int>(a[i].at.seconds()) << ":"
+                << fmt(a[i].value, 2) << "/" << fmt(b[i].value, 2) << " ";
+    }
+    std::cout << "\n";
+    note("Expect: periods where Zoom's stepwise probe bursts drive the "
+         "iPerf3 throughput down sharply.");
+  }
+  return 0;
+}

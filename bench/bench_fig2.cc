@@ -1,0 +1,72 @@
+// Reproduces Figure 2: video encoding parameters (FPS, QP, frame width)
+// under downstream (2a-2c) and upstream (2d-2f) throughput constraints,
+// for the two VCAs with WebRTC stats access: Meet and Teams-Chrome.
+#include "bench_common.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bench;
+
+const std::vector<double> kCaps = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                                   0.9, 1.0, 1.2, 1.5, 2.0};
+constexpr int kReps = 5;
+
+struct Point {
+  ConfidenceInterval fps, qp, width;
+};
+
+Point sweep_point(const std::string& profile, double cap, bool uplink) {
+  std::vector<double> fps, qp, width;
+  for (int rep = 0; rep < kReps; ++rep) {
+    TwoPartyConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = 900 + static_cast<uint64_t>(rep);
+    if (uplink) {
+      cfg.c1_up = DataRate::mbps_d(cap);
+    } else {
+      cfg.c1_down = DataRate::mbps_d(cap);
+    }
+    TwoPartyResult r = run_two_party(cfg);
+    // Downstream constraint: C1's *received* stream degrades (2a-2c).
+    // Upstream constraint: C1's *sent* stream, observed at C2 (2d-2f).
+    const FeedQuality& q = uplink ? r.c2_received : r.c1_received;
+    fps.push_back(q.median_fps);
+    qp.push_back(q.median_qp);
+    width.push_back(q.median_width);
+  }
+  return {confidence_interval(fps), confidence_interval(qp),
+          confidence_interval(width)};
+}
+
+void sweep(bool uplink) {
+  for (const std::string profile : {"meet", "teams-chrome"}) {
+    TextTable table({uplink ? "uplink cap (Mbps)" : "downlink cap (Mbps)",
+                     "FPS [90% CI]", "QP [90% CI]", "width [90% CI]"});
+    for (double cap : kCaps) {
+      Point pt = sweep_point(profile, cap, uplink);
+      table.add_row({fmt(cap, 1), ci_cell(pt.fps, 1), ci_cell(pt.qp, 1),
+                     ci_cell(pt.width, 0)});
+    }
+    note(profile + ":");
+    table.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 2a-2c", "Encoding parameters vs downstream capacity");
+  sweep(/*uplink=*/false);
+  note("Expect (paper): Meet holds width/QP and drops FPS in 0.7-1.0 Mbps "
+       "(SFU temporal thinning), switches to the 320-wide copy below ~0.7; "
+       "Teams-Chrome degrades all three together with wide CIs.");
+
+  header("Figure 2d-2f", "Encoding parameters vs upstream capacity");
+  sweep(/*uplink=*/true);
+  note("Expect (paper): Teams keeps FPS roughly flat, raises QP, lowers "
+       "width — EXCEPT at 0.3 Mbps where width jumps back up (emulated "
+       "bug); Meet raises QP first, drops width+FPS at ~0.4 Mbps.");
+  return 0;
+}

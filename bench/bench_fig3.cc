@@ -1,0 +1,70 @@
+// Reproduces Figure 3: video freezes under constrained capacity.
+//   3a: freeze ratio vs downstream capacity (Meet, Teams-Chrome)
+//   3b: Full Intra Request (FIR) count vs upstream capacity
+#include "bench_common.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bench;
+
+const std::vector<double> kCaps = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                                   0.9, 1.0, 1.2, 1.5, 2.0};
+constexpr int kReps = 5;
+
+}  // namespace
+
+int main() {
+  header("Figure 3a", "Freeze ratio vs downstream capacity");
+  {
+    TextTable table({"downlink cap (Mbps)", "meet freeze% [CI]",
+                     "teams-chrome freeze% [CI]"});
+    for (double cap : kCaps) {
+      std::vector<std::string> row = {fmt(cap, 1)};
+      for (const std::string profile : {"meet", "teams-chrome"}) {
+        std::vector<double> vals;
+        for (int rep = 0; rep < kReps; ++rep) {
+          TwoPartyConfig cfg;
+          cfg.profile = profile;
+          cfg.seed = 1200 + static_cast<uint64_t>(rep);
+          cfg.c1_down = DataRate::mbps_d(cap);
+          TwoPartyResult r = run_two_party(cfg);
+          vals.push_back(100.0 * r.c1_received.freeze_ratio);
+        }
+        row.push_back(ci_cell(confidence_interval(vals), 1));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    note("Expect: freeze ratio rises as the downlink degrades; Meet ~10% at "
+         "0.3 Mbps; Teams-Chrome shows a ~3.6% floor even unconstrained.");
+  }
+
+  header("Figure 3b", "FIR count vs upstream capacity");
+  {
+    TextTable table({"uplink cap (Mbps)", "meet FIRs [CI]",
+                     "teams-chrome FIRs [CI]"});
+    for (double cap : kCaps) {
+      std::vector<std::string> row = {fmt(cap, 1)};
+      for (const std::string profile : {"meet", "teams-chrome"}) {
+        std::vector<double> vals;
+        for (int rep = 0; rep < kReps; ++rep) {
+          TwoPartyConfig cfg;
+          cfg.profile = profile;
+          cfg.seed = 1300 + static_cast<uint64_t>(rep);
+          cfg.c1_up = DataRate::mbps_d(cap);
+          TwoPartyResult r = run_two_party(cfg);
+          vals.push_back(static_cast<double>(r.c2_received.fir_upstream));
+        }
+        row.push_back(ci_cell(confidence_interval(vals), 1));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+    note("Expect: Teams-Chrome FIR count spikes below ~0.5 Mbps uplink "
+         "(the high-resolution-at-low-rate bug produces undecodable "
+         "frames); Meet stays low.");
+  }
+  return 0;
+}

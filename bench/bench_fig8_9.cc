@@ -1,0 +1,66 @@
+// Reproduces Figures 8 and 9: VCA vs VCA competition on a 0.5 Mbps
+// symmetric link, upstream direction.
+//   8a-8c: share of uplink capacity, incumbent (white box) vs competitor
+//   9a/9b: Zoom-vs-Zoom and Meet-vs-Meet uplink timeseries
+#include "bench_common.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bench;
+
+constexpr int kReps = 3;
+
+}  // namespace
+
+int main() {
+  header("Figure 8", "Uplink share under VCA vs VCA competition @ 0.5 Mbps");
+  TextTable table({"incumbent", "competitor", "incumbent share [CI]",
+                   "competitor share [CI]"});
+  for (const std::string inc : {"meet", "teams", "zoom"}) {
+    for (const std::string comp : {"meet", "teams", "zoom"}) {
+      std::vector<double> inc_share, comp_share;
+      for (int rep = 0; rep < kReps; ++rep) {
+        CompetitionConfig cfg;
+        cfg.incumbent = inc;
+        cfg.competitor = CompetitorKind::kVca;
+        cfg.competitor_profile = comp;
+        cfg.link = DataRate::kbps(500);
+        cfg.seed = 2100 + static_cast<uint64_t>(rep);
+        CompetitionResult r = run_competition(cfg);
+        inc_share.push_back(r.incumbent_up_share);
+        comp_share.push_back(r.competitor_up_share);
+      }
+      table.add_row({inc, comp, ci_cell(confidence_interval(inc_share)),
+                     ci_cell(confidence_interval(comp_share))});
+    }
+  }
+  table.print(std::cout);
+  note("Expect: Meet/Teams share fairly with each other; both back off to "
+       "Zoom; an incumbent Zoom takes >=75% against anyone — including "
+       "another Zoom (unfair to itself).");
+
+  header("Figure 9", "Uplink bitrate timeseries, same-VCA competition @ 0.5");
+  for (const std::string profile : {"zoom", "meet"}) {
+    CompetitionConfig cfg;
+    cfg.incumbent = profile;
+    cfg.competitor = CompetitorKind::kVca;
+    cfg.competitor_profile = profile;
+    cfg.link = DataRate::kbps(500);
+    cfg.seed = 11;
+    CompetitionResult r = run_competition(cfg);
+    std::cout << profile << " vs " << profile
+              << " (incumbent/competitor Mbps):\n  ";
+    const auto& a = r.incumbent_up_series.samples();
+    const auto& b = r.competitor_up_series.samples();
+    for (size_t i = 0; i < a.size() && i < b.size(); i += 10) {
+      std::cout << static_cast<int>(a[i].at.seconds()) << ":"
+                << fmt(a[i].value, 2) << "/" << fmt(b[i].value, 2) << " ";
+    }
+    std::cout << "\n";
+  }
+  note("Expect: two Meet clients converge to ~0.25/0.25; the incumbent "
+       "Zoom stays high while the joining Zoom is starved.");
+  return 0;
+}

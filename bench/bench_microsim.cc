@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks for the simulator substrate itself:
+// scheduler throughput, link serialization, TCP transfer, and a full
+// two-party call per simulated minute. These quantify the headroom behind
+// DESIGN.md's "clarity over zero-copy cleverness" decision.
+#include <benchmark/benchmark.h>
+
+#include "core/scheduler.h"
+#include "harness/scenario.h"
+#include "net/link.h"
+#include "net/node.h"
+#include "transport/tcp.h"
+
+namespace {
+
+using namespace vca;
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    EventScheduler sched;
+    int64_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < state.range(0)) sched.schedule(Duration::micros(10), chain);
+    };
+    sched.schedule(Duration::micros(10), chain);
+    sched.run_all();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(1000)->Arg(100000);
+
+void BM_LinkSaturation(benchmark::State& state) {
+  for (auto _ : state) {
+    EventScheduler sched;
+    Link::Config cfg;
+    cfg.rate = DataRate::mbps(100);
+    cfg.queue_bytes = 1 << 20;
+    Link link(&sched, "l", cfg);
+    struct Sink : PacketSink {
+      int64_t n = 0;
+      void deliver(Packet) override { ++n; }
+    } sink;
+    link.set_sink(&sink);
+    for (int i = 0; i < state.range(0); ++i) {
+      Packet p;
+      p.id = static_cast<uint64_t>(i);
+      p.size_bytes = 1200;
+      link.deliver(std::move(p));
+    }
+    sched.run_all();
+    benchmark::DoNotOptimize(sink.n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinkSaturation)->Arg(10000);
+
+void BM_TcpTransfer10MB(benchmark::State& state) {
+  for (auto _ : state) {
+    EventScheduler sched;
+    Host a(1, "a"), b(2, "b");
+    ForwardingNode router("r");
+    Link::Config cfg;
+    cfg.rate = DataRate::mbps(100);
+    cfg.propagation = Duration::millis(5);
+    cfg.queue_bytes = 1 << 20;
+    Link up(&sched, "up", cfg), down(&sched, "down", cfg);
+    a.set_uplink(&up);
+    b.set_uplink(&down);  // b's acks return via its own "uplink"
+    up.set_sink(&router);
+    down.set_sink(&router);
+    router.add_route(1, &a);
+    router.add_route(2, &b);
+
+    TcpSender sender(&sched, &a, {.flow = 1, .dst = 2});
+    TcpReceiverEndpoint receiver(&sched, &b, {.flow = 1, .peer = 1});
+    b.register_flow(1, [&](Packet p) { receiver.handle_packet(p); });
+    a.register_flow(1, [&](Packet p) { sender.handle_packet(p); });
+    sender.write(10 << 20);
+    sched.run_until(TimePoint::zero() + Duration::seconds(30));
+    benchmark::DoNotOptimize(receiver.delivered_bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * (10 << 20));
+}
+BENCHMARK(BM_TcpTransfer10MB);
+
+void BM_TwoPartyCallMinute(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    TwoPartyConfig cfg;
+    cfg.profile = "meet";
+    cfg.seed = seed++;
+    cfg.duration = Duration::seconds(60);
+    TwoPartyResult r = run_two_party(cfg);
+    benchmark::DoNotOptimize(r.c1_up_mbps);
+  }
+}
+BENCHMARK(BM_TwoPartyCallMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

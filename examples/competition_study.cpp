@@ -1,0 +1,87 @@
+// Example: two VCA calls share one shaped access segment (the paper's
+// Fig 7 topology) and we watch them fight for the uplink.
+//
+// Usage: competition_study [incumbent] [competitor] [link_mbps]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/bulk_tcp.h"
+#include "harness/network.h"
+#include "stats/table.h"
+#include "vca/call.h"
+
+int main(int argc, char** argv) {
+  using namespace vca;
+  std::string inc_name = argc > 1 ? argv[1] : "zoom";
+  std::string comp_name = argc > 2 ? argv[2] : "zoom";
+  double link_mbps = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+  Network net;
+  auto seg = net.add_segment(DataRate::mbps_d(link_mbps), Duration::millis(2),
+                             std::max<int64_t>(20'000, static_cast<int64_t>(
+                                                           link_mbps * 3e5 / 8)));
+  auto c1 = net.add_host_on_segment(seg, "c1");
+  auto f1 = net.add_host_on_segment(seg, "f1");
+  auto sfu1 = net.add_host("sfu1", DataRate::gbps(2), DataRate::gbps(2),
+                           Duration::millis(8), 4 << 20);
+  auto sfu2 = net.add_host("sfu2", DataRate::gbps(2), DataRate::gbps(2),
+                           Duration::millis(8), 4 << 20);
+  auto c2 = net.add_host("c2");
+  auto f2 = net.add_host("f2");
+
+  Call::Config cc1;
+  cc1.profile = vca_profile(inc_name);
+  cc1.seed = 3;
+  cc1.flow_base = 1000;
+  Call incumbent(&net.sched(), sfu1.host, cc1);
+  VcaClient* icl = incumbent.add_client(c1.host);
+  incumbent.add_client(c2.host);
+
+  // Competitor: another VCA call, or "iperf" for a bulk TCP flow from F1.
+  bool use_iperf = comp_name == "iperf";
+  Call::Config cc2;
+  cc2.profile = vca_profile(use_iperf ? "meet" : comp_name);
+  cc2.seed = 4;
+  cc2.flow_base = 4000;
+  Call competitor(&net.sched(), sfu2.host, cc2);
+  VcaClient* ccl = competitor.add_client(f1.host);
+  competitor.add_client(f2.host);
+  BulkTcpApp iperf(&net.sched(), f1.host, f2.host, {.flow = 4500});
+
+  FlowCapture* inc_up = net.capture(seg->shared_up);
+  inc_up->add_flow_range(1000, 3999);
+  FlowCapture* comp_up = net.capture(seg->shared_up);
+  comp_up->add_flow_range(4000, 8999);
+
+  incumbent.start();
+  net.sched().schedule_at(TimePoint::zero() + Duration::seconds(30), [&] {
+    if (use_iperf) {
+      iperf.start();
+    } else {
+      competitor.start();
+    }
+  });
+
+  std::cout << "t  inc_wire  comp_wire  inc_target  comp_target  inc_loss  "
+               "comp_loss\n";
+  for (int t = 5; t <= 180; t += 5) {
+    net.sched().run_until(TimePoint::zero() + Duration::seconds(t));
+    TimePoint from = TimePoint::zero() + Duration::seconds(t - 5);
+    TimePoint to = TimePoint::zero() + Duration::seconds(t);
+    std::cout << t << "  " << fmt(inc_up->mean_rate(from, to).mbps_f()) << "  "
+              << fmt(comp_up->mean_rate(from, to).mbps_f()) << "  "
+              << fmt(icl->current_target().mbps_f()) << "  "
+              << fmt(ccl->current_target().mbps_f()) << "  "
+              << fmt(icl->uplink_loss_ewma(), 2) << "  "
+              << fmt(ccl->uplink_loss_ewma(), 2);
+    if (auto* gcc = dynamic_cast<GccSenderController*>(icl->controller())) {
+      std::cout << "  loss_comp=" << fmt(gcc->loss_component().mbps_f())
+                << "  remb=" << fmt(gcc->remb_component().mbps_f());
+    }
+    std::cout << "\n";
+  }
+  incumbent.stop();
+  competitor.stop();
+  return 0;
+}

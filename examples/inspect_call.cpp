@@ -1,0 +1,63 @@
+// Diagnostic example: runs one two-party call and prints a 5-second
+// timeline of the control state — CC target, receiver estimate, and the
+// wire rates — for a chosen profile. Useful when tuning profiles.
+//
+// Usage: inspect_call [profile] [seconds] [drop_mbps]
+// With drop_mbps given, C1's uplink is shaped to that rate in t=[60,90).
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/network.h"
+#include "stats/table.h"
+#include "vca/call.h"
+
+int main(int argc, char** argv) {
+  using namespace vca;
+  std::string profile = argc > 1 ? argv[1] : "teams";
+  int seconds = argc > 2 ? std::atoi(argv[2]) : 150;
+  double drop_mbps = argc > 3 ? std::atof(argv[3]) : 0.0;
+
+  Network net;
+  auto sfu = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                          Duration::millis(8), 4 << 20);
+  auto c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+
+  Call::Config cc;
+  cc.profile = vca_profile(profile);
+  cc.seed = 42;
+  Call call(&net.sched(), sfu.host, cc);
+  VcaClient* cl1 = call.add_client(c1.host);
+  VcaClient* cl2 = call.add_client(c2.host);
+
+  FlowCapture* down_cap = net.capture(c1.down);
+  FlowCapture* up_cap = net.capture(c1.up);
+
+  if (drop_mbps > 0.0) {
+    c1.up->set_queue_bytes(20'000);
+    net.shape_at(c1.up, TimePoint::zero() + Duration::seconds(60),
+                 DataRate::mbps_d(drop_mbps));
+    net.shape_at(c1.up, TimePoint::zero() + Duration::seconds(90),
+                 DataRate::gbps(1));
+  }
+
+  call.start();
+  std::cout << "t  c1_up  c1_down  c1_cc_target  c2_cc_target  "
+               "c1_remb(sfu view)  c2_remb  c1_est_qd(ms)\n";
+  for (int t = 5; t <= seconds; t += 5) {
+    net.sched().run_until(TimePoint::zero() + Duration::seconds(t));
+    TimePoint from = TimePoint::zero() + Duration::seconds(t - 5);
+    TimePoint to = TimePoint::zero() + Duration::seconds(t);
+    std::cout << t << "  " << fmt(up_cap->mean_rate(from, to).mbps_f()) << "  "
+              << fmt(down_cap->mean_rate(from, to).mbps_f()) << "  "
+              << fmt(cl1->current_target().mbps_f()) << "  "
+              << fmt(cl2->current_target().mbps_f()) << "  "
+              << fmt(call.sfu()->viewer_budget(cl1).mbps_f()) << "  "
+              << fmt(call.sfu()->viewer_budget(cl2).mbps_f()) << "  "
+              << fmt(cl1->downlink_estimator()->queuing_delay_ms(), 1) << "\n";
+  }
+  call.stop();
+  return 0;
+}

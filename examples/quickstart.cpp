@@ -1,0 +1,36 @@
+// Quickstart: run a 2.5-minute two-party call for each VCA on an
+// unconstrained link and print what the paper's Table 2 reports —
+// upstream and downstream utilization plus received video quality.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "harness/scenario.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace vca;
+
+  std::cout << "vcabench quickstart: unconstrained two-party calls\n\n";
+
+  TextTable table({"VCA", "Upstream (Mbps)", "Downstream (Mbps)",
+                   "recv fps", "recv width", "freeze %"});
+
+  for (const std::string& name : {"meet", "teams", "zoom"}) {
+    TwoPartyConfig cfg;
+    cfg.profile = name;
+    cfg.seed = 42;
+    TwoPartyResult r = run_two_party(cfg);
+    table.add_row({name, fmt(r.c1_up_mbps), fmt(r.c1_down_mbps),
+                   fmt(r.c1_received.median_fps, 0),
+                   fmt(r.c1_received.median_width, 0),
+                   fmt(100.0 * r.c1_received.freeze_ratio, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper (Table 2): Meet 0.95/0.84, Teams 1.40/1.86, "
+               "Zoom 0.78/0.95 Mbps up/down.\n";
+  return 0;
+}

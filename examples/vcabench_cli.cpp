@@ -1,0 +1,177 @@
+// vcabench_cli — run any experiment from the command line and optionally
+// dump CSV traces for external plotting.
+//
+//   vcabench_cli two-party   --profile zoom --up 0.5 --seed 3 --csv out.csv
+//   vcabench_cli disruption  --profile teams --direction down --drop 0.25
+//   vcabench_cli competition --profile zoom --vs iperf-up --link 2.0
+//   vcabench_cli multiparty  --profile meet --n 6 --mode speaker
+//
+// Flags default to the paper's experimental settings.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "harness/scenario.h"
+#include "stats/table.h"
+#include "stats/trace_writer.h"
+
+namespace {
+
+using namespace vca;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv.find(key);
+    return it != kv.end() ? it->second : dflt;
+  }
+  double get_d(const std::string& key, double dflt) const {
+    auto it = kv.find(key);
+    return it != kv.end() ? std::atof(it->second.c_str()) : dflt;
+  }
+  int get_i(const std::string& key, int dflt) const {
+    auto it = kv.find(key);
+    return it != kv.end() ? std::atoi(it->second.c_str()) : dflt;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    a.kv[key] = argv[i + 1];
+  }
+  return a;
+}
+
+void maybe_csv(const Args& a, const std::vector<std::string>& names,
+               const std::vector<const TimeSeries*>& series) {
+  std::string path = a.get("csv", "");
+  if (path.empty()) return;
+  std::ofstream f(path);
+  TraceWriter::write_series(f, names, series);
+  std::cout << "trace written to " << path << "\n";
+}
+
+int cmd_two_party(const Args& a) {
+  TwoPartyConfig cfg;
+  cfg.profile = a.get("profile", "meet");
+  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
+  if (a.kv.count("up")) cfg.c1_up = DataRate::mbps_d(a.get_d("up", 0));
+  if (a.kv.count("down")) cfg.c1_down = DataRate::mbps_d(a.get_d("down", 0));
+  cfg.c1_loss = a.get_d("loss", 0.0) / 100.0;
+  cfg.c1_extra_latency = Duration::millis_d(a.get_d("latency", 0.0));
+  cfg.c1_jitter = Duration::millis_d(a.get_d("jitter", 0.0));
+  cfg.duration = Duration::seconds(a.get_i("seconds", 150));
+
+  TwoPartyResult r = run_two_party(cfg);
+  TextTable t({"metric", "value"});
+  t.add_row({"c1 uplink (Mbps)", fmt(r.c1_up_mbps)});
+  t.add_row({"c1 downlink (Mbps)", fmt(r.c1_down_mbps)});
+  t.add_row({"recv fps (median)", fmt(r.c1_received.median_fps, 1)});
+  t.add_row({"recv QP (median)", fmt(r.c1_received.median_qp, 1)});
+  t.add_row({"recv width (median)", fmt(r.c1_received.median_width, 0)});
+  t.add_row({"freeze ratio (%)", fmt(100 * r.c1_received.freeze_ratio, 2)});
+  t.add_row({"upstream FIRs", std::to_string(r.c2_received.fir_upstream)});
+  t.print(std::cout);
+  maybe_csv(a, {"c1_up_mbps", "c1_down_mbps"},
+            {&r.c1_up_series, &r.c1_down_series});
+  return 0;
+}
+
+int cmd_disruption(const Args& a) {
+  DisruptionConfig cfg;
+  cfg.profile = a.get("profile", "meet");
+  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
+  cfg.uplink = a.get("direction", "up") != "down";
+  cfg.drop_to = DataRate::mbps_d(a.get_d("drop", 0.25));
+  DisruptionResult r = run_disruption(cfg);
+  std::cout << "nominal: " << fmt(r.ttr.nominal_mbps) << " Mbps\nTTR: "
+            << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + " s" : "censored")
+            << "\n";
+  maybe_csv(a, {"disrupted_mbps", "c2_up_mbps"},
+            {&r.disrupted_series, &r.c2_up_series});
+  return 0;
+}
+
+int cmd_competition(const Args& a) {
+  CompetitionConfig cfg;
+  cfg.incumbent = a.get("profile", "zoom");
+  cfg.link = DataRate::mbps_d(a.get_d("link", 0.5));
+  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
+  std::string vs = a.get("vs", "meet");
+  if (vs == "iperf-up") {
+    cfg.competitor = CompetitorKind::kIperfUp;
+  } else if (vs == "iperf-down") {
+    cfg.competitor = CompetitorKind::kIperfDown;
+  } else if (vs == "netflix") {
+    cfg.competitor = CompetitorKind::kNetflix;
+  } else if (vs == "youtube") {
+    cfg.competitor = CompetitorKind::kYoutube;
+  } else {
+    cfg.competitor = CompetitorKind::kVca;
+    cfg.competitor_profile = vs;
+  }
+  CompetitionResult r = run_competition(cfg);
+  TextTable t({"", "uplink share", "downlink share"});
+  t.add_row({cfg.incumbent + " (incumbent)", fmt(r.incumbent_up_share),
+             fmt(r.incumbent_down_share)});
+  t.add_row({vs + " (competitor)", fmt(r.competitor_up_share),
+             fmt(r.competitor_down_share)});
+  t.print(std::cout);
+  if (r.competitor_connections > 0) {
+    std::cout << "competitor opened " << r.competitor_connections
+              << " TCP connections (max parallel " << r.competitor_max_parallel
+              << ")\n";
+  }
+  maybe_csv(a, {"incumbent_up", "competitor_up", "incumbent_down",
+                "competitor_down"},
+            {&r.incumbent_up_series, &r.competitor_up_series,
+             &r.incumbent_down_series, &r.competitor_down_series});
+  return 0;
+}
+
+int cmd_multiparty(const Args& a) {
+  MultipartyConfig cfg;
+  cfg.profile = a.get("profile", "meet");
+  cfg.participants = a.get_i("n", 4);
+  cfg.mode = a.get("mode", "gallery") == "speaker" ? ViewMode::kSpeaker
+                                                   : ViewMode::kGallery;
+  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
+  MultipartyResult r = run_multiparty(cfg);
+  std::cout << "C1 uplink: " << fmt(r.c1_up_mbps) << " Mbps\nC1 downlink: "
+            << fmt(r.c1_down_mbps) << " Mbps\n";
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "usage: vcabench_cli <two-party|disruption|competition|multiparty> "
+      "[--flag value ...]\n"
+      "  two-party:   --profile P --up M --down M --loss PCT --latency MS "
+      "--jitter MS --seconds N --seed S --csv FILE\n"
+      "  disruption:  --profile P --direction up|down --drop M --seed S "
+      "--csv FILE\n"
+      "  competition: --profile P --vs "
+      "meet|teams|zoom|iperf-up|iperf-down|netflix|youtube --link M --csv F\n"
+      "  multiparty:  --profile P --n N --mode gallery|speaker --seed S\n"
+      "profiles: meet teams zoom teams-chrome zoom-chrome (+ ablation "
+      "variants)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parse(argc, argv);
+  if (a.command == "two-party") return cmd_two_party(a);
+  if (a.command == "disruption") return cmd_disruption(a);
+  if (a.command == "competition") return cmd_competition(a);
+  if (a.command == "multiparty") return cmd_multiparty(a);
+  return usage();
+}

@@ -1,0 +1,131 @@
+#include "apps/abr_video.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+AbrVideoApp::AbrVideoApp(EventScheduler* sched, Host* client, Host* server,
+                         Config cfg)
+    : sched_(sched),
+      client_(client),
+      server_(server),
+      cfg_(std::move(cfg)),
+      next_flow_(cfg_.flow_base) {}
+
+void AbrVideoApp::start() {
+  if (running_) return;
+  running_ = true;
+  playback_tick();
+  request_next_chunk();
+}
+
+void AbrVideoApp::stop() {
+  running_ = false;
+  for (auto& c : conns_) {
+    if (c->sender) c->sender->stop();
+  }
+}
+
+AbrVideoApp::Connection* AbrVideoApp::open_connection() {
+  auto conn = std::make_unique<Connection>();
+  conn->flow = next_flow_++;
+  TcpSender::Config sc;
+  sc.flow = conn->flow;
+  sc.dst = client_->id();
+  conn->sender = std::make_unique<TcpSender>(sched_, server_, sc);
+  conn->receiver = std::make_unique<TcpReceiverEndpoint>(
+      sched_, client_, TcpReceiverEndpoint::Config{conn->flow, server_->id()});
+
+  Connection* raw = conn.get();
+  client_->register_flow(conn->flow, [raw](Packet p) {
+    raw->receiver->handle_packet(p);
+  });
+  server_->register_flow(conn->flow, [raw](Packet p) {
+    raw->sender->handle_packet(p);
+  });
+  raw->receiver->set_data_handler([this](int64_t newly) {
+    delivered_bytes_ += newly;
+    chunk_remaining_ -= newly;
+    if (chunk_in_flight_ && chunk_remaining_ <= 0) {
+      chunk_in_flight_ = false;
+      on_chunk_complete(sched_->now() - chunk_started_);
+    }
+  });
+
+  ++connections_opened_;
+  conns_.push_back(std::move(conn));
+  return raw;
+}
+
+void AbrVideoApp::request_next_chunk() {
+  if (!running_) return;
+  if (buffer_s_ >= cfg_.buffer_target_s) {
+    // OFF period: check back shortly.
+    sched_->schedule(Duration::millis(500), [this] { request_next_chunk(); });
+    return;
+  }
+
+  // Ladder choice from the smoothed throughput estimate.
+  quality_ = 0;
+  for (size_t i = 0; i < cfg_.ladder.size(); ++i) {
+    if (cfg_.ladder[i].mbps_f() <= cfg_.safety * throughput_est_mbps_) {
+      quality_ = static_cast<int>(i);
+    }
+  }
+  int64_t chunk_bytes =
+      cfg_.ladder[static_cast<size_t>(quality_)].bytes_in(cfg_.chunk_duration);
+
+  chunk_started_ = sched_->now();
+  chunk_remaining_ = chunk_bytes;
+  chunk_in_flight_ = true;
+
+  int fan = cfg_.multi_connection ? parallel_ : 1;
+  fan = std::clamp(fan, 1, cfg_.max_parallel);
+  max_parallel_seen_ = std::max(max_parallel_seen_, fan);
+  parallel_history_.push_back(fan);
+  while (static_cast<int>(conns_.size()) < fan) open_connection();
+  int64_t per_conn = (chunk_bytes + fan - 1) / fan;
+  int64_t left = chunk_bytes;
+  for (int i = 0; i < fan && left > 0; ++i) {
+    int64_t share = std::min(per_conn, left);
+    conns_[static_cast<size_t>(i)]->sender->write(share);
+    left -= share;
+  }
+}
+
+void AbrVideoApp::on_chunk_complete(Duration took) {
+  if (!running_) return;
+  buffer_s_ += cfg_.chunk_duration.seconds();
+
+  double chunk_mbps =
+      static_cast<double>(
+          cfg_.ladder[static_cast<size_t>(quality_)].bits_per_sec()) *
+      cfg_.chunk_duration.seconds() / std::max(0.05, took.seconds()) / 1e6;
+  // EWMA throughput estimate.
+  throughput_est_mbps_ = 0.6 * throughput_est_mbps_ + 0.4 * chunk_mbps;
+
+  if (cfg_.multi_connection) {
+    // Netflix's observed escalation: when downloads cannot keep up with
+    // playback, it opens more parallel connections; when comfortable, it
+    // backs down (Fig 14b).
+    if (took > cfg_.chunk_duration || buffer_s_ < 8.0) {
+      parallel_ = std::min(cfg_.max_parallel, parallel_ + 2);
+    } else if (parallel_ > 1) {
+      parallel_ -= 1;
+    }
+  }
+  request_next_chunk();
+}
+
+void AbrVideoApp::playback_tick() {
+  if (!running_) return;
+  if (buffer_s_ > 0.0) {
+    buffer_s_ = std::max(0.0, buffer_s_ - 0.25);
+  } else if (connections_opened_ > 0) {
+    rebuffer_s_ += 0.25;
+  }
+  sched_->schedule(Duration::millis(250), [this] { playback_tick(); });
+}
+
+}  // namespace vca

@@ -1,0 +1,103 @@
+// Adaptive-bitrate video streaming client (the paper's Netflix and
+// YouTube competitors, §5.3).
+//
+// Chunked downloads over TCP with a throughput-driven ladder, a playback
+// buffer, and — for the Netflix profile — the multi-connection escalation
+// the paper observes under scarcity (Fig 14b: 28 connections over the
+// 2-minute run, up to 11 in parallel).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/units.h"
+#include "net/node.h"
+#include "transport/tcp.h"
+
+namespace vca {
+
+class AbrVideoApp {
+ public:
+  struct Config {
+    std::vector<DataRate> ladder = {
+        DataRate::kbps(235),  DataRate::kbps(375), DataRate::kbps(560),
+        DataRate::kbps(750),  DataRate::kbps(1050), DataRate::kbps(1750),
+        DataRate::kbps(3000),
+    };
+    Duration chunk_duration = Duration::seconds(4);
+    double buffer_target_s = 24.0;
+    double safety = 0.8;            // pick ladder <= safety * estimate
+    bool multi_connection = false;  // Netflix: parallel conns when starved
+    int max_parallel = 12;
+    FlowId flow_base = 9100;
+  };
+
+  static Config netflix() {
+    Config c;
+    c.multi_connection = true;
+    return c;
+  }
+  static Config youtube() {
+    // YouTube runs one QUIC connection; QUIC's CUBIC-like congestion
+    // control makes a single persistent TCP-CUBIC connection the closest
+    // behavioral stand-in [Corbel et al. 2019].
+    Config c;
+    c.multi_connection = false;
+    return c;
+  }
+
+  // Video flows server -> client.
+  AbrVideoApp(EventScheduler* sched, Host* client, Host* server, Config cfg);
+
+  void start();
+  void stop();
+
+  // Stats for Fig 14.
+  int connections_opened() const { return connections_opened_; }
+  int max_parallel_seen() const { return max_parallel_seen_; }
+  int64_t delivered_bytes() const { return delivered_bytes_; }
+  double buffer_seconds() const { return buffer_s_; }
+  int current_quality() const { return quality_; }
+  double rebuffer_seconds() const { return rebuffer_s_; }
+  const std::vector<int>& parallel_history() const { return parallel_history_; }
+
+ private:
+  // Persistent HTTP-style connections: reused across chunks, with extra
+  // ones opened only when escalating parallelism (so the total connection
+  // count stays in the tens, as the paper measures in Fig 14b).
+  struct Connection {
+    std::unique_ptr<TcpSender> sender;      // lives at the server host
+    std::unique_ptr<TcpReceiverEndpoint> receiver;
+    FlowId flow = 0;
+  };
+
+  void request_next_chunk();
+  void on_chunk_complete(Duration took);
+  void playback_tick();
+  Connection* open_connection();
+
+  EventScheduler* sched_;
+  Host* client_;
+  Host* server_;
+  Config cfg_;
+
+  std::vector<std::unique_ptr<Connection>> conns_;
+  FlowId next_flow_;
+  int quality_ = 0;
+  double buffer_s_ = 0.0;
+  double rebuffer_s_ = 0.0;
+  double throughput_est_mbps_ = 1.0;
+  int parallel_ = 1;
+  bool chunk_in_flight_ = false;
+  int64_t chunk_remaining_ = 0;
+  TimePoint chunk_started_;
+  bool running_ = false;
+
+  int connections_opened_ = 0;
+  int max_parallel_seen_ = 0;
+  int64_t delivered_bytes_ = 0;
+  std::vector<int> parallel_history_;
+};
+
+}  // namespace vca

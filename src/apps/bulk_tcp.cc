@@ -1,0 +1,3 @@
+#include "apps/bulk_tcp.h"
+
+// BulkTcpApp is header-only; this translation unit anchors the library.

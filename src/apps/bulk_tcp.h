@@ -1,0 +1,61 @@
+// iPerf3 substitute: one long-lived bulk TCP CUBIC flow between two hosts
+// (§5.2; the paper's server sits on the same network, RTT ~2 ms).
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.h"
+#include "net/node.h"
+#include "transport/tcp.h"
+
+namespace vca {
+
+class BulkTcpApp {
+ public:
+  struct Config {
+    FlowId flow = 9000;
+    TcpSender::CcAlgo algo = TcpSender::CcAlgo::kCubic;
+  };
+
+  // Data flows sender_host -> receiver_host.
+  BulkTcpApp(EventScheduler* sched, Host* sender_host, Host* receiver_host,
+             Config cfg)
+      : sched_(sched), src_(sender_host), dst_(receiver_host), cfg_(cfg) {}
+
+  void start() {
+    if (sender_) return;
+    TcpSender::Config sc;
+    sc.flow = cfg_.flow;
+    sc.dst = dst_->id();
+    sc.algo = cfg_.algo;
+    sc.unlimited = true;
+    sender_ = std::make_unique<TcpSender>(sched_, src_, sc);
+    receiver_ = std::make_unique<TcpReceiverEndpoint>(
+        sched_, dst_, TcpReceiverEndpoint::Config{cfg_.flow, src_->id()});
+    dst_->register_flow(cfg_.flow, [this](Packet p) {
+      if (receiver_) receiver_->handle_packet(p);
+    });
+    src_->register_flow(cfg_.flow, [this](Packet p) {
+      if (sender_) sender_->handle_packet(p);
+    });
+  }
+
+  void stop() {
+    if (sender_) sender_->stop();
+  }
+
+  int64_t delivered_bytes() const {
+    return receiver_ ? receiver_->delivered_bytes() : 0;
+  }
+  TcpSender* sender() { return sender_.get(); }
+
+ private:
+  EventScheduler* sched_;
+  Host* src_;
+  Host* dst_;
+  Config cfg_;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiverEndpoint> receiver_;
+};
+
+}  // namespace vca

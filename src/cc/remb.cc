@@ -1,0 +1,158 @@
+#include "cc/remb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+ReceiveSideEstimator::Config ReceiveSideEstimator::preset(Preset p,
+                                                          DataRate start,
+                                                          DataRate max) {
+  Config c;
+  c.start_rate = start;
+  c.max_rate = max;
+  switch (p) {
+    case Preset::kGcc:
+      // GCC's adaptive threshold tolerates a standing queue built by a
+      // loss-responsive competitor (Meet shares fairly with Teams, Fig 8,
+      // and holds its nominal rate against TCP CUBIC at 2 Mbps, Fig 12).
+      // Genuine capacity shortage still registers through the loss term.
+      c.overuse_delay_ms = 350.0;
+      c.trend_threshold = 60.0;
+      break;
+    case Preset::kConservative:
+      // Teams' receiver-driven estimate: small clamp over what is actually
+      // arriving and slow growth => the chicken-and-egg ramp the paper
+      // measures as 20-40 s downlink recoveries.
+      c.backoff = 0.85;
+      c.increase_per_sec = 0.05;
+      c.clamp_factor = 1.15;
+      c.overuse_delay_ms = 40.0;
+      c.hold_after_backoff = Duration::seconds(1);
+      break;
+    case Preset::kAggressive:
+      // Zoom's server-side behavior: probes hard (FEC-padded) and trusts
+      // capacity quickly once packets flow again.
+      c.backoff = 0.9;
+      c.increase_per_sec = 0.30;
+      c.clamp_factor = 2.5;
+      c.overuse_delay_ms = 120.0;
+      c.trend_threshold = 60.0;  // keyframe bursts must not read as overuse
+      c.loss_overuse = 0.30;     // FEC-protected: holds its layers against TCP
+      c.hold_after_backoff = Duration::millis(200);
+      break;
+  }
+  return c;
+}
+
+ReceiveSideEstimator::ReceiveSideEstimator(Config cfg)
+    : cfg_(cfg), estimate_(cfg.start_rate) {}
+
+void ReceiveSideEstimator::on_packet(TimePoint arrival, TimePoint send_time,
+                                     int bytes) {
+  double owd_ms = (arrival - send_time).millis();
+  // Group packets that arrive in one burst (a paced frame): only the head
+  // of a burst contributes a delay sample. Later packets of the same frame
+  // queue behind their own siblings, which would otherwise read as a
+  // spurious positive delay gradient on every keyframe (real GCC filters
+  // arrivals into packet groups for exactly this reason).
+  if (window_.empty() || arrival - last_group_head_ > Duration::millis(5)) {
+    window_.push_back({arrival, owd_ms, bytes});
+    last_group_head_ = arrival;
+  }
+  rate_window_.push_back({arrival, owd_ms, bytes});
+  last_arrival_ = arrival;
+  while (!window_.empty() && window_.front().at < arrival - Duration::seconds(1)) {
+    window_.pop_front();
+  }
+  while (!rate_window_.empty() &&
+         rate_window_.front().at < arrival - Duration::millis(500)) {
+    rate_window_.pop_front();
+  }
+  // Track the propagation-delay baseline; refresh slowly so route changes
+  // (not a thing in-sim, but cheap) do not pin the estimate forever.
+  if (owd_ms < min_owd_ms_ || arrival - min_owd_refreshed_ > Duration::seconds(60)) {
+    min_owd_ms_ = owd_ms;
+    min_owd_refreshed_ = arrival;
+  }
+}
+
+void ReceiveSideEstimator::note_loss(double loss_fraction) {
+  loss_ewma_ = 0.85 * loss_ewma_ + 0.15 * loss_fraction;
+}
+
+DataRate ReceiveSideEstimator::receive_rate(TimePoint now) const {
+  if (rate_window_.empty()) return DataRate::zero();
+  int64_t bytes = 0;
+  for (const auto& a : rate_window_) bytes += a.bytes;
+  Duration span = now - rate_window_.front().at;
+  if (span < Duration::millis(100)) span = Duration::millis(100);
+  return rate_from_bytes(bytes, span);
+}
+
+void ReceiveSideEstimator::update_signals(TimePoint now) {
+  if (window_.size() < 4) {
+    trend_ms_per_s_ = 0.0;
+    queuing_delay_ms_ = 0.0;
+    return;
+  }
+  // Least-squares slope of queuing delay over the window, in ms per second.
+  double t0 = window_.front().at.seconds();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = static_cast<double>(window_.size());
+  for (const auto& a : window_) {
+    double x = a.at.seconds() - t0;
+    double y = a.owd_ms - min_owd_ms_;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  double denom = n * sxx - sx * sx;
+  trend_ms_per_s_ = denom > 1e-12 ? (n * sxy - sx * sy) / denom : 0.0;
+  // Smoothed queuing delay over the most recent quarter of the window.
+  size_t tail = std::max<size_t>(1, window_.size() / 4);
+  double sum = 0.0;
+  for (size_t i = window_.size() - tail; i < window_.size(); ++i) {
+    sum += window_[i].owd_ms - min_owd_ms_;
+  }
+  queuing_delay_ms_ = sum / static_cast<double>(tail);
+  (void)now;
+}
+
+DataRate ReceiveSideEstimator::remb(TimePoint now) {
+  update_signals(now);
+  Duration dt = last_update_ == TimePoint() ? Duration::millis(100)
+                                            : now - last_update_;
+  last_update_ = now;
+
+  DataRate rx = receive_rate(now);
+  // No data, no opinion: without arrivals the estimate must not inflate.
+  if (rate_window_.empty() || now - last_arrival_ > Duration::millis(500)) {
+    return std::clamp(estimate_, cfg_.min_rate, cfg_.max_rate);
+  }
+  bool overuse = queuing_delay_ms_ > cfg_.overuse_delay_ms ||
+                 trend_ms_per_s_ > cfg_.trend_threshold ||
+                 loss_ewma_ > cfg_.loss_overuse;
+
+  if (overuse) {
+    // Back off below the measured receive rate; if the estimate is already
+    // under it, keep shrinking gently so sustained overuse always drains.
+    DataRate backed = std::min(rx * cfg_.backoff, estimate_ * 0.97);
+    if (backed < estimate_) estimate_ = backed;
+    hold_until_ = now + cfg_.hold_after_backoff;
+  } else if (now >= hold_until_) {
+    // Growth is ceilinged at clamp_factor x what is demonstrably arriving
+    // (the knob separating "fast" and "slow" recoveries) — but the ceiling
+    // never *cuts* the estimate: a sender going briefly idle must not
+    // collapse the receiver's view of the path.
+    DataRate grown = estimate_ * (1.0 + cfg_.increase_per_sec * dt.seconds());
+    DataRate ceiling = rx * cfg_.clamp_factor;
+    estimate_ = std::max(estimate_, std::min(grown, ceiling));
+  }
+
+  estimate_ = std::clamp(estimate_, cfg_.min_rate, cfg_.max_rate);
+  return estimate_;
+}
+
+}  // namespace vca

@@ -1,0 +1,80 @@
+// Receive-side bandwidth estimation (the REMB that rides on RTCP reports).
+//
+// This is a delay-gradient estimator in the spirit of Google Congestion
+// Control's remote-rate controller [Carlucci et al., MMSys'16]: it watches
+// one-way delay build-up across all incoming media packets at a client (or
+// at an SFU leg), declares overuse/underuse, and produces a rate estimate
+// that the sender (or the SFU's layer selector) obeys.
+//
+// The same machinery, with different aggressiveness presets, models:
+//  * Meet/WebRTC receivers and SFU uplink legs  (kGcc)
+//  * Teams' receiver-driven downlink estimate    (kConservative) — the slow
+//    clamp is what produces the paper's 20+ second downlink recoveries (§4.2)
+//  * Zoom's server-side probing estimate          (kAggressive) — recovers
+//    almost instantly once capacity returns
+#pragma once
+
+#include <deque>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "transport/rtp.h"
+
+namespace vca {
+
+class ReceiveSideEstimator : public PacketArrivalObserver {
+ public:
+  enum class Preset { kGcc, kConservative, kAggressive };
+
+  struct Config {
+    DataRate min_rate = DataRate::kbps(50);
+    DataRate max_rate = DataRate::mbps(10);
+    DataRate start_rate = DataRate::kbps(300);
+    double backoff = 0.85;            // estimate = backoff * receive rate on overuse
+    double increase_per_sec = 0.12;   // multiplicative growth when clear
+    double clamp_factor = 1.5;        // estimate <= clamp * measured receive rate
+    double overuse_delay_ms = 60.0;   // sustained queuing delay => overuse
+    double trend_threshold = 15.0;    // ms/s delay slope => overuse
+    double loss_overuse = 0.12;       // sustained loss fraction => overuse
+    Duration hold_after_backoff = Duration::millis(500);
+  };
+
+  static Config preset(Preset p, DataRate start, DataRate max);
+
+  explicit ReceiveSideEstimator(Config cfg);
+
+  // PacketArrivalObserver
+  void on_packet(TimePoint arrival, TimePoint send_time, int bytes) override;
+  void note_loss(double loss_fraction) override;
+  DataRate remb(TimePoint now) override;
+  double queuing_delay_ms() const override { return queuing_delay_ms_; }
+  double trendline() const override { return trend_ms_per_s_; }
+
+  DataRate receive_rate(TimePoint now) const;
+  DataRate current_estimate() const { return estimate_; }
+
+ private:
+  void update_signals(TimePoint now);
+
+  Config cfg_;
+  DataRate estimate_;
+
+  struct Arrival {
+    TimePoint at;
+    double owd_ms;
+    int bytes;
+  };
+  std::deque<Arrival> window_;       // ~1 s of arrivals
+  std::deque<Arrival> rate_window_;  // 500 ms for receive-rate measurement
+  double min_owd_ms_ = 1e18;         // baseline propagation delay
+  TimePoint min_owd_refreshed_;
+  double queuing_delay_ms_ = 0.0;
+  double trend_ms_per_s_ = 0.0;
+  double loss_ewma_ = 0.0;
+  TimePoint last_update_;
+  TimePoint hold_until_;
+  TimePoint last_arrival_;
+  TimePoint last_group_head_;
+};
+
+}  // namespace vca

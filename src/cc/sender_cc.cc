@@ -1,0 +1,188 @@
+#include "cc/sender_cc.h"
+
+#include <algorithm>
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// GCC (Meet)
+// ---------------------------------------------------------------------------
+
+GccSenderController::GccSenderController(Bounds b)
+    : bounds_(b), loss_rate_(b.start_rate) {}
+
+void GccSenderController::on_feedback(const RtcpMeta& fb, TimePoint now) {
+  Duration dt = last_feedback_ == TimePoint() ? Duration::millis(100)
+                                              : now - last_feedback_;
+  last_feedback_ = now;
+  // Loss-based component (WebRTC sender-side rule, ~1 Hz decrease cadence).
+  if (fb.loss_fraction > 0.10) {
+    if (now - last_decrease_ > Duration::seconds(1)) {
+      loss_rate_ = loss_rate_ * (1.0 - 0.5 * fb.loss_fraction);
+      last_decrease_ = now;
+    }
+  } else if (fb.loss_fraction < 0.06) {
+    loss_rate_ = loss_rate_ * (1.0 + 0.08 * dt.seconds());
+  }
+  loss_rate_ = std::clamp(loss_rate_, bounds_.min_rate, bounds_.max_rate);
+  if (!fb.remb.is_zero()) remb_ = fb.remb;
+}
+
+DataRate GccSenderController::target_rate(TimePoint) {
+  DataRate r = loss_rate_;
+  if (!remb_.is_zero()) r = std::min(r, remb_);
+  return std::clamp(r, bounds_.min_rate, bounds_.max_rate);
+}
+
+// ---------------------------------------------------------------------------
+// Teams
+// ---------------------------------------------------------------------------
+
+TeamsSenderController::TeamsSenderController(Bounds b)
+    : bounds_(b), rate_(b.start_rate), last_good_rate_(b.max_rate) {}
+
+void TeamsSenderController::on_feedback(const RtcpMeta& fb, TimePoint now) {
+  Duration dt = last_feedback_ == TimePoint() ? Duration::millis(100)
+                                              : now - last_feedback_;
+  last_feedback_ = now;
+
+  // Congestion triggers: meaningful loss, or delay *building up*. A queue
+  // that is merely full-but-stable (a steady-rate overloader like Zoom)
+  // produces no gradient and only the loss trigger fires.
+  bool loss_trigger = fb.loss_fraction > 0.10;
+  bool delay_trigger = fb.delay_gradient_ms_per_s > 45.0;
+
+  if ((loss_trigger || delay_trigger) &&
+      now - last_decrease_ > Duration::seconds(1)) {
+    DataRate floor = fb.receive_rate * 0.85;
+    DataRate backed = rate_ * (delay_trigger ? 0.85 : 0.90);
+    DataRate next = std::min(backed, std::max(floor, bounds_.min_rate));
+    bool deep = next < rate_ * 0.6;
+    if (deep) {
+      last_good_rate_ = rate_;
+      // Distinctive slow-then-fast recovery: hold a cautious additive
+      // ramp for a while before the multiplicative phase (Fig 4a).
+      cautious_until_ = now + Duration::seconds(8);
+    }
+    rate_ = next;
+    last_decrease_ = now;
+  } else if (fb.loss_fraction < 0.08) {
+    if (now < cautious_until_) {
+      rate_ = rate_ + DataRate::kbps_d(20.0 * dt.seconds());  // slow phase
+    } else if (rate_ < last_good_rate_ * 0.95) {
+      rate_ = rate_ * (1.0 + 0.25 * dt.seconds());            // fast phase
+    } else {
+      rate_ = rate_ + DataRate::kbps_d(40.0 * dt.seconds());  // near nominal
+    }
+  }
+  rate_ = std::clamp(rate_, bounds_.min_rate, bounds_.max_rate);
+}
+
+DataRate TeamsSenderController::target_rate(TimePoint) { return rate_; }
+
+// ---------------------------------------------------------------------------
+// Zoom
+// ---------------------------------------------------------------------------
+
+ZoomSenderController::ZoomSenderController(Bounds b, Tuning t)
+    : bounds_(b), tuning_(t), rate_(b.start_rate) {
+  if (rate_ < b.max_rate * 0.6) state_ = State::kRamp;
+}
+
+void ZoomSenderController::on_feedback(const RtcpMeta& fb, TimePoint now) {
+  Duration dt = last_feedback_ == TimePoint() ? Duration::millis(100)
+                                              : now - last_feedback_;
+  last_feedback_ = now;
+  const DataRate nominal = bounds_.max_rate;
+
+  // Track how long the path has been clean: climbing requires a sustained
+  // clean streak, so a flow joining an already-congested link never gets
+  // to ride its first few unrepresentative reports upward (Fig 9a).
+  if (fb.loss_fraction > tuning_.ramp_pause_loss) last_dirty_ = now;
+  bool clean = now - last_dirty_ > Duration::seconds(2);
+
+  // FEC masks loss below the threshold; above it, back off gently and
+  // infrequently — Zoom keeps pushing where others collapse (§5.1).
+  if (fb.loss_fraction > tuning_.loss_backoff_threshold &&
+      now - last_decrease_ > tuning_.backoff_interval) {
+    rate_ = rate_ * tuning_.backoff_factor;
+    last_decrease_ = now;
+    if (rate_ < nominal * 0.6) {
+      if (state_ == State::kSteady || state_ == State::kProbe) {
+        seen_disruption_ = true;  // a real collapse, not a slow start
+      }
+      state_ = State::kRamp;
+    }
+  }
+
+  switch (state_) {
+    case State::kSteady:
+      if (rate_ < nominal * 0.6) {
+        state_ = State::kRamp;
+      } else if (clean && rate_ < nominal) {
+        // Drift back up to nominal after mild dips.
+        rate_ = std::min(
+            nominal, rate_ * (1.0 + tuning_.ramp_frac_per_sec * dt.seconds()));
+      }
+      break;
+    case State::kRamp:
+      // Proportional climb after a disruption, paused unless the path has
+      // been clean for a sustained stretch.
+      if (clean) {
+        rate_ = rate_ * (1.0 + tuning_.ramp_frac_per_sec * dt.seconds());
+      }
+      if (rate_ >= nominal * 0.8) {
+        // Probe cycles only follow genuine disruptions; the initial climb
+        // into a call settles directly at nominal.
+        if (!tuning_.probing_enabled || !seen_disruption_) {
+          state_ = State::kSteady;
+        } else {
+          state_ = State::kProbe;
+          probe_hold_until_ = now + tuning_.probe_hold;
+        }
+      }
+      break;
+    case State::kProbe:
+      // Stepwise probing: hold, step up, hold ... well past nominal, then
+      // settle back (the overshoot visible in Fig 4a and Fig 13).
+      if (fb.loss_fraction > 0.35) {
+        // Even Zoom gives up when the probe destroys the link.
+        rate_ = rate_ * 0.9;
+        if (rate_ < nominal * 0.6) state_ = State::kRamp;
+        break;
+      }
+      if (now >= probe_hold_until_) {
+        if (rate_ >= nominal * tuning_.probe_ceiling_factor) {
+          state_ = State::kSteady;
+          rate_ = nominal;
+        } else {
+          rate_ = rate_ + tuning_.probe_step;
+          probe_hold_until_ = now + tuning_.probe_hold;
+        }
+      }
+      break;
+  }
+
+  DataRate probe_max = nominal * tuning_.probe_ceiling_factor;
+  rate_ = std::clamp(rate_, bounds_.min_rate,
+                     state_ == State::kProbe ? probe_max : nominal);
+}
+
+DataRate ZoomSenderController::target_rate(TimePoint) { return rate_; }
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SenderCongestionController> make_sender_cc(
+    const std::string& name, SenderCongestionController::Bounds b) {
+  if (name == "gcc") return std::make_unique<GccSenderController>(b);
+  if (name == "teams") return std::make_unique<TeamsSenderController>(b);
+  if (name == "zoom") return std::make_unique<ZoomSenderController>(b);
+  if (name == "zoom-noprobe") {
+    ZoomSenderController::Tuning t;
+    t.probing_enabled = false;
+    return std::make_unique<ZoomSenderController>(b, t);
+  }
+  return nullptr;
+}
+
+}  // namespace vca

@@ -1,0 +1,123 @@
+// Sender-side congestion controllers — one per VCA, since the paper
+// attributes most cross-VCA differences to proprietary congestion control
+// (§2.1, §5). Each consumes RTCP feedback and produces a target media rate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/packet.h"
+
+namespace vca {
+
+class SenderCongestionController {
+ public:
+  struct Bounds {
+    DataRate min_rate = DataRate::kbps(100);
+    DataRate max_rate = DataRate::mbps(2);    // nominal ceiling for the VCA
+    DataRate start_rate = DataRate::kbps(500);
+  };
+
+  virtual ~SenderCongestionController() = default;
+  virtual void on_feedback(const RtcpMeta& fb, TimePoint now) = 0;
+  virtual DataRate target_rate(TimePoint now) = 0;
+  virtual std::string name() const = 0;
+};
+
+// --- Meet (WebRTC / Google Congestion Control) ----------------------------
+// Loss-based sender rule combined with the receiver's REMB: aggressive
+// enough to fill a clean link, but overuse-triggered REMB backoffs make it
+// yield to queue-filling competitors (the paper's "Meet backs off when a
+// Zoom client joins", Fig 8a).
+class GccSenderController : public SenderCongestionController {
+ public:
+  explicit GccSenderController(Bounds b);
+  void on_feedback(const RtcpMeta& fb, TimePoint now) override;
+  DataRate target_rate(TimePoint now) override;
+  std::string name() const override { return "gcc"; }
+  DataRate loss_component() const { return loss_rate_; }
+  DataRate remb_component() const { return remb_; }
+
+ private:
+  Bounds bounds_;
+  DataRate loss_rate_;   // loss-based component
+  DataRate remb_;        // receiver estimate (0 until first report)
+  TimePoint last_decrease_;
+  TimePoint last_feedback_;
+};
+
+// --- Teams -----------------------------------------------------------------
+// Conservative hybrid: reacts to loss *and* to delay build-up (gradient),
+// and after a deep backoff ramps slowly-then-quickly (the distinctive
+// recovery shape in Fig 4a). The gradient trigger is what makes it
+// extremely passive against TCP CUBIC's sawtooth (Fig 12) while staying
+// roughly fair against steady-rate VCAs in the uplink (Fig 8b).
+class TeamsSenderController : public SenderCongestionController {
+ public:
+  explicit TeamsSenderController(Bounds b);
+  void on_feedback(const RtcpMeta& fb, TimePoint now) override;
+  DataRate target_rate(TimePoint now) override;
+  std::string name() const override { return "teams"; }
+
+ private:
+  Bounds bounds_;
+  DataRate rate_;
+  DataRate last_good_rate_;   // rate before the most recent deep backoff
+  TimePoint last_decrease_;
+  TimePoint cautious_until_;  // slow-ramp phase after a deep backoff
+  TimePoint last_feedback_;
+};
+
+// --- Zoom -------------------------------------------------------------------
+// Loss-tolerant (FEC absorbs moderate loss) and delay-insensitive, with a
+// ramp + stepwise-probe recovery cycle that overshoots nominal before
+// settling (Fig 4a) — the probe bursts that flatten iPerf3 in Fig 13.
+class ZoomSenderController : public SenderCongestionController {
+ public:
+  struct Tuning {
+    double loss_backoff_threshold = 0.25;  // FEC hides anything below this
+    double backoff_factor = 0.90;
+    Duration backoff_interval = Duration::seconds(4);
+    // Proportional climb after disruption: multiplicative increase plus
+    // multiplicative decrease preserves rate *ratios*, which is why an
+    // incumbent Zoom and a joining Zoom never converge to a fair share
+    // (Fig 9a) the way AIMD flows would.
+    double ramp_frac_per_sec = 0.06;
+    // Climb only when loss sits below what FEC comfortably covers; a
+    // congested link (15-25% loss) pins a joining flow, random loss of a
+    // few percent does not.
+    double ramp_pause_loss = 0.13;
+    DataRate probe_step = DataRate::kbps(150);
+    Duration probe_hold = Duration::seconds(12);
+    double probe_ceiling_factor = 1.7;     // probe up to this x nominal
+    bool probing_enabled = true;           // ablation knob
+  };
+
+  explicit ZoomSenderController(Bounds b) : ZoomSenderController(b, Tuning{}) {}
+  ZoomSenderController(Bounds b, Tuning t);
+  void on_feedback(const RtcpMeta& fb, TimePoint now) override;
+  DataRate target_rate(TimePoint now) override;
+  std::string name() const override { return "zoom"; }
+
+  enum class State { kSteady, kRamp, kProbe };
+  State state() const { return state_; }
+
+ private:
+  Bounds bounds_;
+  Tuning tuning_;
+  DataRate rate_;
+  State state_ = State::kSteady;
+  bool seen_disruption_ = false;
+  TimePoint last_decrease_;
+  TimePoint probe_hold_until_;
+  TimePoint last_dirty_;
+  TimePoint last_feedback_;
+};
+
+// Factory for profile tables and ablation benches.
+std::unique_ptr<SenderCongestionController> make_sender_cc(
+    const std::string& name, SenderCongestionController::Bounds b);
+
+}  // namespace vca

@@ -1,0 +1,61 @@
+// Deterministic random streams.
+//
+// Every experiment seeds one root Rng; components derive independent
+// sub-streams via fork(tag) so adding randomness to one component never
+// perturbs another's draws. This is what makes every figure reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace vca {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed)
+      : seed_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed), engine_(seed_) {}
+
+  // Derive an independent stream keyed by `tag`.
+  Rng fork(std::string_view tag) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a over the tag
+    for (char c : tag) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return Rng(seed_ ^ h);
+  }
+
+  Rng fork(uint64_t salt) const {
+    return Rng(seed_ ^ ((salt + 1) * 0x9e3779b97f4a7c15ULL));
+  }
+
+  uint64_t seed() const { return seed_; }
+
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  int64_t uniform_int(int64_t lo, int64_t hi) {  // inclusive
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vca

@@ -1,0 +1,78 @@
+// Discrete-event scheduler: the single virtual clock driving a simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/time.h"
+
+namespace vca {
+
+// A strictly ordered event queue. Events scheduled for the same instant
+// fire in scheduling order (FIFO tie-break), which keeps runs deterministic.
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  TimePoint now() const { return now_; }
+
+  // Schedule `fn` to run `delay` from now. Negative delays clamp to now.
+  void schedule(Duration delay, Callback fn) {
+    schedule_at(delay < Duration::zero() ? now_ : now_ + delay, std::move(fn));
+  }
+
+  void schedule_at(TimePoint t, Callback fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  // Run events until the queue is empty or the clock would pass `end`.
+  // The clock is left at `end` (or at the last event if the queue drained).
+  void run_until(TimePoint end) {
+    while (!queue_.empty() && queue_.top().at <= end) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.at;
+      ++events_processed_;
+      ev.fn();
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  // Drain every event regardless of timestamp; the clock stops at the
+  // last event rather than jumping to infinity.
+  void run_all() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.at;
+      ++events_processed_;
+      ev.fn();
+    }
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  TimePoint now_;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace vca

@@ -1,0 +1,83 @@
+#include "core/stats_math.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace vca {
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double median_of_sorted_copy(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+double percentile_of(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double stddev_of(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean_of(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(v.size() - 1));
+}
+
+namespace {
+// Two-sided Student-t critical values for small degrees of freedom.
+double t_critical(size_t dof, double confidence) {
+  // Rows: dof 1..30; columns: 90%, 95%, 99%.
+  static constexpr std::array<std::array<double, 3>, 30> kTable = {{
+      {6.314, 12.706, 63.657}, {2.920, 4.303, 9.925},  {2.353, 3.182, 5.841},
+      {2.132, 2.776, 4.604},  {2.015, 2.571, 4.032},  {1.943, 2.447, 3.707},
+      {1.895, 2.365, 3.499},  {1.860, 2.306, 3.355},  {1.833, 2.262, 3.250},
+      {1.812, 2.228, 3.169},  {1.796, 2.201, 3.106},  {1.782, 2.179, 3.055},
+      {1.771, 2.160, 3.012},  {1.761, 2.145, 2.977},  {1.753, 2.131, 2.947},
+      {1.746, 2.120, 2.921},  {1.740, 2.110, 2.898},  {1.734, 2.101, 2.878},
+      {1.729, 2.093, 2.861},  {1.725, 2.086, 2.845},  {1.721, 2.080, 2.831},
+      {1.717, 2.074, 2.819},  {1.714, 2.069, 2.807},  {1.711, 2.064, 2.797},
+      {1.708, 2.060, 2.787},  {1.706, 2.056, 2.779},  {1.703, 2.052, 2.771},
+      {1.701, 2.048, 2.763},  {1.699, 2.045, 2.756},  {1.697, 2.042, 2.750},
+  }};
+  size_t col = confidence >= 0.985 ? 2 : (confidence >= 0.925 ? 1 : 0);
+  if (dof == 0) dof = 1;
+  if (dof <= kTable.size()) return kTable[dof - 1][col];
+  // Large-sample normal quantiles.
+  static constexpr std::array<double, 3> kZ = {1.645, 1.960, 2.576};
+  return kZ[col];
+}
+}  // namespace
+
+ConfidenceInterval confidence_interval(const std::vector<double>& v,
+                                       double confidence) {
+  ConfidenceInterval ci;
+  ci.mean = mean_of(v);
+  if (v.size() < 2) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+  double half = t_critical(v.size() - 1, confidence) * stddev_of(v) /
+                std::sqrt(static_cast<double>(v.size()));
+  ci.lo = ci.mean - half;
+  ci.hi = ci.mean + half;
+  return ci;
+}
+
+}  // namespace vca

@@ -1,0 +1,29 @@
+// Summary statistics used when aggregating repeated experiments:
+// median, percentiles, mean, and the 90% confidence intervals the paper
+// draws as bands around each curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vca {
+
+double mean_of(const std::vector<double>& v);
+double median_of_sorted_copy(std::vector<double> v);
+// p in [0,100]; linear interpolation between closest ranks.
+double percentile_of(std::vector<double> v, double p);
+double stddev_of(const std::vector<double>& v);  // sample stddev (n-1)
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// Two-sided confidence interval on the mean using Student's t critical
+// values (the paper runs 3-5 repetitions per condition, so normal
+// approximations would be too tight).
+ConfidenceInterval confidence_interval(const std::vector<double>& v,
+                                       double confidence = 0.90);
+
+}  // namespace vca

@@ -1,0 +1,125 @@
+// Strong types for simulated time.
+//
+// The whole simulator runs on a single virtual clock owned by the
+// EventScheduler. Durations and time points are nanosecond-resolution
+// integers wrapped in distinct types so that a raw count can never be
+// confused with a rate or a byte count.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace vca {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration nanos(int64_t v) { return Duration(v); }
+  static constexpr Duration micros(int64_t v) { return Duration(v * 1000); }
+  static constexpr Duration millis(int64_t v) { return Duration(v * 1'000'000); }
+  static constexpr Duration seconds(int64_t v) { return Duration(v * 1'000'000'000); }
+  static constexpr Duration seconds_d(double v) {
+    return Duration(static_cast<int64_t>(v * 1e9));
+  }
+  static constexpr Duration millis_d(double v) {
+    return Duration(static_cast<int64_t>(v * 1e6));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration infinite() {
+    return Duration(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr int64_t us() const { return ns_ / 1000; }
+  constexpr int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  template <typename T>
+    requires std::integral<T>
+  constexpr Duration operator*(T k) const {
+    return Duration(ns_ * static_cast<int64_t>(k));
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  template <typename T>
+    requires std::integral<T>
+  constexpr Duration operator/(T k) const {
+    return Duration(ns_ / static_cast<int64_t>(k));
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint from_ns(int64_t v) { return TimePoint(v); }
+  static constexpr TimePoint zero() { return TimePoint(0); }
+  static constexpr TimePoint infinite() {
+    return TimePoint(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::nanos(ns_ - o.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.seconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << t.seconds() << "s";
+}
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::nanos(static_cast<int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace vca

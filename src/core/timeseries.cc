@@ -1,0 +1,48 @@
+#include "core/timeseries.h"
+
+#include <deque>
+
+namespace vca {
+
+namespace {
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  double lo = *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+  return (lo + hi) / 2.0;
+}
+}  // namespace
+
+TimeSeries TimeSeries::rolling_median(Duration window) const {
+  TimeSeries out;
+  std::deque<Sample> in_window;
+  for (const auto& s : samples_) {
+    in_window.push_back(s);
+    while (!in_window.empty() && in_window.front().at < s.at - window) {
+      in_window.pop_front();
+    }
+    std::vector<double> vals;
+    vals.reserve(in_window.size());
+    for (const auto& w : in_window) vals.push_back(w.value);
+    out.push(s.at, median_of(std::move(vals)));
+  }
+  return out;
+}
+
+std::optional<double> TimeSeries::mean_between(TimePoint from, TimePoint to) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.at >= from && s.at < to) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace vca

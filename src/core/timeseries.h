@@ -1,0 +1,113 @@
+// Time-series containers used by the measurement harness: raw samples,
+// windowed byte→rate conversion, and the 5-second rolling-median used by
+// the paper's time-to-recovery metric (§4.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace vca {
+
+struct Sample {
+  TimePoint at;
+  double value = 0.0;
+};
+
+// An append-only (time, value) series. Times must be non-decreasing.
+class TimeSeries {
+ public:
+  void push(TimePoint at, double value) { samples_.push_back({at, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  // All values with at in [from, to).
+  std::vector<double> values_between(TimePoint from, TimePoint to) const {
+    std::vector<double> out;
+    for (const auto& s : samples_) {
+      if (s.at >= from && s.at < to) out.push_back(s.value);
+    }
+    return out;
+  }
+
+  // Rolling median over a trailing window, evaluated at each sample time.
+  TimeSeries rolling_median(Duration window) const;
+
+  // Average of values in [from, to); nullopt if none.
+  std::optional<double> mean_between(TimePoint from, TimePoint to) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+// Converts per-packet byte arrivals into a rate series sampled on a fixed
+// grid (default 1 s buckets) — the simulated analogue of reading tcpdump
+// output into per-second throughput.
+class RateMeter {
+ public:
+  explicit RateMeter(Duration bucket = Duration::seconds(1)) : bucket_(bucket) {}
+
+  void on_bytes(TimePoint at, int64_t bytes) {
+    int64_t idx = at.ns() / bucket_.ns();
+    if (buckets_.empty() || idx > last_idx_) {
+      // Fill any skipped buckets with zero so idle periods show as 0 rate.
+      while (!buckets_.empty() && last_idx_ + 1 < idx) {
+        buckets_.push_back(0);
+        ++last_idx_;
+      }
+      if (buckets_.empty()) first_idx_ = idx;
+      buckets_.push_back(0);
+      last_idx_ = idx;
+    }
+    if (idx >= first_idx_ &&
+        idx - first_idx_ < static_cast<int64_t>(buckets_.size())) {
+      buckets_[static_cast<size_t>(idx - first_idx_)] += bytes;
+    }
+    total_bytes_ += bytes;
+  }
+
+  int64_t total_bytes() const { return total_bytes_; }
+  Duration bucket() const { return bucket_; }
+
+  // Rate series; each sample is stamped at the *end* of its bucket.
+  TimeSeries rates() const {
+    TimeSeries out;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      TimePoint end = TimePoint::from_ns((first_idx_ + static_cast<int64_t>(i) + 1) *
+                                         bucket_.ns());
+      out.push(end, rate_from_bytes(buckets_[i], bucket_).mbps_f());
+    }
+    return out;
+  }
+
+  // Mean rate over buckets fully inside [from, to).
+  DataRate mean_rate(TimePoint from, TimePoint to) const {
+    int64_t bytes = 0;
+    int64_t n = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      TimePoint start = TimePoint::from_ns((first_idx_ + static_cast<int64_t>(i)) *
+                                           bucket_.ns());
+      if (start >= from && start + bucket_ <= to) {
+        bytes += buckets_[i];
+        ++n;
+      }
+    }
+    if (n == 0) return DataRate::zero();
+    return rate_from_bytes(bytes, bucket_ * n);
+  }
+
+ private:
+  Duration bucket_;
+  std::vector<int64_t> buckets_;
+  int64_t first_idx_ = 0;
+  int64_t last_idx_ = -1;
+  int64_t total_bytes_ = 0;
+};
+
+}  // namespace vca

@@ -1,0 +1,69 @@
+// Strong types for data rates and sizes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/time.h"
+
+namespace vca {
+
+// A data rate in bits per second. Rates in this codebase are always
+// wire rates (payload + headers) unless a name says otherwise.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  static constexpr DataRate bps(int64_t v) { return DataRate(v); }
+  static constexpr DataRate kbps(int64_t v) { return DataRate(v * 1000); }
+  static constexpr DataRate kbps_d(double v) {
+    return DataRate(static_cast<int64_t>(v * 1000.0));
+  }
+  static constexpr DataRate mbps(int64_t v) { return DataRate(v * 1'000'000); }
+  static constexpr DataRate mbps_d(double v) {
+    return DataRate(static_cast<int64_t>(v * 1e6));
+  }
+  static constexpr DataRate gbps(int64_t v) { return DataRate(v * 1'000'000'000); }
+  static constexpr DataRate zero() { return DataRate(0); }
+
+  constexpr int64_t bits_per_sec() const { return bps_; }
+  constexpr double kbps_f() const { return static_cast<double>(bps_) / 1e3; }
+  constexpr double mbps_f() const { return static_cast<double>(bps_) / 1e6; }
+  constexpr bool is_zero() const { return bps_ == 0; }
+
+  // Time to serialize `bytes` at this rate.
+  constexpr Duration transmit_time(int64_t bytes) const {
+    if (bps_ <= 0) return Duration::infinite();
+    return Duration::nanos(bytes * 8 * 1'000'000'000 / bps_);
+  }
+
+  // Bytes transferred in `d` at this rate.
+  constexpr int64_t bytes_in(Duration d) const {
+    return bps_ * d.ns() / 8 / 1'000'000'000;
+  }
+
+  constexpr DataRate operator+(DataRate o) const { return DataRate(bps_ + o.bps_); }
+  constexpr DataRate operator-(DataRate o) const { return DataRate(bps_ - o.bps_); }
+  constexpr DataRate operator*(double k) const {
+    return DataRate(static_cast<int64_t>(static_cast<double>(bps_) * k));
+  }
+  constexpr double operator/(DataRate o) const {
+    return static_cast<double>(bps_) / static_cast<double>(o.bps_);
+  }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  explicit constexpr DataRate(int64_t bps) : bps_(bps) {}
+  int64_t bps_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, DataRate r) {
+  return os << r.mbps_f() << "Mbps";
+}
+
+constexpr DataRate rate_from_bytes(int64_t bytes, Duration over) {
+  if (over.ns() <= 0) return DataRate::zero();
+  return DataRate::bps(bytes * 8 * 1'000'000'000 / over.ns());
+}
+
+}  // namespace vca

@@ -1,0 +1,103 @@
+#include "harness/network.h"
+
+namespace vca {
+
+Network::HostPorts Network::add_host(const std::string& name, DataRate up,
+                                     DataRate down, Duration prop,
+                                     int64_t queue_bytes) {
+  auto host = std::make_unique<Host>(next_id_++, name);
+  Link::Config cfg;
+  cfg.propagation = prop;
+  cfg.queue_bytes = queue_bytes;
+
+  cfg.rate = up;
+  auto up_link = std::make_unique<Link>(&sched_, name + "-up", cfg);
+  cfg.rate = down;
+  auto down_link = std::make_unique<Link>(&sched_, name + "-down", cfg);
+
+  host->set_uplink(up_link.get());
+  up_link->set_sink(&router_);
+  router_.add_route(host->id(), down_link.get());
+  down_link->set_sink(host.get());
+
+  HostPorts ports{host.get(), up_link.get(), down_link.get()};
+  hosts_.push_back(std::move(host));
+  links_.push_back(std::move(up_link));
+  links_.push_back(std::move(down_link));
+  return ports;
+}
+
+Network::Segment* Network::add_segment(DataRate rate, Duration prop,
+                                       int64_t queue_bytes) {
+  auto seg = std::make_unique<Segment>();
+  auto sw = std::make_unique<ForwardingNode>("switch");
+
+  Link::Config cfg;
+  cfg.rate = rate;
+  cfg.propagation = prop;
+  cfg.queue_bytes = queue_bytes;
+  auto up = std::make_unique<Link>(&sched_, "segment-up", cfg);
+  auto down = std::make_unique<Link>(&sched_, "segment-down", cfg);
+
+  sw->set_default_route(up.get());
+  up->set_sink(&router_);
+  down->set_sink(sw.get());
+
+  seg->sw = sw.get();
+  seg->shared_up = up.get();
+  seg->shared_down = down.get();
+
+  switches_.push_back(std::move(sw));
+  links_.push_back(std::move(up));
+  links_.push_back(std::move(down));
+  segments_.push_back(std::move(seg));
+  return segments_.back().get();
+}
+
+Network::HostPorts Network::add_host_on_segment(Segment* seg,
+                                                const std::string& name) {
+  auto host = std::make_unique<Host>(next_id_++, name);
+  // Host <-> switch links are fast LAN links; the shared segment links
+  // carry the shaping.
+  Link::Config cfg;
+  cfg.rate = DataRate::gbps(1);
+  cfg.propagation = Duration::micros(200);
+  cfg.queue_bytes = 1 << 20;
+
+  auto up_link = std::make_unique<Link>(&sched_, name + "-lan-up", cfg);
+  auto down_link = std::make_unique<Link>(&sched_, name + "-lan-down", cfg);
+
+  host->set_uplink(up_link.get());
+  up_link->set_sink(seg->sw);
+  seg->sw->add_route(host->id(), down_link.get());
+  down_link->set_sink(host.get());
+  // Router reaches this host through the shared downlink.
+  router_.add_route(host->id(), seg->shared_down);
+
+  HostPorts ports{host.get(), up_link.get(), down_link.get()};
+  hosts_.push_back(std::move(host));
+  links_.push_back(std::move(up_link));
+  links_.push_back(std::move(down_link));
+  return ports;
+}
+
+FlowCapture* Network::capture(Link* link, Duration bucket) {
+  auto cap = std::make_unique<FlowCapture>(bucket);
+  FlowCapture* raw = cap.get();
+  captures_.push_back(std::move(cap));
+
+  for (size_t i = 0; i < tapped_.size(); ++i) {
+    if (tapped_[i] == link) {
+      fanouts_[i]->add(raw->tap());
+      return raw;
+    }
+  }
+  auto fan = std::make_unique<TapFanout>();
+  fan->add(raw->tap());
+  link->set_tap(fan->tap());
+  fanouts_.push_back(std::move(fan));
+  tapped_.push_back(link);
+  return raw;
+}
+
+}  // namespace vca

@@ -1,0 +1,72 @@
+// Topology builder: the laboratory network of §2.2 and Fig 7.
+//
+// Hosts hang off a router through a pair of access links (the uplink is
+// where `tc` shaping happens in the paper); competition experiments put
+// two hosts behind a switch that shares one shaped link pair.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/link.h"
+#include "net/node.h"
+#include "stats/capture.h"
+
+namespace vca {
+
+class Network {
+ public:
+  struct HostPorts {
+    Host* host = nullptr;
+    Link* up = nullptr;    // host -> router (shaped for uplink experiments)
+    Link* down = nullptr;  // router -> host
+  };
+
+  struct Segment {
+    ForwardingNode* sw = nullptr;
+    Link* shared_up = nullptr;    // switch -> router (the shared bottleneck)
+    Link* shared_down = nullptr;  // router -> switch
+  };
+
+  Network() = default;
+
+  EventScheduler& sched() { return sched_; }
+  ForwardingNode& router() { return router_; }
+
+  // A host directly attached to the router.
+  HostPorts add_host(const std::string& name,
+                     DataRate up = DataRate::gbps(1),
+                     DataRate down = DataRate::gbps(1),
+                     Duration prop = Duration::millis(2),
+                     int64_t queue_bytes = 150 * 1024);
+
+  // A shared access segment (paper Fig 7); attach hosts with
+  // add_host_on_segment. Both directions are shaped to `rate`.
+  Segment* add_segment(DataRate rate, Duration prop = Duration::millis(2),
+                       int64_t queue_bytes = 150 * 1024);
+  HostPorts add_host_on_segment(Segment* seg, const std::string& name);
+
+  // Attach a capture to a link (multiple captures per link are fine).
+  FlowCapture* capture(Link* link, Duration bucket = Duration::seconds(1));
+
+  // Re-shape a link at an absolute simulation time (the tc command).
+  void shape_at(Link* link, TimePoint at, DataRate rate) {
+    sched_.schedule_at(at, [link, rate] { link->set_rate(rate); });
+  }
+
+ private:
+  EventScheduler sched_;
+  ForwardingNode router_{"router"};
+  NodeId next_id_ = 1;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<ForwardingNode>> switches_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<FlowCapture>> captures_;
+  std::vector<std::unique_ptr<TapFanout>> fanouts_;
+  std::vector<Link*> tapped_;  // parallel to fanouts_
+};
+
+}  // namespace vca

@@ -1,0 +1,284 @@
+#include "harness/scenario.h"
+
+#include <algorithm>
+
+#include "apps/abr_video.h"
+#include "apps/bulk_tcp.h"
+#include "harness/network.h"
+#include "vca/call.h"
+
+namespace vca {
+
+namespace {
+
+constexpr FlowId kIncumbentFlowBase = 1000;
+constexpr FlowId kCompetitorFlowBase = 4000;
+constexpr FlowId kIperfFlow = 9000;
+constexpr FlowId kAbrFlowBase = 9100;
+
+FeedQuality feed_quality(Call& call, SfuServer* sfu, VcaClient* viewer,
+                         VcaClient* publisher, Duration duration) {
+  FeedQuality q;
+  if (viewer->feeds().empty()) return q;
+  const auto& feed = *viewer->feeds().front();
+  q.median_fps = feed.stats->median_fps();
+  q.median_qp = feed.stats->median_qp();
+  q.median_width = feed.stats->median_width();
+  q.freeze_ratio = feed.stats->freeze_ratio(duration);
+  q.fir_upstream =
+      sfu->fir_count_for(publisher) + feed.receiver->fir_sent();
+  (void)call;
+  return q;
+}
+
+}  // namespace
+
+int64_t queue_bytes_for(DataRate rate) {
+  int64_t bdp_300ms = rate.bits_per_sec() * 3 / 10 / 8;
+  return std::clamp<int64_t>(bdp_300ms, 20'000, 1'000'000);
+}
+
+// ---------------------------------------------------------------------------
+
+TwoPartyResult run_two_party(const TwoPartyConfig& cfg) {
+  Network net;
+  auto sfu_ports = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                                Duration::millis(8), 4 << 20);
+  DataRate shaped = std::min(cfg.c1_up, cfg.c1_down);
+  auto c1 = net.add_host("c1", cfg.c1_up, cfg.c1_down,
+                         Duration::millis(2) + cfg.c1_extra_latency,
+                         queue_bytes_for(shaped));
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+  if (cfg.c1_loss > 0.0) {
+    c1.up->set_random_loss(cfg.c1_loss);
+    c1.down->set_random_loss(cfg.c1_loss);
+  }
+  if (cfg.c1_jitter > Duration::zero()) {
+    c1.up->set_jitter(cfg.c1_jitter);
+    c1.down->set_jitter(cfg.c1_jitter);
+  }
+
+  Call::Config call_cfg;
+  call_cfg.profile = vca_profile(cfg.profile);
+  call_cfg.seed = cfg.seed;
+  call_cfg.flow_base = kIncumbentFlowBase;
+  Call call(&net.sched(), sfu_ports.host, call_cfg);
+  VcaClient* cl1 = call.add_client(c1.host);
+  VcaClient* cl2 = call.add_client(c2.host);
+
+  FlowCapture* up_cap = net.capture(c1.up, cfg.bucket);
+  FlowCapture* down_cap = net.capture(c1.down, cfg.bucket);
+
+  call.start();
+  net.sched().run_until(TimePoint::zero() + cfg.duration);
+  call.stop();
+  net.sched().run_for(Duration::millis(10));  // flush stop handlers
+
+  TwoPartyResult out;
+  TimePoint from = TimePoint::zero() + cfg.measure_from;
+  TimePoint to = TimePoint::zero() + cfg.duration;
+  out.c1_up_mbps = up_cap->mean_rate(from, to).mbps_f();
+  out.c1_down_mbps = down_cap->mean_rate(from, to).mbps_f();
+  out.c1_up_series = up_cap->rates();
+  out.c1_down_series = down_cap->rates();
+  out.c1_received = feed_quality(call, call.sfu(), cl1, cl2, cfg.duration);
+  out.c2_received = feed_quality(call, call.sfu(), cl2, cl1, cfg.duration);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+DisruptionResult run_disruption(const DisruptionConfig& cfg) {
+  Network net;
+  auto sfu_ports = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                                Duration::millis(8), 4 << 20);
+  auto c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), queue_bytes_for(cfg.drop_to));
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+
+  Call::Config call_cfg;
+  call_cfg.profile = vca_profile(cfg.profile);
+  call_cfg.seed = cfg.seed;
+  call_cfg.flow_base = kIncumbentFlowBase;
+  Call call(&net.sched(), sfu_ports.host, call_cfg);
+  call.add_client(c1.host);
+  call.add_client(c2.host);
+
+  Duration bucket = Duration::millis(500);
+  Link* disrupted = cfg.uplink ? c1.up : c1.down;
+  FlowCapture* dir_cap = net.capture(disrupted, bucket);
+  FlowCapture* c2_up_cap = net.capture(c2.up, bucket);
+
+  TimePoint t0 = TimePoint::zero();
+  net.shape_at(disrupted, t0 + cfg.start, cfg.drop_to);
+  net.shape_at(disrupted, t0 + cfg.start + cfg.length, DataRate::gbps(1));
+
+  call.start();
+  net.sched().run_until(t0 + cfg.total);
+  call.stop();
+
+  DisruptionResult out;
+  out.disrupted_series = dir_cap->rates();
+  out.c2_up_series = c2_up_cap->rates();
+  out.ttr = time_to_recovery(out.disrupted_series, t0 + cfg.start,
+                             t0 + cfg.start + cfg.length,
+                             Duration::seconds(5), /*recovery_fraction=*/0.95);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+CompetitionResult run_competition(const CompetitionConfig& cfg) {
+  Network net;
+  auto seg = net.add_segment(cfg.link, Duration::millis(2),
+                             queue_bytes_for(cfg.link));
+  auto c1 = net.add_host_on_segment(seg, "c1");
+  auto f1 = net.add_host_on_segment(seg, "f1");
+
+  auto sfu1 = net.add_host("sfu1", DataRate::gbps(2), DataRate::gbps(2),
+                           Duration::millis(8), 4 << 20);
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+
+  Call::Config cc1;
+  cc1.profile = vca_profile(cfg.incumbent);
+  cc1.seed = cfg.seed;
+  cc1.flow_base = kIncumbentFlowBase;
+  Call incumbent(&net.sched(), sfu1.host, cc1);
+  incumbent.add_client(c1.host);
+  incumbent.add_client(c2.host);
+
+  // Captures on the shared bottleneck, split by flow ranges.
+  FlowCapture* inc_up = net.capture(seg->shared_up, cfg.bucket);
+  inc_up->add_flow_range(kIncumbentFlowBase, kCompetitorFlowBase - 1);
+  FlowCapture* inc_down = net.capture(seg->shared_down, cfg.bucket);
+  inc_down->add_flow_range(kIncumbentFlowBase, kCompetitorFlowBase - 1);
+  FlowCapture* comp_up = net.capture(seg->shared_up, cfg.bucket);
+  comp_up->add_flow_range(kCompetitorFlowBase, 65000);
+  FlowCapture* comp_down = net.capture(seg->shared_down, cfg.bucket);
+  comp_down->add_flow_range(kCompetitorFlowBase, 65000);
+
+  // Competitor endpoints (created lazily at competitor_start).
+  std::unique_ptr<Call> comp_call;
+  std::unique_ptr<BulkTcpApp> iperf_up_app, iperf_down_app;
+  std::unique_ptr<AbrVideoApp> abr;
+
+  Network::HostPorts sfu2{}, f2{}, server{};
+  if (cfg.competitor == CompetitorKind::kVca) {
+    sfu2 = net.add_host("sfu2", DataRate::gbps(2), DataRate::gbps(2),
+                        Duration::millis(8), 4 << 20);
+    f2 = net.add_host("f2", DataRate::gbps(1), DataRate::gbps(1),
+                      Duration::millis(2), 1 << 20);
+    Call::Config cc2;
+    cc2.profile = vca_profile(cfg.competitor_profile);
+    cc2.seed = cfg.seed + 1;
+    cc2.flow_base = kCompetitorFlowBase;
+    comp_call = std::make_unique<Call>(&net.sched(), sfu2.host, cc2);
+    comp_call->add_client(f1.host);
+    comp_call->add_client(f2.host);
+  } else {
+    // iPerf3 server / CDN edge: close by (the paper's 2 ms RTT server).
+    server = net.add_host("server", DataRate::gbps(1), DataRate::gbps(1),
+                          Duration::millis(1), 1 << 20);
+    if (cfg.competitor == CompetitorKind::kIperfUp) {
+      iperf_up_app = std::make_unique<BulkTcpApp>(
+          &net.sched(), f1.host, server.host,
+          BulkTcpApp::Config{.flow = kIperfFlow});
+    } else if (cfg.competitor == CompetitorKind::kIperfDown) {
+      iperf_down_app = std::make_unique<BulkTcpApp>(
+          &net.sched(), server.host, f1.host,
+          BulkTcpApp::Config{.flow = kIperfFlow + 1});
+    } else {
+      AbrVideoApp::Config ac = cfg.competitor == CompetitorKind::kNetflix
+                                   ? AbrVideoApp::netflix()
+                                   : AbrVideoApp::youtube();
+      ac.flow_base = kAbrFlowBase;
+      abr = std::make_unique<AbrVideoApp>(&net.sched(), f1.host, server.host,
+                                          ac);
+    }
+  }
+
+  TimePoint t0 = TimePoint::zero();
+  incumbent.start();
+  net.sched().schedule_at(t0 + cfg.competitor_start, [&] {
+    if (comp_call) comp_call->start();
+    if (iperf_up_app) iperf_up_app->start();
+    if (iperf_down_app) iperf_down_app->start();
+    if (abr) abr->start();
+  });
+  net.sched().schedule_at(t0 + cfg.competitor_start + cfg.competitor_len, [&] {
+    if (comp_call) comp_call->stop();
+    if (iperf_up_app) iperf_up_app->stop();
+    if (iperf_down_app) iperf_down_app->stop();
+    if (abr) abr->stop();
+  });
+
+  net.sched().run_until(t0 + cfg.total);
+  incumbent.stop();
+
+  CompetitionResult out;
+  // Competition window: skip the first 15 s of the competitor's life so
+  // both sides have converged.
+  TimePoint from = t0 + cfg.competitor_start + Duration::seconds(15);
+  TimePoint to = t0 + cfg.competitor_start + cfg.competitor_len;
+  double cap = cfg.link.mbps_f();
+  out.incumbent_up_mbps = inc_up->mean_rate(from, to).mbps_f();
+  out.incumbent_down_mbps = inc_down->mean_rate(from, to).mbps_f();
+  out.competitor_up_mbps = comp_up->mean_rate(from, to).mbps_f();
+  out.competitor_down_mbps = comp_down->mean_rate(from, to).mbps_f();
+  out.incumbent_up_share = out.incumbent_up_mbps / cap;
+  out.incumbent_down_share = out.incumbent_down_mbps / cap;
+  out.competitor_up_share = out.competitor_up_mbps / cap;
+  out.competitor_down_share = out.competitor_down_mbps / cap;
+  out.incumbent_up_series = inc_up->rates();
+  out.incumbent_down_series = inc_down->rates();
+  out.competitor_up_series = comp_up->rates();
+  out.competitor_down_series = comp_down->rates();
+  if (abr) {
+    out.competitor_connections = abr->connections_opened();
+    out.competitor_max_parallel = abr->max_parallel_seen();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+MultipartyResult run_multiparty(const MultipartyConfig& cfg) {
+  Network net;
+  auto sfu_ports = net.add_host("sfu", DataRate::gbps(4), DataRate::gbps(4),
+                                Duration::millis(8), 8 << 20);
+
+  Call::Config call_cfg;
+  call_cfg.profile = vca_profile(cfg.profile);
+  call_cfg.seed = cfg.seed;
+  call_cfg.flow_base = kIncumbentFlowBase;
+  call_cfg.mode = cfg.mode;
+  call_cfg.pinned_client = 0;  // everyone pins C1 (§6.2)
+  Call call(&net.sched(), sfu_ports.host, call_cfg);
+
+  std::vector<Network::HostPorts> ports;
+  for (int i = 0; i < cfg.participants; ++i) {
+    ports.push_back(net.add_host("c" + std::to_string(i + 1),
+                                 DataRate::gbps(1), DataRate::gbps(1),
+                                 Duration::millis(2), 1 << 20));
+    call.add_client(ports.back().host);
+  }
+
+  FlowCapture* up_cap = net.capture(ports[0].up);
+  FlowCapture* down_cap = net.capture(ports[0].down);
+
+  call.start();
+  net.sched().run_until(TimePoint::zero() + cfg.duration);
+  call.stop();
+
+  MultipartyResult out;
+  TimePoint from = TimePoint::zero() + cfg.measure_from;
+  TimePoint to = TimePoint::zero() + cfg.duration;
+  out.c1_up_mbps = up_cap->mean_rate(from, to).mbps_f();
+  out.c1_down_mbps = down_cap->mean_rate(from, to).mbps_f();
+  return out;
+}
+
+}  // namespace vca

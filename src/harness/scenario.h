@@ -1,0 +1,132 @@
+// Experiment runners: one function per experiment family in the paper.
+// The bench binaries sweep these and print the paper's tables/series.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/timeseries.h"
+#include "core/units.h"
+#include "stats/ttr.h"
+#include "vca/layout.h"
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// §3: two-party call under static shaping.
+// ---------------------------------------------------------------------------
+
+struct FeedQuality {
+  double median_fps = 0.0;
+  double median_qp = 0.0;
+  double median_width = 0.0;
+  double freeze_ratio = 0.0;
+  int fir_upstream = 0;  // FIRs triggered by this publisher's uplink stream
+};
+
+struct TwoPartyConfig {
+  std::string profile = "meet";
+  uint64_t seed = 1;
+  DataRate c1_up = DataRate::gbps(1);
+  DataRate c1_down = DataRate::gbps(1);
+  Duration duration = Duration::seconds(150);  // the paper's 2.5-minute calls
+  Duration measure_from = Duration::seconds(30);
+  Duration bucket = Duration::seconds(1);
+  // Path impairments on C1's access links (the paper's §8 future work:
+  // "other network factors such as latency, packet loss, and jitter").
+  double c1_loss = 0.0;
+  Duration c1_extra_latency = Duration::zero();
+  Duration c1_jitter = Duration::zero();
+};
+
+struct TwoPartyResult {
+  double c1_up_mbps = 0.0;    // mean utilization over the measure window
+  double c1_down_mbps = 0.0;
+  TimeSeries c1_up_series;
+  TimeSeries c1_down_series;
+  FeedQuality c1_received;    // the stream C1 watches (C2's video)
+  FeedQuality c2_received;    // the stream C2 watches (C1's video)
+};
+
+TwoPartyResult run_two_party(const TwoPartyConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// §4: transient capacity disruption.
+// ---------------------------------------------------------------------------
+
+struct DisruptionConfig {
+  std::string profile = "meet";
+  uint64_t seed = 1;
+  bool uplink = true;  // disrupt C1's uplink (else its downlink)
+  DataRate drop_to = DataRate::kbps(250);
+  Duration start = Duration::seconds(60);
+  Duration length = Duration::seconds(30);
+  Duration total = Duration::seconds(300);
+};
+
+struct DisruptionResult {
+  TimeSeries disrupted_series;  // C1 bitrate in the disrupted direction
+  TimeSeries c2_up_series;      // the far client's uplink (Fig 6)
+  TtrResult ttr;
+};
+
+DisruptionResult run_disruption(const DisruptionConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// §5: competition on a shared bottleneck (paper Fig 7 topology).
+// ---------------------------------------------------------------------------
+
+enum class CompetitorKind { kVca, kIperfUp, kIperfDown, kNetflix, kYoutube };
+
+struct CompetitionConfig {
+  std::string incumbent = "zoom";
+  CompetitorKind competitor = CompetitorKind::kVca;
+  std::string competitor_profile = "meet";  // used when competitor == kVca
+  DataRate link = DataRate::kbps(500);      // symmetric segment capacity
+  uint64_t seed = 1;
+  Duration competitor_start = Duration::seconds(30);
+  Duration competitor_len = Duration::seconds(120);
+  Duration total = Duration::seconds(180);
+  Duration bucket = Duration::seconds(1);
+};
+
+struct CompetitionResult {
+  // Mean rates over the competition window, and shares of link capacity.
+  double incumbent_up_mbps = 0.0, incumbent_down_mbps = 0.0;
+  double competitor_up_mbps = 0.0, competitor_down_mbps = 0.0;
+  double incumbent_up_share = 0.0, incumbent_down_share = 0.0;
+  double competitor_up_share = 0.0, competitor_down_share = 0.0;
+  TimeSeries incumbent_up_series, incumbent_down_series;
+  TimeSeries competitor_up_series, competitor_down_series;
+  // Fig 14b.
+  int competitor_connections = 0;
+  int competitor_max_parallel = 0;
+};
+
+CompetitionResult run_competition(const CompetitionConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// §6: call modalities.
+// ---------------------------------------------------------------------------
+
+struct MultipartyConfig {
+  std::string profile = "meet";
+  int participants = 4;
+  ViewMode mode = ViewMode::kGallery;
+  uint64_t seed = 1;
+  Duration duration = Duration::seconds(120);
+  Duration measure_from = Duration::seconds(40);
+};
+
+struct MultipartyResult {
+  double c1_up_mbps = 0.0;    // client 1 = the observed / pinned client
+  double c1_down_mbps = 0.0;
+};
+
+MultipartyResult run_multiparty(const MultipartyConfig& cfg);
+
+// Queue sizing for a shaped link: ~300 ms of buffering, with floors and
+// ceilings, roughly what a CPE + tc qdisc gives.
+int64_t queue_bytes_for(DataRate rate);
+
+}  // namespace vca

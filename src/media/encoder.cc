@@ -1,0 +1,69 @@
+#include "media/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+AdaptiveEncoder::AdaptiveEncoder(EventScheduler* sched, Rng rng, Config cfg)
+    : sched_(sched),
+      rng_(rng.fork("encoder-noise")),
+      source_(rng.fork("source"), {}),
+      cfg_(cfg),
+      target_(DataRate::kbps(300)) {
+  settings_ = cfg_.policy ? cfg_.policy(target_, max_width_) : EncoderSettings{};
+}
+
+void AdaptiveEncoder::set_target(DataRate target, int max_width) {
+  target_ = target;
+  max_width_ = max_width;
+  settings_ = cfg_.policy ? cfg_.policy(target_, max_width_)
+                          : EncoderSettings{640, 30.0, 30, target_};
+}
+
+void AdaptiveEncoder::start() {
+  if (running_) return;
+  running_ = true;
+  sched_->schedule(Duration::zero(), [this] { tick(); });
+}
+
+void AdaptiveEncoder::tick() {
+  if (!running_) return;
+  TimePoint now = sched_->now();
+
+  double fps = std::max(1.0, settings_.fps);
+  DataRate rate = settings_.bitrate.is_zero() ? target_ : settings_.bitrate;
+
+  bool keyframe = keyframe_pending_ ||
+                  (cfg_.keyframe_interval > Duration::zero() &&
+                   now - last_keyframe_ >= cfg_.keyframe_interval);
+  keyframe_pending_ = false;
+  if (keyframe) last_keyframe_ = now;
+
+  double avg_bytes = rate.bits_per_sec() / fps / 8.0 * cfg_.run_scale;
+  double jitter = std::exp(rng_.gaussian(0.0, cfg_.frame_noise_sd));
+  double complexity = source_.complexity(now);
+  double bytes = avg_bytes * jitter * complexity;
+  if (keyframe) bytes *= cfg_.keyframe_cost;
+  // Rate-control integrator: repay keyframe/complexity overshoot so the
+  // long-run average stays on target, like a real encoder's VBV.
+  bytes = std::max(avg_bytes * 0.25, bytes - size_debt_ * 0.15);
+  size_debt_ += bytes - avg_bytes;
+  size_debt_ = std::clamp(size_debt_, -20.0 * avg_bytes, 20.0 * avg_bytes);
+
+  EncodedFrame f;
+  f.ssrc = cfg_.ssrc;
+  f.frame_id = next_frame_id_++;
+  f.bytes = std::max(40, static_cast<int>(bytes));
+  f.keyframe = keyframe;
+  f.spatial_layer = cfg_.spatial_layer;
+  f.width = settings_.width;
+  f.fps = settings_.fps;
+  f.qp = settings_.qp;
+  f.capture_time = now;
+  if (frame_handler_) frame_handler_(f);
+
+  sched_->schedule(Duration::seconds_d(1.0 / fps), [this] { tick(); });
+}
+
+}  // namespace vca

@@ -1,0 +1,82 @@
+// Rate-controlled video encoder model.
+//
+// Real-time encoders are very good at hitting a bitrate target; what
+// differs across VCAs is *which* encoding parameters (width, fps, QP) they
+// trade away to get there (§3.2). The AdaptiveEncoder hits its target and
+// reports the parameter choices made by a pluggable, VCA-specific policy,
+// so WebRTC-style stats downstream see the paper's Fig. 2 shapes.
+#pragma once
+
+#include <functional>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "media/frame.h"
+#include "media/video_source.h"
+
+namespace vca {
+
+struct EncoderSettings {
+  int width = 640;
+  double fps = 30.0;
+  int qp = 30;
+  DataRate bitrate;  // encoder output target (payload bits/s)
+};
+
+// Maps a bitrate budget (and a layout-imposed resolution cap) to concrete
+// encoding parameters. Implementations live in vca/profiles.cc.
+using EncoderPolicy = std::function<EncoderSettings(DataRate target, int max_width)>;
+
+class AdaptiveEncoder {
+ public:
+  struct Config {
+    uint32_t ssrc = 0;
+    uint8_t spatial_layer = 0;
+    EncoderPolicy policy;
+    Duration keyframe_interval = Duration::seconds(10);
+    double keyframe_cost = 3.0;    // keyframe size multiplier
+    double frame_noise_sd = 0.06;  // lognormal-ish size jitter
+    // Per-run encoder variability: scales the whole rate mapping. Teams'
+    // wide confidence bands in Figs. 1-2 come from a large value here.
+    double run_scale = 1.0;
+  };
+
+  AdaptiveEncoder(EventScheduler* sched, Rng rng, Config cfg);
+
+  void set_frame_handler(std::function<void(const EncodedFrame&)> h) {
+    frame_handler_ = std::move(h);
+  }
+
+  // (Re)target the encoder; takes effect on the next frame.
+  void set_target(DataRate target, int max_width);
+  void request_keyframe() { keyframe_pending_ = true; }
+
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  const EncoderSettings& settings() const { return settings_; }
+  uint64_t frames_emitted() const { return next_frame_id_; }
+
+ private:
+  void tick();
+
+  EventScheduler* sched_;
+  Rng rng_;
+  VideoSource source_;
+  Config cfg_;
+  std::function<void(const EncodedFrame&)> frame_handler_;
+
+  EncoderSettings settings_;
+  DataRate target_;
+  int max_width_ = 1280;
+  bool running_ = false;
+  bool keyframe_pending_ = true;  // first frame is always an IDR
+  TimePoint last_keyframe_;
+  uint64_t next_frame_id_ = 0;
+  double size_debt_ = 0.0;  // rate-control integrator: keeps long-run average on target
+};
+
+}  // namespace vca

@@ -1,0 +1,24 @@
+// An encoded video frame as handed from an encoder to an RTP sender.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.h"
+
+namespace vca {
+
+struct EncodedFrame {
+  uint32_t ssrc = 0;          // stream this frame belongs to
+  uint64_t frame_id = 0;      // monotonic per-ssrc
+  int bytes = 0;              // encoded size (payload only)
+  bool keyframe = false;
+  uint8_t spatial_layer = 0;  // SVC layer index / simulcast stream index
+  // Encoding parameters in force when this frame was produced; carried
+  // through to the receiver for WebRTC-getStats-style reporting.
+  int width = 0;
+  double fps = 0.0;
+  int qp = 0;
+  TimePoint capture_time;
+};
+
+}  // namespace vca

@@ -1,0 +1,50 @@
+// Synthetic talking-head source.
+//
+// The paper feeds a pre-recorded 1280x720 talking-head video into each
+// client (via ffmpeg) so every run sees the same motion statistics. We
+// model the only property that matters downstream: per-frame encoding
+// complexity — a slowly wandering AR(1) process around 1.0 with occasional
+// short motion bursts (gestures), which is what makes encoded bitrate
+// fluctuate around its target.
+#pragma once
+
+#include "core/rng.h"
+#include "core/time.h"
+
+namespace vca {
+
+class VideoSource {
+ public:
+  struct Config {
+    double ar_coeff = 0.97;        // AR(1) persistence
+    double noise_sd = 0.03;        // innovation stddev
+    double burst_rate_hz = 0.05;   // expected gesture bursts per second
+    double burst_gain = 1.35;      // complexity multiplier during a burst
+    Duration burst_len = Duration::seconds(2);
+  };
+
+  explicit VideoSource(Rng rng) : VideoSource(rng, Config{}) {}
+  VideoSource(Rng rng, Config cfg) : rng_(rng), cfg_(cfg) {}
+
+  // Advance to `now` and return the current complexity multiplier (~1.0).
+  double complexity(TimePoint now) {
+    // AR(1) step per call (frame-paced by the encoder).
+    state_ = cfg_.ar_coeff * state_ +
+             (1.0 - cfg_.ar_coeff) * 1.0 + rng_.gaussian(0.0, cfg_.noise_sd);
+    if (state_ < 0.5) state_ = 0.5;
+    if (state_ > 1.8) state_ = 1.8;
+    if (now >= burst_until_ &&
+        rng_.bernoulli(cfg_.burst_rate_hz / 30.0)) {  // per 30 fps frame
+      burst_until_ = now + cfg_.burst_len;
+    }
+    return now < burst_until_ ? state_ * cfg_.burst_gain : state_;
+  }
+
+ private:
+  Rng rng_;
+  Config cfg_;
+  double state_ = 1.0;
+  TimePoint burst_until_;
+};
+
+}  // namespace vca

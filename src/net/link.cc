@@ -1,0 +1,72 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include <utility>
+
+namespace vca {
+
+void Link::deliver(Packet p) {
+  // An empty queue always admits one packet, even one larger than the
+  // configured capacity — matches bfifo semantics.
+  if (queued_bytes_ + p.size_bytes > cfg_.queue_bytes && !queue_.empty()) {
+    ++dropped_packets_;
+    dropped_bytes_ += p.size_bytes;
+    return;
+  }
+  queue_.push_back(std::move(p));
+  queued_bytes_ += queue_.back().size_bytes;
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  in_flight_ = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= in_flight_.size_bytes;
+  Duration tx = cfg_.rate.transmit_time(in_flight_.size_bytes);
+  if (tx.is_infinite()) {
+    // Zero-rate link: drop (shaped to nothing).
+    ++dropped_packets_;
+    dropped_bytes_ += in_flight_.size_bytes;
+    busy_ = false;
+    return;
+  }
+  sched_->schedule(tx, [this] { finish_transmission(); });
+}
+
+void Link::finish_transmission() {
+  delivered_bytes_ += in_flight_.size_bytes;
+  ++delivered_packets_;
+  if (tap_) tap_(in_flight_, sched_->now());
+
+  // netem-style impairments after the wire: random loss and jitter.
+  if (cfg_.random_loss > 0.0 || !cfg_.jitter_sd.is_zero()) {
+    if (!impairment_rng_) impairment_rng_.emplace(cfg_.impairment_seed);
+    if (cfg_.random_loss > 0.0 && impairment_rng_->bernoulli(cfg_.random_loss)) {
+      ++dropped_packets_;
+      dropped_bytes_ += in_flight_.size_bytes;
+      start_transmission();
+      return;
+    }
+  }
+  if (sink_ != nullptr) {
+    Duration delay = cfg_.propagation;
+    if (!cfg_.jitter_sd.is_zero()) {
+      double extra =
+          std::max(0.0, impairment_rng_->gaussian(0.0, cfg_.jitter_sd.seconds()));
+      delay += Duration::seconds_d(extra);
+    }
+    Packet out = std::move(in_flight_);
+    sched_->schedule(delay, [this, out = std::move(out)]() mutable {
+      if (sink_ != nullptr) sink_->deliver(std::move(out));
+    });
+  }
+  start_transmission();
+}
+
+}  // namespace vca

@@ -1,0 +1,92 @@
+// A unidirectional link: rate-limited serialization in front of a finite
+// drop-tail queue, plus propagation delay. `set_rate()` mid-simulation is
+// the equivalent of re-running `tc` on the testbed router.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/rng.h"
+#include "core/scheduler.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "net/packet.h"
+
+namespace vca {
+
+// Anything that can accept a packet: links, hosts, routers.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet p) = 0;
+};
+
+// Observation hook: fires for every packet that finishes serialization
+// (i.e., actually crossed the wire) — the simulated tcpdump vantage point.
+using LinkTap = std::function<void(const Packet&, TimePoint)>;
+
+class Link : public PacketSink {
+ public:
+  struct Config {
+    DataRate rate = DataRate::gbps(1);
+    Duration propagation = Duration::millis(1);
+    int64_t queue_bytes = 150 * 1024;  // typical CPE buffer (~120 ms at 10 Mbps)
+    // Path impairments (netem-style; the paper's §8 future work):
+    double random_loss = 0.0;          // i.i.d. packet loss probability
+    Duration jitter_sd = Duration::zero();  // gaussian jitter on propagation
+    uint64_t impairment_seed = 1;
+  };
+
+  Link(EventScheduler* sched, std::string name, Config cfg)
+      : sched_(sched), name_(std::move(name)), cfg_(cfg) {}
+
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+  void set_tap(LinkTap tap) { tap_ = std::move(tap); }
+
+  // Change the serialization rate. Applies to the next packet that starts
+  // serialization (like tc: the in-flight packet finishes at the old rate).
+  void set_rate(DataRate r) { cfg_.rate = r; }
+  DataRate rate() const { return cfg_.rate; }
+  void set_queue_bytes(int64_t b) { cfg_.queue_bytes = b; }
+  void set_random_loss(double p) { cfg_.random_loss = p; }
+  void set_jitter(Duration sd) { cfg_.jitter_sd = sd; }
+
+  void deliver(Packet p) override;
+
+  // Stats.
+  int64_t delivered_bytes() const { return delivered_bytes_; }
+  int64_t delivered_packets() const { return delivered_packets_; }
+  int64_t dropped_packets() const { return dropped_packets_; }
+  int64_t dropped_bytes() const { return dropped_bytes_; }
+  int64_t queued_bytes() const { return queued_bytes_; }
+  Duration current_queue_delay() const {
+    return cfg_.rate.transmit_time(queued_bytes_);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  void start_transmission();
+  void finish_transmission();
+
+  EventScheduler* sched_;
+  std::string name_;
+  Config cfg_;
+  PacketSink* sink_ = nullptr;
+  LinkTap tap_;
+  std::optional<Rng> impairment_rng_;
+
+  std::deque<Packet> queue_;
+  int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  Packet in_flight_;
+
+  int64_t delivered_bytes_ = 0;
+  int64_t delivered_packets_ = 0;
+  int64_t dropped_packets_ = 0;
+  int64_t dropped_bytes_ = 0;
+};
+
+}  // namespace vca

@@ -1,0 +1,73 @@
+// Network nodes: endpoints (Host) and store-and-forward nodes
+// (ForwardingNode: the router and the switch in the paper's Figure 7).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace vca {
+
+// An endpoint. Flows register per-FlowId handlers; the host dispatches
+// incoming packets to them and stamps src on outgoing ones.
+class Host : public PacketSink {
+ public:
+  using PacketHandler = std::function<void(Packet)>;
+
+  Host(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  void set_uplink(Link* l) { uplink_ = l; }
+  Link* uplink() const { return uplink_; }
+
+  void register_flow(FlowId flow, PacketHandler handler) {
+    handlers_[flow] = std::move(handler);
+  }
+  void unregister_flow(FlowId flow) { handlers_.erase(flow); }
+
+  void send(Packet p) {
+    p.src = id_;
+    if (uplink_ != nullptr) uplink_->deliver(std::move(p));
+  }
+
+  void deliver(Packet p) override {
+    auto it = handlers_.find(p.flow);
+    if (it != handlers_.end()) it->second(std::move(p));
+    // Unknown flows are silently dropped, like a closed port.
+  }
+
+ private:
+  NodeId id_;
+  std::string name_;
+  Link* uplink_ = nullptr;
+  std::unordered_map<FlowId, PacketHandler> handlers_;
+};
+
+// Forwards by destination NodeId with an optional default route.
+// Forwarding itself is instantaneous; all delay and loss live in Links.
+class ForwardingNode : public PacketSink {
+ public:
+  explicit ForwardingNode(std::string name) : name_(std::move(name)) {}
+
+  void add_route(NodeId dst, PacketSink* next_hop) { routes_[dst] = next_hop; }
+  void set_default_route(PacketSink* next_hop) { default_ = next_hop; }
+  const std::string& name() const { return name_; }
+
+  void deliver(Packet p) override {
+    auto it = routes_.find(p.dst);
+    PacketSink* hop = it != routes_.end() ? it->second : default_;
+    if (hop != nullptr) hop->deliver(std::move(p));
+  }
+
+ private:
+  std::string name_;
+  std::unordered_map<NodeId, PacketSink*> routes_;
+  PacketSink* default_ = nullptr;
+};
+
+}  // namespace vca

@@ -1,0 +1,107 @@
+// The simulated wire format.
+//
+// A Packet carries just enough metadata for the receiving endpoint to do
+// its transport-layer job. Media, feedback, and TCP metadata live in a
+// variant; the network layer itself only reads src/dst/size.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace vca {
+
+using NodeId = uint32_t;
+using FlowId = uint32_t;
+
+constexpr NodeId kInvalidNode = 0xffffffff;
+
+enum class PacketType : uint8_t {
+  kRtpVideo,
+  kRtpAudio,
+  kRtpFec,
+  kRtcp,
+  kTcpData,
+  kTcpAck,
+};
+
+// Per-packet RTP metadata. `wire` fields describe the encoded frame the
+// packet belongs to so the receiver can reassemble and compute stats.
+struct RtpMeta {
+  uint32_t ssrc = 0;
+  uint32_t seq = 0;            // per-ssrc sequence number
+  uint64_t frame_id = 0;       // monotonically increasing per encoder
+  uint16_t packets_in_frame = 1;
+  uint16_t packet_index = 0;   // position within the frame
+  bool keyframe = false;
+  uint8_t spatial_layer = 0;   // SVC layer (0 = base) or simulcast stream id
+  bool is_fec = false;
+  // Encoding parameters stamped on the frame (for WebRTC-style stats).
+  int frame_width = 0;
+  double fps = 0.0;
+  int qp = 0;
+  TimePoint capture_time;      // when the frame left the encoder
+  TimePoint abs_send_time;     // when the packet left the sender (for delay-gradient CC)
+};
+
+// RTCP feedback, sent receiver -> sender (possibly terminated at an SFU).
+struct RtcpMeta {
+  uint32_t ssrc = 0;
+  double loss_fraction = 0.0;        // losses / expected over the report interval
+  DataRate receive_rate;             // what the receiver actually got
+  DataRate remb;                     // receiver's bandwidth estimate (0 = absent)
+  double delay_gradient_ms_per_s = 0.0;  // trendline slope seen by the receiver
+  double queuing_delay_ms = 0.0;     // smoothed one-way queuing delay estimate
+  int fir_count = 0;                 // Full Intra Requests in this report
+  std::vector<uint32_t> nack_seqs;   // sequence numbers requested for RTX
+  int64_t highest_seq = -1;
+};
+
+struct TcpMeta {
+  uint64_t seq = 0;        // first byte carried (data) / next expected (ack)
+  uint64_t ack = 0;
+  int payload_bytes = 0;
+  bool syn = false;
+  bool fin = false;
+  bool is_ack = false;
+  // SACK-lite: highest contiguous + count of duplicate acks is enough for
+  // the fast-retransmit dynamics we need.
+  uint64_t sacked_through = 0;
+  TimePoint echo_ts;       // timestamp echo for RTT sampling
+};
+
+struct Packet {
+  uint64_t id = 0;
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int size_bytes = 0;
+  PacketType type = PacketType::kRtpVideo;
+  TimePoint created_at;
+
+  std::variant<std::monostate, RtpMeta, RtcpMeta, TcpMeta> meta;
+
+  const RtpMeta& rtp() const { return std::get<RtpMeta>(meta); }
+  RtpMeta& rtp() { return std::get<RtpMeta>(meta); }
+  const RtcpMeta& rtcp() const { return std::get<RtcpMeta>(meta); }
+  RtcpMeta& rtcp() { return std::get<RtcpMeta>(meta); }
+  const TcpMeta& tcp() const { return std::get<TcpMeta>(meta); }
+  TcpMeta& tcp() { return std::get<TcpMeta>(meta); }
+
+  bool is_media() const {
+    return type == PacketType::kRtpVideo || type == PacketType::kRtpAudio ||
+           type == PacketType::kRtpFec;
+  }
+};
+
+// Wire overhead constants (IP + UDP + RTP, IP + TCP).
+constexpr int kRtpHeaderBytes = 12;
+constexpr int kUdpIpHeaderBytes = 28;
+constexpr int kTcpIpHeaderBytes = 40;
+constexpr int kMtuBytes = 1200;           // typical WebRTC max payload
+constexpr int kTcpMssBytes = 1448;
+
+}  // namespace vca

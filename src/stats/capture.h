@@ -1,0 +1,67 @@
+// Traffic capture: the simulated tcpdump. A FlowCapture hangs off a Link
+// tap and meters bytes for a chosen set of flows (or everything crossing
+// the link), producing the per-second rate series every figure is built on.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/timeseries.h"
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace vca {
+
+class FlowCapture {
+ public:
+  explicit FlowCapture(Duration bucket = Duration::seconds(1)) : meter_(bucket) {}
+
+  // Restrict to specific flows or flow ranges; no filter = everything.
+  void add_flow(FlowId f) { flows_.insert(f); }
+  void add_flow_range(FlowId lo, FlowId hi) { ranges_.push_back({lo, hi}); }
+
+  LinkTap tap() {
+    return [this](const Packet& p, TimePoint at) {
+      if (!matches(p.flow)) return;
+      meter_.on_bytes(at, p.size_bytes);
+    };
+  }
+
+  bool matches(FlowId f) const {
+    if (flows_.empty() && ranges_.empty()) return true;
+    if (flows_.contains(f)) return true;
+    for (const auto& r : ranges_) {
+      if (f >= r.first && f <= r.second) return true;
+    }
+    return false;
+  }
+
+  const RateMeter& meter() const { return meter_; }
+  TimeSeries rates() const { return meter_.rates(); }
+  int64_t total_bytes() const { return meter_.total_bytes(); }
+  DataRate mean_rate(TimePoint from, TimePoint to) const {
+    return meter_.mean_rate(from, to);
+  }
+
+ private:
+  std::unordered_set<FlowId> flows_;
+  std::vector<std::pair<FlowId, FlowId>> ranges_;
+  RateMeter meter_;
+};
+
+// A Link exposes a single tap; TapFanout lets several captures observe it.
+class TapFanout {
+ public:
+  void add(LinkTap tap) { taps_.push_back(std::move(tap)); }
+  LinkTap tap() {
+    return [this](const Packet& p, TimePoint at) {
+      for (auto& t : taps_) t(p, at);
+    };
+  }
+
+ private:
+  std::vector<LinkTap> taps_;
+};
+
+}  // namespace vca

@@ -1,0 +1,72 @@
+// Video freeze detection, using the paper's rule (§3.2): a freeze occurs
+// when the inter-frame gap exceeds max(3 * avg_frame_duration,
+// avg_frame_duration + 150 ms). Freeze ratio = frozen time / call time.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+#include "core/time.h"
+
+namespace vca {
+
+class FreezeDetector {
+ public:
+  // Report a delivered (rendered) frame.
+  void on_frame(TimePoint at) {
+    if (has_last_) {
+      Duration gap = at - last_frame_;
+      Duration avg = average_frame_duration();
+      if (!avg.is_zero()) {
+        Duration threshold = std::max(avg * 3, avg + Duration::millis(150));
+        if (gap > threshold) {
+          frozen_ += gap - avg;
+          ++freeze_count_;
+        }
+      }
+      durations_.push_back(gap);
+      if (durations_.size() > 120) durations_.pop_front();
+    }
+    last_frame_ = at;
+    has_last_ = true;
+  }
+
+  // Account for a freeze still in progress when the call ends.
+  void finalize(TimePoint call_end) {
+    if (!has_last_) return;
+    Duration gap = call_end - last_frame_;
+    Duration avg = average_frame_duration();
+    if (!avg.is_zero()) {
+      Duration threshold = std::max(avg * 3, avg + Duration::millis(150));
+      if (gap > threshold) {
+        frozen_ += gap - avg;
+        ++freeze_count_;
+      }
+    }
+    has_last_ = false;
+  }
+
+  Duration average_frame_duration() const {
+    if (durations_.empty()) return Duration::zero();
+    Duration sum = Duration::zero();
+    for (Duration d : durations_) sum += d;
+    return sum / static_cast<int64_t>(durations_.size());
+  }
+
+  Duration frozen_time() const { return frozen_; }
+  int freeze_count() const { return freeze_count_; }
+
+  double freeze_ratio(Duration call_duration) const {
+    if (call_duration.is_zero()) return 0.0;
+    return frozen_ / call_duration;
+  }
+
+ private:
+  std::deque<Duration> durations_;
+  TimePoint last_frame_;
+  bool has_last_ = false;
+  Duration frozen_ = Duration::zero();
+  int freeze_count_ = 0;
+};
+
+}  // namespace vca

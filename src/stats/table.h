@@ -1,0 +1,69 @@
+// Plain-text table and CSV emitters used by the bench harness to print
+// the paper's tables and figure series.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vca {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  TextTable& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<size_t> w(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size() && i < w.size(); ++i) {
+        w[i] = std::max(w[i], r[i].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        os << "| " << std::setw(static_cast<int>(w[i])) << std::left
+           << (i < cells.size() ? cells[i] : "") << " ";
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      os << "|" << std::string(w[i] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+  void print_csv(std::ostream& os) const {
+    auto row = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ",";
+        os << cells[i];
+      }
+      os << "\n";
+    };
+    row(headers_);
+    for (const auto& r : rows_) row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+}  // namespace vca

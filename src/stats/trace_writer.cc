@@ -1,0 +1,52 @@
+#include "stats/trace_writer.h"
+
+#include <iomanip>
+#include <map>
+
+namespace vca {
+
+void TraceWriter::write_series(std::ostream& os,
+                               const std::vector<std::string>& names,
+                               const std::vector<const TimeSeries*>& series) {
+  os << "t_s";
+  for (const auto& n : names) os << "," << n;
+  os << "\n";
+
+  // Merge on timestamps.
+  std::map<int64_t, std::vector<double>> rows;
+  std::map<int64_t, std::vector<bool>> present;
+  for (size_t i = 0; i < series.size(); ++i) {
+    for (const auto& s : series[i]->samples()) {
+      auto& row = rows[s.at.ns()];
+      auto& mask = present[s.at.ns()];
+      if (row.empty()) {
+        row.assign(series.size(), 0.0);
+        mask.assign(series.size(), false);
+      }
+      row[i] = s.value;
+      mask[i] = true;
+    }
+  }
+  os << std::fixed << std::setprecision(4);
+  for (const auto& [ns, row] : rows) {
+    os << static_cast<double>(ns) * 1e-9;
+    const auto& mask = present[ns];
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << ",";
+      if (mask[i]) os << row[i];
+    }
+    os << "\n";
+  }
+}
+
+void TraceWriter::write_stats(std::ostream& os,
+                              const std::vector<SecondStats>& stats) {
+  os << "t_s,fps,avg_qp,width,freeze_ms\n";
+  os << std::fixed << std::setprecision(3);
+  for (const auto& s : stats) {
+    os << s.at.seconds() << "," << s.fps << "," << s.avg_qp << "," << s.width
+       << "," << s.freeze_ms << "\n";
+  }
+}
+
+}  // namespace vca

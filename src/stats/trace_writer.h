@@ -1,0 +1,29 @@
+// CSV trace export: dump rate series and per-second stats so results can
+// be re-plotted outside the harness (gnuplot/pandas), mirroring the
+// paper's promise to release raw experiment data.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/timeseries.h"
+#include "stats/webrtc_stats.h"
+
+namespace vca {
+
+class TraceWriter {
+ public:
+  // Write one or more aligned series as columns: t, <name1>, <name2>, ...
+  // Series are sampled on their own grids; rows are emitted per unique
+  // timestamp with empty cells where a series has no sample.
+  static void write_series(std::ostream& os,
+                           const std::vector<std::string>& names,
+                           const std::vector<const TimeSeries*>& series);
+
+  // Per-second application stats (fps/qp/width/freeze) as CSV.
+  static void write_stats(std::ostream& os,
+                          const std::vector<SecondStats>& stats);
+};
+
+}  // namespace vca

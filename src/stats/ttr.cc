@@ -1,0 +1,35 @@
+#include "stats/ttr.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/stats_math.h"
+
+namespace vca {
+
+TtrResult time_to_recovery(const TimeSeries& rates, TimePoint disruption_start,
+                           TimePoint disruption_end, Duration median_window,
+                           double recovery_fraction) {
+  TtrResult out;
+  // Nominal = median bitrate over the pre-disruption window (skip the first
+  // few seconds of call ramp-up).
+  std::vector<double> pre =
+      rates.values_between(disruption_start - Duration::seconds(45),
+                           disruption_start);
+  if (pre.size() > 10) pre.erase(pre.begin(), pre.begin() + 5);
+  out.nominal_mbps = median_of_sorted_copy(pre);
+  if (out.nominal_mbps <= 0.0) return out;
+
+  TimeSeries rolling = rates.rolling_median(median_window);
+  double threshold = out.nominal_mbps * recovery_fraction;
+  for (const auto& s : rolling.samples()) {
+    if (s.at < disruption_end) continue;
+    if (s.value >= threshold) {
+      out.ttr = s.at - disruption_end;
+      return out;
+    }
+  }
+  return out;  // censored: never recovered
+}
+
+}  // namespace vca

@@ -1,0 +1,25 @@
+// Time-to-recovery, the paper's §4.1 metric: the time between the end of a
+// network disruption and the first moment the 5-second rolling median of
+// the bitrate reaches the pre-disruption (nominal) median bitrate.
+#pragma once
+
+#include <optional>
+
+#include "core/time.h"
+#include "core/timeseries.h"
+
+namespace vca {
+
+struct TtrResult {
+  double nominal_mbps = 0.0;   // median bitrate before the disruption
+  std::optional<Duration> ttr; // nullopt = never recovered before call end
+};
+
+// `rates` is a bitrate series (Mbps). The disruption spans
+// [disruption_start, disruption_end).
+TtrResult time_to_recovery(const TimeSeries& rates, TimePoint disruption_start,
+                           TimePoint disruption_end,
+                           Duration median_window = Duration::seconds(5),
+                           double recovery_fraction = 1.0);
+
+}  // namespace vca

@@ -1,0 +1,104 @@
+// Per-second application statistics, mirroring what the paper reads from
+// Chrome's WebRTC getStats() API for Meet and Teams-Chrome (§3.2):
+// frames per second, QP, frame width, freeze time — per received stream.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/time.h"
+#include "stats/freeze.h"
+#include "transport/rtp.h"
+
+namespace vca {
+
+struct SecondStats {
+  TimePoint at;           // end of the 1 s window
+  double fps = 0.0;
+  double avg_qp = 0.0;
+  int width = 0;          // width of the last frame seen in the window
+  double freeze_ms = 0.0; // freeze time accrued during the window
+};
+
+class WebRtcStatsCollector {
+ public:
+  explicit WebRtcStatsCollector(EventScheduler* sched) : sched_(sched) {
+    schedule_tick();
+  }
+
+  void on_frame(const DecodedFrame& f) {
+    freeze_.on_frame(f.delivered_at);
+    ++frames_in_window_;
+    qp_sum_ += f.qp;
+    last_width_ = f.width;
+    total_frames_++;
+  }
+
+  void finalize() { freeze_.finalize(sched_->now()); }
+
+  const std::vector<SecondStats>& per_second() const { return seconds_; }
+  const FreezeDetector& freeze() const { return freeze_; }
+
+  double freeze_ratio(Duration call_duration) const {
+    return freeze_.freeze_ratio(call_duration);
+  }
+
+  // Medians over the call (paper plots medians with CIs across runs).
+  double median_fps() const { return median_field(&SecondStats::fps); }
+  double median_qp() const { return median_field(&SecondStats::avg_qp); }
+  double median_width() const {
+    std::vector<double> v;
+    for (const auto& s : seconds_) {
+      if (s.width > 0) v.push_back(static_cast<double>(s.width));
+    }
+    return median(v);
+  }
+  int64_t total_frames() const { return total_frames_; }
+
+ private:
+  void schedule_tick() {
+    sched_->schedule(Duration::seconds(1), [this] {
+      SecondStats s;
+      s.at = sched_->now();
+      s.fps = static_cast<double>(frames_in_window_);
+      s.avg_qp = frames_in_window_ > 0
+                     ? qp_sum_ / static_cast<double>(frames_in_window_)
+                     : 0.0;
+      s.width = last_width_;
+      Duration frozen_now = freeze_.frozen_time();
+      s.freeze_ms = (frozen_now - frozen_reported_).millis();
+      frozen_reported_ = frozen_now;
+      seconds_.push_back(s);
+      frames_in_window_ = 0;
+      qp_sum_ = 0.0;
+      schedule_tick();
+    });
+  }
+
+  double median_field(double SecondStats::*field) const {
+    std::vector<double> v;
+    for (const auto& s : seconds_) {
+      if (s.fps > 0.0) v.push_back(s.*field);  // skip empty seconds
+    }
+    return median(v);
+  }
+
+  static double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+  }
+
+  EventScheduler* sched_;
+  std::vector<SecondStats> seconds_;
+  FreezeDetector freeze_;
+  int frames_in_window_ = 0;
+  double qp_sum_ = 0.0;
+  int last_width_ = 0;
+  Duration frozen_reported_ = Duration::zero();
+  int64_t total_frames_ = 0;
+};
+
+}  // namespace vca

@@ -1,0 +1,387 @@
+#include "transport/rtp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// RtpSender
+// ---------------------------------------------------------------------------
+
+RtpSender::RtpSender(EventScheduler* sched, Host* host, Config cfg)
+    : sched_(sched), host_(host), cfg_(cfg) {}
+
+void RtpSender::send_frame(const EncodedFrame& frame) {
+  const int payload_per_packet = kMtuBytes;
+  const int n_packets =
+      std::max(1, (frame.bytes + payload_per_packet - 1) / payload_per_packet);
+
+  // Overshoot protection: drop the whole frame if the pacer is so backed
+  // up that this frame would sit longer than max_pacer_delay.
+  Duration projected =
+      cfg_.pacing_rate.transmit_time(pacer_bytes_ + frame.bytes);
+  if (projected > cfg_.max_pacer_delay) {
+    ++dropped_frames_;
+    return;
+  }
+
+  int remaining = frame.bytes;
+  for (int i = 0; i < n_packets; ++i) {
+    int payload = std::min(remaining, payload_per_packet);
+    remaining -= payload;
+    Packet p;
+    p.flow = cfg_.flow;
+    p.dst = cfg_.dst;
+    p.type = cfg_.media_type;
+    p.size_bytes = payload + kRtpHeaderBytes + kUdpIpHeaderBytes;
+    RtpMeta m;
+    m.ssrc = cfg_.ssrc;
+    m.seq = next_seq_++;
+    m.frame_id = frame.frame_id;
+    m.packets_in_frame = static_cast<uint16_t>(n_packets);
+    m.packet_index = static_cast<uint16_t>(i);
+    m.keyframe = frame.keyframe;
+    m.spatial_layer = frame.spatial_layer;
+    m.frame_width = frame.width;
+    m.fps = frame.fps;
+    m.qp = frame.qp;
+    m.capture_time = frame.capture_time;
+    p.meta = m;
+    enqueue_packet(std::move(p));
+  }
+
+  if (cfg_.fec_overhead > 0.0) {
+    // Accumulate fractional FEC credit so e.g. 0.15 overhead on a
+    // 4-packet frame still emits FEC packets over time.
+    fec_credit_ += cfg_.fec_overhead * n_packets;
+    while (fec_credit_ >= 1.0) {
+      fec_credit_ -= 1.0;
+      Packet p;
+      p.flow = cfg_.flow;
+      p.dst = cfg_.dst;
+      p.type = PacketType::kRtpFec;
+      p.size_bytes = payload_per_packet + kRtpHeaderBytes + kUdpIpHeaderBytes;
+      RtpMeta m;
+      m.ssrc = cfg_.ssrc;
+      m.seq = next_seq_++;
+      m.frame_id = frame.frame_id;
+      m.packets_in_frame = static_cast<uint16_t>(n_packets);
+      m.packet_index = 0;
+      m.keyframe = frame.keyframe;
+      m.spatial_layer = frame.spatial_layer;
+      m.is_fec = true;
+      m.frame_width = frame.width;
+      m.fps = frame.fps;
+      m.qp = frame.qp;
+      m.capture_time = frame.capture_time;
+      p.meta = m;
+      enqueue_packet(std::move(p));
+    }
+  }
+}
+
+void RtpSender::send_padding(int bytes) {
+  while (bytes > 0) {
+    int sz = std::min(bytes, kMtuBytes);
+    bytes -= sz;
+    Packet p;
+    p.flow = cfg_.flow;
+    p.dst = cfg_.dst;
+    p.type = PacketType::kRtpFec;
+    p.size_bytes = sz + kRtpHeaderBytes + kUdpIpHeaderBytes;
+    RtpMeta m;
+    m.ssrc = cfg_.ssrc;
+    m.seq = next_seq_++;
+    m.frame_id = 0;  // attaches to an already-decoded frame: pure padding
+    m.packets_in_frame = 1;
+    m.is_fec = true;
+    p.meta = m;
+    enqueue_packet(std::move(p));
+  }
+}
+
+void RtpSender::enqueue_packet(Packet p) {
+  pacer_bytes_ += p.size_bytes;
+  pacer_.push_back(std::move(p));
+  if (!draining_) {
+    draining_ = true;
+    sched_->schedule(Duration::zero(), [this] { drain(); });
+  }
+}
+
+void RtpSender::drain() {
+  if (pacer_.empty()) {
+    draining_ = false;
+    return;
+  }
+  draining_ = true;
+  Packet p = std::move(pacer_.front());
+  pacer_.pop_front();
+  pacer_bytes_ -= p.size_bytes;
+  p.id = next_packet_id_++;
+  p.created_at = sched_->now();
+  p.rtp().abs_send_time = sched_->now();
+  if (p.type == PacketType::kRtpFec) {
+    sent_fec_bytes_ += p.size_bytes;
+  } else {
+    sent_media_bytes_ += p.size_bytes;
+    if (cfg_.enable_rtx) {
+      history_[p.rtp().seq] = p;
+      while (history_.size() > kHistoryLimit) history_.erase(history_.begin());
+    }
+  }
+  Duration gap = cfg_.pacing_rate.transmit_time(p.size_bytes);
+  host_->send(std::move(p));
+  sched_->schedule(gap, [this] { drain(); });
+}
+
+void RtpSender::handle_rtcp(const RtcpMeta& fb) {
+  if (fb.fir_count > 0) keyframe_requested_ = true;
+  if (cfg_.enable_rtx && !fb.nack_seqs.empty()) retransmit(fb.nack_seqs);
+  if (feedback_handler_) feedback_handler_(fb);
+}
+
+void RtpSender::retransmit(const std::vector<uint32_t>& seqs) {
+  for (uint32_t seq : seqs) {
+    auto it = history_.find(seq);
+    if (it == history_.end()) continue;
+    Packet p = it->second;  // copy
+    p.id = next_packet_id_++;
+    p.created_at = sched_->now();
+    p.rtp().abs_send_time = sched_->now();
+    sent_media_bytes_ += p.size_bytes;
+    host_->send(std::move(p));
+  }
+}
+
+bool RtpSender::take_keyframe_request() {
+  return std::exchange(keyframe_requested_, false);
+}
+
+// ---------------------------------------------------------------------------
+// RtpReceiver
+// ---------------------------------------------------------------------------
+
+RtpReceiver::RtpReceiver(EventScheduler* sched, Host* host, Config cfg)
+    : sched_(sched), host_(host), cfg_(cfg) {
+  schedule_report();
+}
+
+void RtpReceiver::schedule_report() {
+  sched_->schedule(cfg_.report_interval, [this] {
+    try_decode();  // also advances loss deadlines during silence
+    send_report();
+    schedule_report();
+  });
+}
+
+void RtpReceiver::handle_packet(const Packet& p) {
+  const RtpMeta& m = p.rtp();
+  if (m.ssrc != cfg_.ssrc) return;
+  TimePoint now = sched_->now();
+
+  if (observer_ != nullptr) observer_->on_packet(now, m.abs_send_time, p.size_bytes);
+
+  received_media_bytes_ += p.size_bytes;
+  bytes_in_interval_ += p.size_bytes;
+  ++received_in_interval_;
+  last_arrival_ = now;
+
+  // Sequence bookkeeping for loss fraction and NACKs.
+  int64_t seq = m.seq;
+  if (highest_seq_ < 0) {
+    highest_seq_ = seq;
+    report_base_seq_ = seq;
+  } else if (seq > highest_seq_) {
+    for (int64_t s = highest_seq_ + 1; s < seq; ++s) {
+      missing_seqs_.insert(static_cast<uint32_t>(s));
+    }
+    highest_seq_ = seq;
+  } else {
+    missing_seqs_.erase(static_cast<uint32_t>(seq));  // late or retransmitted
+    nack_attempts_.erase(static_cast<uint32_t>(seq));
+  }
+
+  // Frame reassembly.
+  PendingFrame& f = pending_[m.frame_id];
+  if (f.packets_in_frame == 0) {
+    f.packets_in_frame = m.packets_in_frame;
+    f.first_arrival = now;
+  }
+  if (m.is_fec) {
+    ++f.fec_received;
+  } else {
+    f.media_received.insert(m.packet_index);
+    f.media_bytes += p.size_bytes;
+  }
+  if (!f.exemplar) f.exemplar = p;
+
+  try_decode();
+}
+
+void RtpReceiver::try_decode() {
+  TimePoint now = sched_->now();
+  // Drop state for frames behind the decode head (e.g. padding packets
+  // tagged with old frame ids).
+  if (started_) {
+    pending_.erase(pending_.begin(), pending_.lower_bound(next_decode_frame_));
+  }
+  if (!started_) {
+    if (pending_.empty()) return;
+    next_decode_frame_ = pending_.begin()->first;
+    started_ = true;
+  }
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    auto it = pending_.find(next_decode_frame_);
+    if (it != pending_.end()) {
+      PendingFrame& f = it->second;
+      bool complete =
+          f.media_received.size() >= f.packets_in_frame;
+      // FEC can only repair a frame we saw at least one media packet of;
+      // pure-FEC "frames" (probe padding) are never decodable.
+      bool recoverable =
+          !f.media_received.empty() &&
+          f.media_received.size() + static_cast<size_t>(f.fec_received) >=
+              f.packets_in_frame;
+      if (complete || recoverable) {
+        const RtpMeta& m = f.exemplar->rtp();
+        // After a loss we only resume on a keyframe; drop inter frames.
+        if (!stalled_ || m.keyframe) {
+          DecodedFrame out;
+          out.frame_id = m.frame_id;
+          out.width = m.frame_width;
+          out.fps = m.fps;
+          out.qp = m.qp;
+          out.keyframe = m.keyframe;
+          out.spatial_layer = m.spatial_layer;
+          out.bytes = f.media_bytes;
+          out.capture_time = m.capture_time;
+          out.delivered_at = now;
+          out.recovered_by_fec = !complete && recoverable;
+          ++frames_decoded_;
+          stalled_ = false;
+          if (frame_handler_) frame_handler_(out);
+        } else {
+          ++frames_lost_;  // decodable but discarded while waiting for IDR
+        }
+        pending_.erase(it);
+        ++next_decode_frame_;
+        progress = true;
+        continue;
+      }
+      // Incomplete: give up after the deadline and stall until a keyframe.
+      if (now - f.first_arrival > cfg_.frame_loss_deadline) {
+        ++frames_lost_;
+        if (!stalled_) {
+          stalled_ = true;
+          stall_since_ = now;
+        }
+        pending_.erase(it);
+        ++next_decode_frame_;
+        progress = true;
+        continue;
+      }
+      break;  // still waiting for packets within the deadline
+    }
+    // Frame never seen. If any *later* frame has been waiting past the
+    // deadline, declare this one lost and move on.
+    auto later = pending_.upper_bound(next_decode_frame_);
+    if (later != pending_.end() &&
+        now - later->second.first_arrival > cfg_.frame_loss_deadline) {
+      ++frames_lost_;
+      if (!stalled_) {
+        stalled_ = true;
+        stall_since_ = now;
+      }
+      ++next_decode_frame_;
+      progress = true;
+      continue;
+    }
+    break;
+  }
+
+  // Total silence also counts as a stall: the stream is live but nothing
+  // is arriving (e.g. the shaped link is dropping everything).
+  if (!stalled_ && started_ && pending_.empty() &&
+      now - last_arrival_ > cfg_.frame_loss_deadline * 2) {
+    stalled_ = true;
+    stall_since_ = last_arrival_;
+  }
+
+  // FIR generation while stalled. A stream silent for several seconds is
+  // treated as paused (e.g. a simulcast copy the sender stopped encoding),
+  // not broken — receivers stop soliciting keyframes for it.
+  bool paused = now - last_arrival_ > Duration::seconds(3);
+  if (stalled_ && !paused && now - stall_since_ > cfg_.fir_after &&
+      now - last_fir_ > cfg_.fir_after) {
+    ++pending_fir_;
+    ++fir_sent_;
+    last_fir_ = now;
+  }
+}
+
+void RtpReceiver::send_report() {
+  TimePoint now = sched_->now();
+  RtcpMeta fb;
+  fb.ssrc = cfg_.ssrc;
+
+  int64_t expected = highest_seq_ >= report_base_seq_
+                         ? highest_seq_ - report_base_seq_ + 1
+                         : 0;
+  int64_t lost = std::max<int64_t>(0, expected - received_in_interval_);
+  fb.loss_fraction =
+      expected > 0 ? static_cast<double>(lost) / static_cast<double>(expected)
+                   : 0.0;
+  fb.receive_rate = rate_from_bytes(bytes_in_interval_, cfg_.report_interval);
+  fb.highest_seq = highest_seq_;
+  fb.fir_count = pending_fir_;
+
+  if (observer_ != nullptr) {
+    observer_->note_loss(fb.loss_fraction);
+    fb.remb = observer_->remb(now);
+    fb.queuing_delay_ms = observer_->queuing_delay_ms();
+    fb.delay_gradient_ms_per_s = observer_->trendline();
+  }
+
+  if (cfg_.enable_nack) {
+    for (uint32_t seq : missing_seqs_) {
+      int& attempts = nack_attempts_[seq];
+      if (attempts < 2) {
+        ++attempts;
+        fb.nack_seqs.push_back(seq);
+      }
+    }
+    nacks_sent_ += static_cast<int>(fb.nack_seqs.size());
+  }
+  // Bound NACK state: anything far behind the head is unrecoverable.
+  while (!missing_seqs_.empty() &&
+         static_cast<int64_t>(*missing_seqs_.begin()) < highest_seq_ - 1000) {
+    nack_attempts_.erase(*missing_seqs_.begin());
+    missing_seqs_.erase(missing_seqs_.begin());
+  }
+
+  last_loss_fraction_ = fb.loss_fraction;
+  last_receive_rate_ = fb.receive_rate;
+
+  Packet p;
+  p.id = next_packet_id_++;
+  p.flow = cfg_.feedback_flow;
+  p.dst = cfg_.feedback_dst;
+  p.type = PacketType::kRtcp;
+  p.size_bytes = 80 + static_cast<int>(fb.nack_seqs.size()) * 4;
+  p.created_at = now;
+  p.meta = fb;
+  host_->send(std::move(p));
+
+  report_base_seq_ = highest_seq_ + 1;
+  received_in_interval_ = 0;
+  bytes_in_interval_ = 0;
+  pending_fir_ = 0;
+}
+
+}  // namespace vca

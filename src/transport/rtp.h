@@ -1,0 +1,221 @@
+// RTP media transport: sender with pacer, FEC and retransmission; receiver
+// with reassembly, decode-chain tracking, NACK/FIR generation, and RTCP
+// receiver reports. One RtpSender/RtpReceiver pair per SSRC (simulcast
+// copies and SVC layers are separate SSRCs, as in WebRTC).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "media/frame.h"
+#include "net/node.h"
+#include "net/packet.h"
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+class RtpSender {
+ public:
+  struct Config {
+    uint32_t ssrc = 0;
+    FlowId flow = 0;
+    NodeId dst = kInvalidNode;
+    PacketType media_type = PacketType::kRtpVideo;
+    DataRate pacing_rate = DataRate::mbps(10);
+    // Frames whose queueing in the pacer would exceed this are dropped
+    // whole (encoder overshoot protection).
+    Duration max_pacer_delay = Duration::millis(400);
+    // FEC packets added per frame, as a fraction of the frame's media
+    // packets (Zoom-style sender FEC). 0 disables.
+    double fec_overhead = 0.0;
+    bool enable_rtx = true;  // answer NACKs with retransmissions
+  };
+
+  RtpSender(EventScheduler* sched, Host* host, Config cfg);
+
+  // Queue one encoded frame for transmission.
+  void send_frame(const EncodedFrame& frame);
+
+  // Emit FEC-marked padding (bandwidth probing, as Zoom's FBRA-style
+  // probing and SFU estimate-growth probes do). Counts toward the
+  // receiver's arrival rate but never toward decodable frames.
+  void send_padding(int bytes);
+
+  void set_pacing_rate(DataRate r) { cfg_.pacing_rate = r; }
+  void set_fec_overhead(double f) { cfg_.fec_overhead = f; }
+
+  // Deliver an incoming RTCP packet for this SSRC (handles NACK/FIR and
+  // forwards to the feedback handler, typically the congestion controller).
+  void handle_rtcp(const RtcpMeta& fb);
+  void set_feedback_handler(std::function<void(const RtcpMeta&)> h) {
+    feedback_handler_ = std::move(h);
+  }
+
+  // True once a FIR arrived; reading clears the flag. The encoder polls
+  // this to force a keyframe.
+  bool take_keyframe_request();
+
+  int64_t sent_media_bytes() const { return sent_media_bytes_; }
+  int64_t sent_fec_bytes() const { return sent_fec_bytes_; }
+  int64_t dropped_frames() const { return dropped_frames_; }
+  int64_t pacer_queue_bytes() const { return pacer_bytes_; }
+  uint32_t ssrc() const { return cfg_.ssrc; }
+
+ private:
+  void enqueue_packet(Packet p);
+  void drain();
+  void retransmit(const std::vector<uint32_t>& seqs);
+
+  EventScheduler* sched_;
+  Host* host_;
+  Config cfg_;
+  std::function<void(const RtcpMeta&)> feedback_handler_;
+
+  uint32_t next_seq_ = 1;
+  uint64_t next_packet_id_ = 1;
+  double fec_credit_ = 0.0;
+  std::deque<Packet> pacer_;
+  int64_t pacer_bytes_ = 0;
+  bool draining_ = false;
+  bool keyframe_requested_ = false;
+
+  // Recently sent packets retained for retransmission.
+  std::map<uint32_t, Packet> history_;
+  static constexpr size_t kHistoryLimit = 2000;
+
+  int64_t sent_media_bytes_ = 0;
+  int64_t sent_fec_bytes_ = 0;
+  int64_t dropped_frames_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+// Shared receive-side observer interface: the receive-side bandwidth
+// estimator (cc/remb.h) implements this to see every arriving packet
+// across all SSRCs on a client.
+class PacketArrivalObserver {
+ public:
+  virtual ~PacketArrivalObserver() = default;
+  virtual void on_packet(TimePoint arrival, TimePoint send_time, int bytes) = 0;
+  // Loss fraction of the most recent report interval (REMB-style
+  // estimators fold loss into the estimate alongside delay).
+  virtual void note_loss(double /*loss_fraction*/) {}
+  // Called once per feedback interval; returns the estimate to advertise
+  // (zero rate = no REMB).
+  virtual DataRate remb(TimePoint now) = 0;
+  virtual double queuing_delay_ms() const { return 0.0; }
+  virtual double trendline() const { return 0.0; }
+};
+
+// A fully decodable frame delivered to the application layer.
+struct DecodedFrame {
+  uint64_t frame_id = 0;
+  int width = 0;
+  double fps = 0.0;
+  int qp = 0;
+  bool keyframe = false;
+  uint8_t spatial_layer = 0;
+  int bytes = 0;
+  TimePoint capture_time;
+  TimePoint delivered_at;
+  bool recovered_by_fec = false;
+};
+
+class RtpReceiver {
+ public:
+  struct Config {
+    uint32_t ssrc = 0;
+    FlowId feedback_flow = 0;        // flow id for outgoing RTCP
+    NodeId feedback_dst = kInvalidNode;
+    Duration report_interval = Duration::millis(100);
+    bool enable_nack = true;
+    // Head-of-line frame considered lost after this long; decoder then
+    // stalls until the next keyframe.
+    Duration frame_loss_deadline = Duration::millis(200);
+    // Stalled longer than this => send a Full Intra Request.
+    Duration fir_after = Duration::millis(400);
+  };
+
+  RtpReceiver(EventScheduler* sched, Host* host, Config cfg);
+
+  // Feed a media packet (called by the owning client's dispatcher).
+  void handle_packet(const Packet& p);
+
+  void set_frame_handler(std::function<void(const DecodedFrame&)> h) {
+    frame_handler_ = std::move(h);
+  }
+  // Optional shared bandwidth estimator whose REMB rides on our reports.
+  void set_arrival_observer(PacketArrivalObserver* obs) { observer_ = obs; }
+
+  // Stats.
+  int64_t received_media_bytes() const { return received_media_bytes_; }
+  int fir_sent() const { return fir_sent_; }
+  int nacks_sent() const { return nacks_sent_; }
+  int64_t frames_decoded() const { return frames_decoded_; }
+  int64_t frames_lost() const { return frames_lost_; }
+  double last_loss_fraction() const { return last_loss_fraction_; }
+  DataRate last_receive_rate() const { return last_receive_rate_; }
+  uint32_t ssrc() const { return cfg_.ssrc; }
+  bool stalled() const { return stalled_; }
+
+ private:
+  struct PendingFrame {
+    uint16_t packets_in_frame = 0;
+    std::set<uint16_t> media_received;
+    int fec_received = 0;
+    std::optional<Packet> exemplar;  // metadata source
+    TimePoint first_arrival;
+    int media_bytes = 0;
+  };
+
+  void try_decode();
+  void send_report();
+  void schedule_report();
+
+  EventScheduler* sched_;
+  Host* host_;
+  Config cfg_;
+  std::function<void(const DecodedFrame&)> frame_handler_;
+  PacketArrivalObserver* observer_ = nullptr;
+
+  std::map<uint64_t, PendingFrame> pending_;
+  uint64_t next_decode_frame_ = 0;
+  bool stalled_ = false;       // waiting for a keyframe after loss
+  bool started_ = false;
+  TimePoint stall_since_;
+  TimePoint last_fir_;
+  TimePoint last_arrival_;
+
+  // Sequence tracking for loss + NACK.
+  int64_t highest_seq_ = -1;
+  int64_t report_base_seq_ = 0;    // first seq expected in current interval
+  int64_t received_in_interval_ = 0;
+  int64_t bytes_in_interval_ = 0;
+  std::set<uint32_t> missing_seqs_;
+  std::map<uint32_t, int> nack_attempts_;
+
+  int64_t received_media_bytes_ = 0;
+  int fir_sent_ = 0;
+  int nacks_sent_ = 0;
+  int64_t frames_decoded_ = 0;
+  int64_t frames_lost_ = 0;
+  double last_loss_fraction_ = 0.0;
+  DataRate last_receive_rate_;
+  uint64_t next_packet_id_ = 1;
+  int pending_fir_ = 0;
+};
+
+}  // namespace vca

@@ -1,0 +1,276 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+TcpReceiverEndpoint::TcpReceiverEndpoint(EventScheduler* sched, Host* host,
+                                         Config cfg)
+    : sched_(sched), host_(host), cfg_(cfg) {}
+
+void TcpReceiverEndpoint::handle_packet(const Packet& p) {
+  const TcpMeta& m = p.tcp();
+  if (m.is_ack) return;  // we only receive data
+
+  int64_t newly = 0;
+  if (m.seq == next_expected_) {
+    next_expected_ += static_cast<uint64_t>(m.payload_bytes);
+    newly += m.payload_bytes;
+    // Drain contiguous out-of-order segments.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && it->first <= next_expected_) {
+      uint64_t seg_end = it->first + static_cast<uint64_t>(it->second);
+      if (seg_end > next_expected_) {
+        newly += static_cast<int64_t>(seg_end - next_expected_);
+        next_expected_ = seg_end;
+      }
+      it = out_of_order_.erase(it);
+    }
+  } else if (m.seq > next_expected_) {
+    out_of_order_[m.seq] = m.payload_bytes;
+  }
+  // Old/duplicate segments fall through and still trigger an ACK.
+
+  delivered_bytes_ += newly;
+  if (newly > 0 && on_data_) on_data_(newly);
+
+  Packet ack;
+  ack.id = next_packet_id_++;
+  ack.flow = cfg_.flow;
+  ack.dst = cfg_.peer;
+  ack.type = PacketType::kTcpAck;
+  ack.size_bytes = kTcpIpHeaderBytes + 12;  // SACK + timestamp options
+  ack.created_at = sched_->now();
+  TcpMeta am;
+  am.is_ack = true;
+  am.ack = next_expected_;
+  am.sacked_through = m.seq;  // one-element SACK: the segment that arrived
+  am.payload_bytes = m.payload_bytes;
+  am.echo_ts = m.echo_ts;
+  ack.meta = am;
+  host_->send(std::move(ack));
+}
+
+// ---------------------------------------------------------------------------
+// Sender
+// ---------------------------------------------------------------------------
+
+TcpSender::TcpSender(EventScheduler* sched, Host* host, Config cfg)
+    : sched_(sched), host_(host), cfg_(cfg), cwnd_(cfg.initial_cwnd) {
+  if (cfg_.unlimited) {
+    app_limit_ = std::numeric_limits<uint64_t>::max() / 2;
+    sched_->schedule(Duration::zero(), [this] { maybe_send(); });
+  }
+}
+
+void TcpSender::write(int64_t bytes) {
+  if (cfg_.unlimited) return;
+  app_limit_ += static_cast<uint64_t>(bytes);
+  maybe_send();
+}
+
+int64_t TcpSender::pipe_bytes() const {
+  int64_t pipe = 0;
+  for (const auto& [seq, seg] : outstanding_) {
+    if (!seg.sacked && !seg.lost) pipe += seg.len;
+  }
+  return pipe;
+}
+
+void TcpSender::maybe_send() {
+  if (stopped_) return;
+  const int64_t cwnd_bytes =
+      static_cast<int64_t>(cwnd_ * static_cast<double>(cfg_.mss));
+  int64_t pipe = pipe_bytes();
+  bool sent_any = false;
+
+  // Retransmit lost segments first (oldest hole first).
+  for (auto& [seq, seg] : outstanding_) {
+    if (pipe >= cwnd_bytes) break;
+    if (seg.lost) {
+      seg.lost = false;
+      ++seg.rtx_count;
+      seg.last_sent = sched_->now();
+      ++retransmits_;
+      transmit(seq, seg.len);
+      pipe += seg.len;
+      sent_any = true;
+    }
+  }
+
+  // Then new data.
+  while (pipe < cwnd_bytes && next_seq_ < app_limit_) {
+    int payload = static_cast<int>(std::min<uint64_t>(
+        static_cast<uint64_t>(cfg_.mss), app_limit_ - next_seq_));
+    Segment seg;
+    seg.len = payload;
+    seg.last_sent = sched_->now();
+    outstanding_[next_seq_] = seg;
+    transmit(next_seq_, payload);
+    next_seq_ += static_cast<uint64_t>(payload);
+    pipe += payload;
+    sent_any = true;
+  }
+
+  if (sent_any || !outstanding_.empty()) arm_rto();
+}
+
+void TcpSender::transmit(uint64_t seq, int payload) {
+  Packet p;
+  p.id = next_packet_id_++;
+  p.flow = cfg_.flow;
+  p.dst = cfg_.dst;
+  p.type = PacketType::kTcpData;
+  p.size_bytes = payload + kTcpIpHeaderBytes + 12;
+  p.created_at = sched_->now();
+  TcpMeta m;
+  m.seq = seq;
+  m.payload_bytes = payload;
+  m.echo_ts = sched_->now();
+  p.meta = m;
+  host_->send(std::move(p));
+}
+
+void TcpSender::handle_packet(const Packet& p) {
+  const TcpMeta& m = p.tcp();
+  if (!m.is_ack) return;
+  on_ack(m);
+}
+
+void TcpSender::update_rtt(Duration sample) {
+  if (srtt_.is_zero()) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    Duration err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = rttvar_ * 3 / 4 + err / 4;
+    srtt_ = srtt_ * 7 / 8 + sample / 8;
+  }
+  rto_ = std::max(cfg_.min_rto, srtt_ + rttvar_ * 4);
+}
+
+double TcpSender::cubic_window(Duration since_epoch) const {
+  // W(t) = C*(t-K)^3 + Wmax, K = cbrt(Wmax*(1-beta)/C) per RFC 8312.
+  double t = since_epoch.seconds();
+  double k = std::cbrt(w_max_ * (1.0 - cfg_.beta) / cfg_.cubic_c);
+  double w = cfg_.cubic_c * std::pow(t - k, 3.0) + w_max_;
+  return std::max(w, 2.0);
+}
+
+void TcpSender::detect_losses() {
+  // RFC 6675 flavor: a segment is lost once bytes >= 3*MSS above it have
+  // been SACKed and it has not been (re)sent very recently.
+  const uint64_t dup_thresh =
+      static_cast<uint64_t>(3 * cfg_.mss);
+  if (highest_sacked_ < dup_thresh) return;
+  Duration guard = std::max(srtt_, Duration::millis(10));
+  bool any_lost = false;
+  for (auto& [seq, seg] : outstanding_) {
+    if (seq + static_cast<uint64_t>(seg.len) + dup_thresh > highest_sacked_) break;
+    if (!seg.sacked && !seg.lost && sched_->now() - seg.last_sent > guard) {
+      seg.lost = true;
+      any_lost = true;
+    }
+  }
+  if (any_lost && !in_recovery_) enter_recovery();
+}
+
+void TcpSender::on_ack(const TcpMeta& m) {
+  if (stopped_) return;
+  TimePoint now = sched_->now();
+
+  // SACK bookkeeping.
+  if (m.sacked_through >= highest_acked_) {
+    auto it = outstanding_.find(m.sacked_through);
+    if (it != outstanding_.end()) it->second.sacked = true;
+    uint64_t seg_end = m.sacked_through + static_cast<uint64_t>(m.payload_bytes);
+    highest_sacked_ = std::max(highest_sacked_, seg_end);
+  }
+
+  if (m.ack > highest_acked_) {
+    uint64_t prev = highest_acked_;
+    highest_acked_ = m.ack;
+    highest_sacked_ = std::max(highest_sacked_, highest_acked_);
+    rto_backoff_ = 0;
+    outstanding_.erase(outstanding_.begin(), outstanding_.lower_bound(m.ack));
+
+    // RTT from the timestamp echoed off the segment that generated this
+    // ack (RFC 7323 style) — immune to stale samples from data that sat
+    // in the receiver's out-of-order buffer across a recovery episode.
+    if (m.echo_ts > TimePoint::zero() && now > m.echo_ts) {
+      update_rtt(now - m.echo_ts);
+    }
+
+    if (in_recovery_ && highest_acked_ >= recovery_point_) {
+      in_recovery_ = false;
+    }
+
+    if (!in_recovery_) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += static_cast<double>(m.ack - prev) / cfg_.mss;  // slow start
+      } else if (cfg_.algo == CcAlgo::kCubic) {
+        if (epoch_start_ == TimePoint::infinite()) {
+          epoch_start_ = now;
+          if (w_max_ < cwnd_) w_max_ = cwnd_;
+        }
+        double target = cubic_window(now - epoch_start_);
+        double acked_pkts = static_cast<double>(m.ack - prev) / cfg_.mss;
+        if (target > cwnd_) {
+          cwnd_ += std::min(acked_pkts,
+                            (target - cwnd_) * acked_pkts / std::max(cwnd_, 1.0));
+        } else {
+          cwnd_ += 0.01 * acked_pkts / std::max(cwnd_, 1.0);
+        }
+      } else {  // Reno
+        cwnd_ += static_cast<double>(m.ack - prev) / cfg_.mss / cwnd_;
+      }
+    }
+
+    if (on_acked_) on_acked_(static_cast<int64_t>(highest_acked_));
+  }
+
+  detect_losses();
+  maybe_send();
+}
+
+void TcpSender::enter_recovery() {
+  in_recovery_ = true;
+  recovery_point_ = next_seq_;
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(2.0, cwnd_ * cfg_.beta);
+  cwnd_ = ssthresh_;
+  epoch_start_ = TimePoint::infinite();  // new cubic epoch on exit
+}
+
+void TcpSender::arm_rto() {
+  if (outstanding_.empty()) return;
+  uint64_t epoch = ++rto_epoch_;
+  Duration timeout = rto_;
+  for (int i = 0; i < rto_backoff_ && i < 6; ++i) timeout = timeout * 2;
+  sched_->schedule(timeout, [this, epoch] {
+    if (epoch == rto_epoch_ && !outstanding_.empty() && !stopped_) on_rto();
+  });
+}
+
+void TcpSender::on_rto() {
+  ++timeouts_;
+  ++rto_backoff_;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  w_max_ = 0.0;
+  epoch_start_ = TimePoint::infinite();
+  in_recovery_ = false;
+  // Everything unsacked is presumed lost; resend from the hole.
+  for (auto& [seq, seg] : outstanding_) {
+    if (!seg.sacked) seg.lost = true;
+  }
+  maybe_send();
+}
+
+}  // namespace vca

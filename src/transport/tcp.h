@@ -1,0 +1,140 @@
+// Packet-level TCP, detailed enough for bandwidth-sharing dynamics:
+// slow start, CUBIC (or Reno) congestion avoidance, SACK-scoreboard loss
+// recovery (RFC 6675-style pipe accounting), RTO with exponential backoff.
+// This is the substitute for the paper's iPerf3 (TCP CUBIC) competitor and
+// the underlying transport for the Netflix/YouTube ABR models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/scheduler.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "net/node.h"
+#include "net/packet.h"
+
+namespace vca {
+
+// Receiving endpoint: reassembles, acks every segment (echoing the
+// segment's sequence as a one-element SACK), reports delivered bytes.
+class TcpReceiverEndpoint {
+ public:
+  struct Config {
+    FlowId flow = 0;        // flow id data arrives on (acks go back on it too)
+    NodeId peer = kInvalidNode;
+  };
+
+  TcpReceiverEndpoint(EventScheduler* sched, Host* host, Config cfg);
+
+  void handle_packet(const Packet& p);
+
+  // Called with the number of newly delivered in-order payload bytes.
+  void set_data_handler(std::function<void(int64_t)> h) { on_data_ = std::move(h); }
+
+  int64_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  EventScheduler* sched_;
+  Host* host_;
+  Config cfg_;
+  uint64_t next_expected_ = 0;
+  std::map<uint64_t, int> out_of_order_;  // seq -> payload bytes
+  int64_t delivered_bytes_ = 0;
+  uint64_t next_packet_id_ = 1;
+  std::function<void(int64_t)> on_data_;
+};
+
+class TcpSender {
+ public:
+  enum class CcAlgo { kCubic, kReno };
+
+  struct Config {
+    FlowId flow = 0;
+    NodeId dst = kInvalidNode;
+    int mss = kTcpMssBytes;
+    CcAlgo algo = CcAlgo::kCubic;
+    double cubic_c = 0.4;
+    double beta = 0.7;           // multiplicative decrease factor
+    double initial_cwnd = 10.0;  // packets
+    Duration min_rto = Duration::millis(200);
+    bool unlimited = false;      // iPerf3-style: always has data to send
+  };
+
+  TcpSender(EventScheduler* sched, Host* host, Config cfg);
+
+  // Queue application bytes (ignored when unlimited).
+  void write(int64_t bytes);
+  void handle_packet(const Packet& p);  // incoming ACKs
+
+  // Fires whenever cumulative acked bytes advance.
+  void set_acked_handler(std::function<void(int64_t total)> h) {
+    on_acked_ = std::move(h);
+  }
+
+  int64_t acked_bytes() const { return static_cast<int64_t>(highest_acked_); }
+  int64_t sent_bytes() const { return static_cast<int64_t>(next_seq_); }
+  double cwnd_packets() const { return cwnd_; }
+  Duration srtt() const { return srtt_; }
+  int retransmits() const { return retransmits_; }
+  int timeouts() const { return timeouts_; }
+  bool idle() const {
+    return !cfg_.unlimited && next_seq_ >= app_limit_ && highest_acked_ >= app_limit_;
+  }
+
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Segment {
+    int len = 0;
+    bool sacked = false;
+    bool lost = false;
+    int rtx_count = 0;
+    TimePoint last_sent;
+  };
+
+  void maybe_send();
+  void transmit(uint64_t seq, int payload);
+  void on_ack(const TcpMeta& m);
+  void detect_losses();
+  void enter_recovery();
+  void on_rto();
+  void arm_rto();
+  void update_rtt(Duration sample);
+  double cubic_window(Duration since_epoch) const;
+  int64_t pipe_bytes() const;
+
+  EventScheduler* sched_;
+  Host* host_;
+  Config cfg_;
+  std::function<void(int64_t)> on_acked_;
+
+  uint64_t next_seq_ = 0;        // next new byte to send
+  uint64_t highest_acked_ = 0;   // cumulative ack point
+  uint64_t highest_sacked_ = 0;  // highest byte known received
+  uint64_t app_limit_ = 0;       // bytes the app has written
+  bool in_recovery_ = false;
+  uint64_t recovery_point_ = 0;
+  bool stopped_ = false;
+
+  std::map<uint64_t, Segment> outstanding_;  // scoreboard, keyed by seq
+
+  double cwnd_;                  // packets
+  double ssthresh_ = 1e9;
+  // CUBIC epoch state.
+  double w_max_ = 0.0;
+  TimePoint epoch_start_ = TimePoint::infinite();
+
+  Duration srtt_ = Duration::zero();
+  Duration rttvar_ = Duration::zero();
+  Duration rto_ = Duration::seconds(1);
+  int rto_backoff_ = 0;
+  uint64_t rto_epoch_ = 0;       // invalidates stale RTO timers
+
+  int retransmits_ = 0;
+  int timeouts_ = 0;
+  uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace vca

@@ -1,0 +1,112 @@
+#include "vca/call.h"
+
+#include <algorithm>
+
+namespace vca {
+
+Call::Call(EventScheduler* sched, Host* sfu_host, Config cfg)
+    : sched_(sched), cfg_(std::move(cfg)), next_flow_(cfg_.flow_base) {
+  SfuServer::Config sc;
+  sc.profile = cfg_.profile;
+  sfu_ = std::make_unique<SfuServer>(sched_, sfu_host, sc);
+}
+
+VcaClient* Call::add_client(Host* host) {
+  VcaClient::Config cc;
+  cc.profile = cfg_.profile;
+  cc.sfu_node = sfu_->host()->id();
+  cc.media_flow_base = next_flow_;
+  next_flow_ += 16;
+  cc.seed = cfg_.seed * 7919 + clients_.size() + 1;
+  clients_.push_back(std::make_unique<VcaClient>(sched_, host, cc));
+  return clients_.back().get();
+}
+
+void Call::start() {
+  if (running_) return;
+  running_ = true;
+  const int n = static_cast<int>(clients_.size());
+
+  for (auto& c : clients_) sfu_->add_publisher(c.get());
+
+  // Subscriptions: each viewer displays `displayed_feeds` publishers
+  // (Teams' fixed 2x2 grid shows only four, §6.1).
+  for (int v = 0; v < n; ++v) {
+    VcaClient* viewer = clients_[static_cast<size_t>(v)].get();
+    int budget_feeds = displayed_feeds(cfg_.profile.kind, n, cfg_.mode);
+    int used = 0;
+    for (int p = 0; p < n && used < budget_feeds; ++p) {
+      if (p == v) continue;
+      VcaClient* publisher = clients_[static_cast<size_t>(p)].get();
+      FlowId video_flow = next_flow_++;
+      FlowId audio_flow = next_flow_++;
+      sfu_->subscribe(viewer, publisher, video_flow, audio_flow);
+      viewer->add_feed(video_flow, video_flow, publisher->host()->id());
+      bool pinned = cfg_.mode == ViewMode::kSpeaker && p == cfg_.pinned_client;
+      sfu_->set_pinned(viewer, publisher, pinned);
+      sfu_->set_desired_width(
+          viewer, publisher,
+          requested_width(cfg_.profile.kind, n, cfg_.mode, pinned));
+      ++used;
+    }
+  }
+
+  // Teams §6.1 anomaly: in calls with six or more participants the relayed
+  // downstream thins even though the uplink is unchanged.
+  if (cfg_.profile.kind == VcaKind::kTeams) {
+    sfu_->set_relay_divisor(n >= 6 ? 2 : 1);
+  }
+
+  for (auto& c : clients_) c->start();
+  sfu_->start();
+  signaling();
+}
+
+void Call::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& c : clients_) c->stop();
+}
+
+void Call::signaling() {
+  if (!running_) return;
+  const int n = static_cast<int>(clients_.size());
+
+  for (int p = 0; p < n; ++p) {
+    VcaClient* publisher = clients_[static_cast<size_t>(p)].get();
+    bool pinned =
+        cfg_.mode == ViewMode::kSpeaker && p == cfg_.pinned_client;
+
+    // Encode ceiling: the largest resolution any viewer requests. Note
+    // that a single viewer pinning this publisher raises it for everyone
+    // — the §6.2 "one participant's setting affects others" effect.
+    int max_w = 0;
+    for (int v = 0; v < n; ++v) {
+      if (v == p) continue;
+      max_w = std::max(
+          max_w, requested_width(cfg_.profile.kind, n, cfg_.mode, pinned));
+    }
+    if (n == 1) max_w = 1280;
+    publisher->set_encode_max_width(std::max(max_w, 180));
+
+    if (cfg_.profile.arch == Architecture::kRelay) {
+      // Teams: the server is just a relay, so the *sender* must respect
+      // the most constrained receiver (§4.2, Fig 6).
+      publisher->set_allowed_rate(sfu_->min_viewer_share_for(publisher));
+    }
+    if (cfg_.profile.kind == VcaKind::kMeet) {
+      publisher->set_ultra_low(sfu_->any_ultra_low(publisher));
+    }
+    if (cfg_.profile.speaker_uplink_anomaly) {
+      // Teams §6.2 anomaly: the pinned client's uplink keeps growing with
+      // the participant count (1.25 -> 2.9 Mbps from n=3 to n=8).
+      double boost =
+          pinned ? std::clamp(0.9 + 0.235 * (n - 3), 1.0, 2.1) : 1.0;
+      publisher->set_speaker_boost(boost);
+    }
+  }
+
+  sched_->schedule(cfg_.signaling_tick, [this] { signaling(); });
+}
+
+}  // namespace vca

@@ -1,0 +1,55 @@
+// A video conference: N clients plus one SFU, wired together with the
+// out-of-band signaling that real VCAs run over their control channels
+// (layout-driven resolution requests, Teams' receiver-rate relaying,
+// speaker-mode pinning).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/node.h"
+#include "vca/client.h"
+#include "vca/layout.h"
+#include "vca/profile.h"
+#include "vca/sfu.h"
+
+namespace vca {
+
+class Call {
+ public:
+  struct Config {
+    VcaProfile profile;
+    ViewMode mode = ViewMode::kGallery;
+    int pinned_client = 0;  // who everyone pins in speaker mode
+    FlowId flow_base = 1000;
+    uint64_t seed = 1;
+    Duration signaling_tick = Duration::millis(200);
+  };
+
+  Call(EventScheduler* sched, Host* sfu_host, Config cfg);
+
+  // Add a participant (before start()).
+  VcaClient* add_client(Host* host);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  VcaClient* client(size_t i) { return clients_[i].get(); }
+  size_t size() const { return clients_.size(); }
+  SfuServer* sfu() { return sfu_.get(); }
+  const VcaProfile& profile() const { return cfg_.profile; }
+
+ private:
+  void signaling();
+
+  EventScheduler* sched_;
+  Config cfg_;
+  std::unique_ptr<SfuServer> sfu_;
+  std::vector<std::unique_ptr<VcaClient>> clients_;
+  FlowId next_flow_;
+  bool running_ = false;
+};
+
+}  // namespace vca

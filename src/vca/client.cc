@@ -1,0 +1,265 @@
+#include "vca/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+VcaClient::VcaClient(EventScheduler* sched, Host* host, Config cfg)
+    : sched_(sched), host_(host), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  const VcaProfile& p = cfg_.profile;
+
+  // Per-run nominal draw: Teams' wide confidence bands come from here.
+  if (p.nominal_run_sd > 0.0) {
+    nominal_scale_ = std::exp(rng_.fork("nominal").gaussian(0.0, p.nominal_run_sd));
+    nominal_scale_ = std::clamp(nominal_scale_, 0.7, 1.45);
+  }
+
+  SenderCongestionController::Bounds bounds;
+  bounds.min_rate = DataRate::kbps(80);
+  bounds.max_rate = p.nominal_video * nominal_scale_;
+  bounds.start_rate = std::min(p.start_rate, bounds.max_rate);
+  cc_ = make_sender_cc(p.cc_name, bounds);
+
+  double run_scale = std::exp(rng_.fork("encoder").gaussian(0.0, p.encoder_run_sd));
+
+  layers_.resize(p.layers.size());
+  for (size_t i = 0; i < p.layers.size(); ++i) {
+    int layer = static_cast<int>(i);
+    AdaptiveEncoder::Config ec;
+    ec.ssrc = layer_ssrc(layer);
+    ec.spatial_layer = static_cast<uint8_t>(layer);
+    ec.policy = p.policy_for_layer(layer);
+    ec.run_scale = run_scale;
+    layers_[i].encoder = std::make_unique<AdaptiveEncoder>(
+        sched_, rng_.fork(1000 + static_cast<uint64_t>(layer)), ec);
+
+    RtpSender::Config sc;
+    sc.ssrc = layer_ssrc(layer);
+    sc.flow = layer_flow(layer);
+    sc.dst = cfg_.sfu_node;
+    sc.fec_overhead = p.sender_fec;
+    layers_[i].sender = std::make_unique<RtpSender>(sched_, host_, sc);
+    layers_[i].sender->set_feedback_handler(
+        [this, layer](const RtcpMeta& fb) { on_layer_feedback(layer, fb); });
+
+    layers_[i].encoder->set_frame_handler([this, layer](const EncodedFrame& f) {
+      if (!running_) return;
+      if (sched_->now() < stall_until_) return;  // emulated encoder hiccup
+      if (layers_[static_cast<size_t>(layer)].sender->take_keyframe_request()) {
+        layers_[static_cast<size_t>(layer)].encoder->request_keyframe();
+      }
+      layers_[static_cast<size_t>(layer)].sender->send_frame(f);
+    });
+
+    // Uplink RTCP for this layer arrives on the same flow id.
+    host_->register_flow(layer_flow(layer), [this, layer](Packet pk) {
+      if (pk.type == PacketType::kRtcp) {
+        layers_[static_cast<size_t>(layer)].sender->handle_rtcp(pk.rtcp());
+      }
+    });
+  }
+
+  RtpSender::Config ac;
+  ac.ssrc = audio_ssrc();
+  ac.flow = audio_flow();
+  ac.dst = cfg_.sfu_node;
+  ac.media_type = PacketType::kRtpAudio;
+  audio_sender_ = std::make_unique<RtpSender>(sched_, host_, ac);
+
+  auto est_cfg = ReceiveSideEstimator::preset(
+      p.viewer_preset, std::max(DataRate::kbps(400), p.nominal_video * 0.5),
+      p.viewer_max_estimate);
+  if (p.viewer_est_increase > 0.0) {
+    est_cfg.increase_per_sec = p.viewer_est_increase;
+  }
+  if (p.viewer_est_clamp > 0.0) est_cfg.clamp_factor = p.viewer_est_clamp;
+  downlink_est_ = std::make_unique<ReceiveSideEstimator>(est_cfg);
+}
+
+void VcaClient::start() {
+  if (running_) return;
+  running_ = true;
+  const VcaProfile& p = cfg_.profile;
+
+  if (p.stall_every_mean > Duration::zero()) {
+    next_stall_ = sched_->now() +
+                  Duration::seconds_d(rng_.exponential(
+                      p.stall_every_mean.seconds()));
+  }
+
+  // Audio: a fixed-rate stream, one frame per 20 ms. Marked as keyframes
+  // so packet loss never stalls the (loss-concealing) audio decoder.
+  const int audio_payload = static_cast<int>(
+      cfg_.profile.audio_rate.bits_per_sec() / 50 / 8);
+  schedule_audio_ = [this, audio_payload]() {
+    if (!running_) return;
+    EncodedFrame f;
+    f.ssrc = audio_ssrc();
+    f.frame_id = audio_frame_id_++;
+    f.bytes = audio_payload;
+    f.keyframe = true;
+    f.fps = 50.0;
+    f.capture_time = sched_->now();
+    audio_sender_->send_frame(f);
+    sched_->schedule(Duration::millis(20), schedule_audio_);
+  };
+  schedule_audio_();
+
+  tick();
+}
+
+void VcaClient::stop() {
+  running_ = false;
+  for (auto& l : layers_) {
+    if (l.encoder) l.encoder->stop();
+    l.active = false;
+  }
+  for (auto& f : feeds_) {
+    if (f->stats) f->stats->finalize();
+  }
+}
+
+void VcaClient::request_keyframe(int layer) {
+  if (layer >= 0 && layer < static_cast<int>(layers_.size())) {
+    layers_[static_cast<size_t>(layer)].encoder->request_keyframe();
+  }
+}
+
+const EncoderSettings* VcaClient::layer_settings(int layer) const {
+  if (layer < 0 || layer >= static_cast<int>(layers_.size())) return nullptr;
+  return &layers_[static_cast<size_t>(layer)].encoder->settings();
+}
+
+int64_t VcaClient::sent_media_bytes() const {
+  int64_t total = 0;
+  for (const auto& l : layers_) {
+    total += l.sender->sent_media_bytes() + l.sender->sent_fec_bytes();
+  }
+  return total;
+}
+
+void VcaClient::on_layer_feedback(int layer, const RtcpMeta& fb) {
+  layers_[static_cast<size_t>(layer)].last_rx = fb.receive_rate;
+  // The controller reasons about the client's *aggregate* uplink: patch
+  // the per-stream receive rate with the sum across active streams, and
+  // smooth the loss signal across streams/reports — a single 100 ms
+  // report from one layer that happened to dodge the drop-tail queue must
+  // not read as "the path is clean".
+  RtcpMeta combined = fb;
+  DataRate total_rx = DataRate::zero();
+  for (const auto& l : layers_) total_rx = total_rx + l.last_rx;
+  combined.receive_rate = total_rx;
+  // Fast-attack / slow-decay smoothing: congestion onset must register
+  // within a few reports (a joining flow may not grab a "clean" first
+  // impression), while recovery is only believed once sustained.
+  loss_ewma_ = std::max(0.98 * loss_ewma_ + 0.02 * fb.loss_fraction,
+                        0.93 * loss_ewma_ + 0.07 * fb.loss_fraction);
+  combined.loss_fraction = loss_ewma_;
+  cc_->on_feedback(combined, sched_->now());
+}
+
+void VcaClient::tick() {
+  if (!running_) return;
+  const VcaProfile& p = cfg_.profile;
+  TimePoint now = sched_->now();
+
+  // Baseline encoder stalls (Teams's 3.6% unconstrained freeze ratio).
+  if (now >= next_stall_ && next_stall_ != TimePoint::infinite()) {
+    stall_until_ = now + p.stall_len;
+    next_stall_ =
+        now + Duration::seconds_d(rng_.exponential(p.stall_every_mean.seconds()));
+  }
+
+  DataRate target = cc_->target_rate(now) * p.target_margin;
+  target = std::min(target, allowed_rate_);
+  bool boosted = speaker_boost_ > 1.0 && p.speaker_uplink_anomaly;
+  if (boosted) {
+    // Teams §6.2 anomaly: pinned client's uplink scales with participants.
+    target = p.nominal_video * nominal_scale_ * speaker_boost_;
+  }
+  current_target_ = target;
+
+  StreamAllocation alloc = p.allocate(target, max_width_, ultra_low_);
+  if (boosted && !alloc.items.empty()) {
+    // The anomalous extra traffic bypasses the normal per-width encode
+    // ceiling (that is what makes it an anomaly).
+    alloc.items[0].target = target;
+  }
+
+  std::vector<bool> wanted(layers_.size(), false);
+  DataRate total_media = DataRate::zero();
+  for (const auto& item : alloc.items) {
+    auto& l = layers_[static_cast<size_t>(item.layer)];
+    wanted[static_cast<size_t>(item.layer)] = true;
+    l.encoder->set_target(item.target, max_width_);
+    total_media = total_media + item.target;
+    if (!l.active) {
+      l.active = true;
+      l.encoder->request_keyframe();
+      l.encoder->start();
+    }
+  }
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (!wanted[i] && layers_[i].active) {
+      layers_[i].encoder->stop();
+      layers_[i].active = false;
+      layers_[i].last_rx = DataRate::zero();
+    }
+  }
+
+  // Pacing: a bit above the aggregate media rate, split per stream.
+  for (const auto& item : alloc.items) {
+    auto& l = layers_[static_cast<size_t>(item.layer)];
+    l.sender->set_pacing_rate(
+        std::max(item.target * 1.15, DataRate::kbps(300)));
+  }
+
+  // Zoom probes above its encodable rate with redundant FEC packets (§4.1:
+  // "Zoom may be using redundant FEC packets to gauge capacity") — the
+  // bursts that flatten iPerf3 in Fig 13 are these. Padding only flows
+  // while the controller is in its probe cycle, not whenever the layout
+  // caps the encodable layers below the controller's target.
+  auto* zoom_cc = dynamic_cast<ZoomSenderController*>(cc_.get());
+  bool probing = zoom_cc != nullptr &&
+                 zoom_cc->state() == ZoomSenderController::State::kProbe;
+  if (p.kind == VcaKind::kZoom && probing && target > total_media &&
+      !layers_.empty()) {
+    DataRate pad_rate = target - total_media;
+    int bytes = static_cast<int>(pad_rate.bits_per_sec() *
+                                 cfg_.tick.seconds() / 8.0);
+    if (bytes > 300) {
+      layers_[0].sender->set_pacing_rate(std::max(
+          layers_[0].encoder->settings().bitrate + pad_rate * 1.5,
+          DataRate::kbps(500)));
+      layers_[0].sender->send_padding(bytes);
+    }
+  }
+
+  sched_->schedule(cfg_.tick, [this] { tick(); });
+}
+
+VcaClient::Feed& VcaClient::add_feed(FlowId flow, uint32_t ssrc,
+                                     NodeId publisher_node) {
+  auto feed = std::make_unique<Feed>();
+  feed->publisher = publisher_node;
+  RtpReceiver::Config rc;
+  rc.ssrc = ssrc;
+  rc.feedback_flow = flow;
+  rc.feedback_dst = cfg_.sfu_node;
+  rc.report_interval = cfg_.profile.feedback_interval;
+  feed->receiver = std::make_unique<RtpReceiver>(sched_, host_, rc);
+  feed->receiver->set_arrival_observer(downlink_est_.get());
+  feed->stats = std::make_unique<WebRtcStatsCollector>(sched_);
+  auto* stats = feed->stats.get();
+  feed->receiver->set_frame_handler(
+      [stats](const DecodedFrame& f) { stats->on_frame(f); });
+  auto* receiver = feed->receiver.get();
+  host_->register_flow(flow, [receiver](Packet pk) {
+    if (pk.is_media()) receiver->handle_packet(pk);
+  });
+  feeds_.push_back(std::move(feed));
+  return *feeds_.back();
+}
+
+}  // namespace vca

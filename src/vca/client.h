@@ -1,0 +1,126 @@
+// A VCA client endpoint: encodes and publishes media toward the SFU under
+// its profile's congestion controller, and receives/decodes the feeds the
+// SFU forwards to it, collecting WebRTC-style statistics per feed.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/remb.h"
+#include "cc/sender_cc.h"
+#include "core/rng.h"
+#include "core/scheduler.h"
+#include "media/encoder.h"
+#include "net/node.h"
+#include "stats/webrtc_stats.h"
+#include "transport/rtp.h"
+#include "vca/profile.h"
+
+namespace vca {
+
+class VcaClient {
+ public:
+  struct Config {
+    VcaProfile profile;
+    NodeId sfu_node = kInvalidNode;
+    // Flow ids used by this client's uplink legs. Layer i media travels on
+    // media_flow_base + i; audio on media_flow_base + kAudioFlowOffset.
+    FlowId media_flow_base = 100;
+    uint64_t seed = 1;
+    Duration tick = Duration::millis(100);
+  };
+
+  static constexpr FlowId kAudioFlowOffset = 8;
+
+  VcaClient(EventScheduler* sched, Host* host, Config cfg);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  Host* host() const { return host_; }
+  const VcaProfile& profile() const { return cfg_.profile; }
+  FlowId layer_flow(int layer) const {
+    return cfg_.media_flow_base + static_cast<FlowId>(layer);
+  }
+  FlowId audio_flow() const { return cfg_.media_flow_base + kAudioFlowOffset; }
+  uint32_t layer_ssrc(int layer) const {
+    return static_cast<uint32_t>(host_->id()) * 64 + static_cast<uint32_t>(layer);
+  }
+  uint32_t audio_ssrc() const {
+    return static_cast<uint32_t>(host_->id()) * 64 + 32;
+  }
+
+  // --- signaling inputs (set by the Call's signaling loop) ---
+  void set_encode_max_width(int w) { max_width_ = w; }
+  void set_allowed_rate(DataRate r) { allowed_rate_ = r; }  // Teams relay cap
+  void set_ultra_low(bool v) { ultra_low_ = v; }
+  void set_speaker_boost(double b) { speaker_boost_ = b; }
+  void request_keyframe(int layer);
+
+  DataRate current_target() const { return current_target_; }
+  double uplink_loss_ewma() const { return loss_ewma_; }
+  int encode_max_width() const { return max_width_; }
+  const EncoderSettings* layer_settings(int layer) const;
+  SenderCongestionController* controller() { return cc_.get(); }
+
+  // --- subscriber side ---
+  struct Feed {
+    std::unique_ptr<RtpReceiver> receiver;
+    std::unique_ptr<WebRtcStatsCollector> stats;
+    NodeId publisher = kInvalidNode;
+  };
+  // Register an incoming video feed (called by the Call when wiring the
+  // SFU's subscriptions). The feed's RTCP goes back to the SFU.
+  Feed& add_feed(FlowId flow, uint32_t ssrc, NodeId publisher_node);
+  const std::vector<std::unique_ptr<Feed>>& feeds() const { return feeds_; }
+  ReceiveSideEstimator* downlink_estimator() { return downlink_est_.get(); }
+
+  int64_t sent_media_bytes() const;
+
+ private:
+  void tick();
+  void on_layer_feedback(int layer, const RtcpMeta& fb);
+
+  EventScheduler* sched_;
+  Host* host_;
+  Config cfg_;
+  Rng rng_;
+
+  std::unique_ptr<SenderCongestionController> cc_;
+
+  struct Layer {
+    std::unique_ptr<AdaptiveEncoder> encoder;
+    std::unique_ptr<RtpSender> sender;
+    bool active = false;
+    DataRate last_rx;  // per-stream receive rate from the latest report
+  };
+  std::vector<Layer> layers_;
+  double loss_ewma_ = 0.0;  // aggregate uplink loss across streams
+
+  std::unique_ptr<RtpSender> audio_sender_;
+  uint64_t audio_frame_id_ = 0;
+  std::function<void()> schedule_audio_;
+
+  std::unique_ptr<ReceiveSideEstimator> downlink_est_;
+  std::vector<std::unique_ptr<Feed>> feeds_;
+
+  int max_width_ = 1280;
+  DataRate allowed_rate_ = DataRate::mbps(1000);
+  bool ultra_low_ = false;
+  double speaker_boost_ = 1.0;
+  DataRate current_target_;
+
+  // Per-run draws (the across-experiment variability in the paper's CIs).
+  double nominal_scale_ = 1.0;
+
+  // Baseline stall emulation (Teams, §3.2).
+  TimePoint stall_until_;
+  TimePoint next_stall_ = TimePoint::infinite();
+
+  bool running_ = false;
+};
+
+}  // namespace vca

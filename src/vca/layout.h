@@ -1,0 +1,80 @@
+// Viewing-mode and layout logic (§6).
+//
+// Each viewer's screen layout determines the video resolution it wants
+// from every publisher; the publisher's encoder (and the SFU's stream
+// selection) obey the *maximum* requested across viewers. This is the
+// mechanism behind the paper's Fig. 15: adding participants shrinks tiles,
+// shrinking tiles lowers requested resolutions, and that lowers *everyone
+// else's uplink*.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+enum class ViewMode {
+  kGallery,  // all participants tiled
+  kSpeaker,  // one participant pinned large
+};
+
+enum class VcaKind { kMeet, kTeams, kZoom };
+
+// Screen geometry of the paper's laptops (Dell Latitude 3300).
+constexpr int kScreenWidth = 1366;
+constexpr int kScreenHeight = 768;
+
+// Resolution ladder request given a tile width in pixels.
+inline int width_request_for_tile(int tile_width) {
+  if (tile_width >= 1000) return 1280;
+  if (tile_width >= 600) return 640;
+  if (tile_width >= 280) return 320;
+  return 180;
+}
+
+// The video width viewer `viewer` requests from publisher `publisher` in a
+// call with `participants` total clients. In speaker mode, `pinned` says
+// whether this publisher is the one pinned by the viewer.
+inline int requested_width(VcaKind kind, int participants, ViewMode mode,
+                           bool pinned) {
+  if (participants <= 2) {
+    // Two-party call: the remote video fills the window.
+    return 1280;
+  }
+  if (mode == ViewMode::kSpeaker) {
+    // Pinned video is large; everyone else is a thumbnail strip.
+    return pinned ? 1280 : 180;
+  }
+  switch (kind) {
+    case VcaKind::kZoom: {
+      // Zoom tiles *all* n participants (self included) in a near-square
+      // grid: 2x2 up to 4, a third column from 5 (the paper's n=5 knee).
+      int cols = static_cast<int>(std::ceil(std::sqrt(participants)));
+      int tile = kScreenWidth / std::max(1, cols);
+      return width_request_for_tile(tile);
+    }
+    case VcaKind::kMeet: {
+      // Meet keeps medium tiles longer; the paper observes the uplink
+      // reduction at n = 7 (§6.1), i.e. once more than 6 are tiled.
+      return participants <= 6 ? 640 : 320;
+    }
+    case VcaKind::kTeams: {
+      // Teams on Linux has a fixed 2x2 layout: tiles never shrink, so the
+      // requested width never changes with n (§6.1: "upstream utilization
+      // remains almost constant").
+      return 640;
+    }
+  }
+  return 640;
+}
+
+// How many remote videos the viewer actually displays (and therefore how
+// many feeds the SFU forwards to it).
+inline int displayed_feeds(VcaKind kind, int participants, ViewMode mode) {
+  int remote = participants - 1;
+  if (mode == ViewMode::kSpeaker) return remote;  // pinned + thumbnails
+  if (kind == VcaKind::kTeams) return std::min(4, remote);  // fixed 4-tile grid
+  return remote;
+}
+
+}  // namespace vca

@@ -1,0 +1,110 @@
+// Per-VCA behavioral profiles.
+//
+// A VcaProfile is the complete parameterization of one application
+// (and platform variant): congestion controller, streaming architecture,
+// stream/layer ladder, encoder adaptation policy, FEC strategy, estimator
+// aggressiveness, and the per-run variability knobs. Everything the paper
+// attributes to "proprietary design differences" (§2.1) is data here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cc/remb.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "media/encoder.h"
+#include "vca/layout.h"
+
+namespace vca {
+
+enum class Platform { kNative, kChrome };
+
+enum class Architecture {
+  kRelay,          // Teams: server forwards; rate control is end-to-end
+  kSimulcastSfu,   // Meet: sender uploads multiple copies; server selects
+  kSvcSfu,         // Zoom: layered coding; server selects layers, adds FEC
+};
+
+// One simulcast copy (Meet) or SVC layer (Zoom) or the single stream (Teams).
+struct LayerSpec {
+  int width = 640;          // native encode width of this layer
+  DataRate rate;            // nominal rate of this layer at full quality
+  int min_request_width = 0;  // layer active only if a viewer wants >= this
+};
+
+// Result of splitting the congestion-controlled budget across layers.
+struct StreamAllocation {
+  struct Item {
+    int layer = 0;
+    DataRate target;
+    bool ultra_low = false;  // Meet low-stream quirk variant (§3.2)
+  };
+  std::vector<Item> items;
+};
+
+struct VcaProfile {
+  std::string name;
+  VcaKind kind = VcaKind::kMeet;
+  Platform platform = Platform::kNative;
+  Architecture arch = Architecture::kSimulcastSfu;
+
+  std::string cc_name = "gcc";
+  DataRate nominal_video;              // CC ceiling (sum of layer payloads)
+  DataRate start_rate = DataRate::kbps(500);
+  DataRate audio_rate = DataRate::kbps(32);
+
+  double sender_fec = 0.0;             // client-side FEC overhead (Zoom)
+  double server_fec = 0.0;             // SFU adds FEC downstream (Zoom, §3.1)
+
+  std::vector<LayerSpec> layers;
+
+  ReceiveSideEstimator::Preset viewer_preset = ReceiveSideEstimator::Preset::kGcc;
+  ReceiveSideEstimator::Preset sfu_uplink_preset =
+      ReceiveSideEstimator::Preset::kGcc;
+  DataRate viewer_max_estimate = DataRate::mbps(4);  // total downlink appetite
+  // Optional growth-rate overrides on the presets (0 = keep the preset's).
+  // Meet's viewer estimate climbs fast (sub-10 s downlink recovery, Fig 5b)
+  // while its uplink REMB at the SFU recovers on the ~20 s scale (Fig 4b).
+  double viewer_est_increase = 0.0;
+  double sfu_est_increase = 0.0;
+  // Growth ceiling (x receive rate) for the viewer estimate; Meet's tight
+  // ceiling is what pins its constrained downlink at the low simulcast
+  // copy (Fig 1b) — upgrades happen only when probe padding survives.
+  double viewer_est_clamp = 0.0;
+
+  // Per-run variability: lognormal sigma applied to the encoder's rate
+  // mapping and to the nominal target. Teams' wide confidence bands in
+  // Figs. 1-2 come from large values here.
+  double encoder_run_sd = 0.04;
+  double nominal_run_sd = 0.0;
+
+  // Baseline encoder hiccups. Teams shows a 3.6% freeze ratio even on an
+  // unconstrained link (§3.2, Fig 3a) — emulated as sporadic encode stalls.
+  Duration stall_every_mean = Duration::zero();  // zero = no stalls
+  Duration stall_len = Duration::zero();
+
+  // Browser clients of Teams use noticeably less bandwidth than native
+  // (Fig 1c); modeled as a safety margin on the CC target.
+  double target_margin = 1.0;
+
+  // Teams anomaly (§6.2): pinned client's uplink grows with participant
+  // count even though all traffic goes to one server.
+  bool speaker_uplink_anomaly = false;
+
+  Duration feedback_interval = Duration::millis(100);
+
+  // --- behavior ---
+  EncoderPolicy policy_for_layer(int layer) const;
+  StreamAllocation allocate(DataRate total, int max_width, bool ultra_low) const;
+  // Receiver-driven encode ceiling for a given requested width.
+  DataRate width_rate_cap(int max_width) const;
+};
+
+// Factory: "meet", "teams", "zoom", "teams-chrome", "zoom-chrome".
+VcaProfile vca_profile(const std::string& name);
+
+// All profile names, in the order the paper's tables list them.
+std::vector<std::string> all_profile_names();
+
+}  // namespace vca

@@ -1,0 +1,310 @@
+#include "vca/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encoder adaptation policies (§3.2, Fig 2). These map a bitrate budget to
+// the (width, fps, QP) triple that the WebRTC stats would report.
+// ---------------------------------------------------------------------------
+
+// Meet low simulcast copy: 320x180, 30 fps. QP sits near 38; the paper
+// observes an unexplained *drop* to 33 at very low rates (the ultra-low
+// variant, §3.2: "not clear why the quantization parameter reduces from 38
+// to 33 at 0.3 Mbps"). Under uplink pressure this copy absorbs the whole
+// budget and Meet trims fps and QP instead (Fig 2d-e at 0.3-0.4 Mbps).
+EncoderSettings meet_low_policy(DataRate target, int /*max_width*/) {
+  EncoderSettings s;
+  s.width = 320;
+  s.bitrate = target;
+  double kbps = target.kbps_f();
+  if (kbps <= 125.0) {
+    s.qp = 33;  // emulated quirk
+    s.fps = 30.0;
+  } else {
+    s.qp = std::clamp(38 - static_cast<int>((kbps - 150.0) / 20.0), 28, 38);
+    s.fps = kbps > 200.0 ? 24.0 : 30.0;
+  }
+  return s;
+}
+
+// Meet high simulcast copy: 640x360 at ~0.7 Mbps, QP-first degradation
+// under uplink pressure (Fig 2e), fps stays 30 at the sender (temporal
+// thinning happens at the SFU).
+EncoderSettings meet_high_policy(DataRate target, int max_width) {
+  EncoderSettings s;
+  s.width = std::min(640, max_width);
+  s.fps = 30.0;
+  s.bitrate = target;
+  double kbps = target.kbps_f();
+  s.qp = std::clamp(30 + static_cast<int>((700.0 - kbps) / 25.0), 24, 40);
+  return s;
+}
+
+// Teams: a single stream that degrades width, fps and QP together, with
+// the paper's emulated bug: frame width *increases* again once the budget
+// falls to ~0.3 Mbps (§3.2: "the frame width increases as uplink capacity
+// is reduced to 0.3 Mbps ... suggesting a poor design decision or
+// implementation bug"), which in turn causes freezes and FIRs (Fig 3b).
+EncoderSettings teams_policy(DataRate target, int max_width) {
+  EncoderSettings s;
+  double kbps = target.kbps_f();
+  int ladder;
+  if (kbps >= 1150) {
+    ladder = 1280;
+  } else if (kbps >= 850) {
+    ladder = 960;
+  } else if (kbps >= 550) {
+    ladder = 640;
+  } else if (kbps >= 350) {
+    ladder = 480;
+  } else if (kbps >= 320) {
+    ladder = 320;
+  } else {
+    ladder = 960;  // emulated width bug below ~0.32 Mbps
+  }
+  // The bug case ignores the viewer's requested width entirely.
+  s.width = kbps < 320 ? 960 : std::min(ladder, max_width);
+  s.fps = std::clamp(18.0 + 12.0 * kbps / 1300.0, 12.0, 30.0);
+  s.qp = std::clamp(26 + static_cast<int>((1300.0 - kbps) / 40.0), 24, 45);
+  s.bitrate = target;
+  return s;
+}
+
+// Zoom SVC layers (not observable via WebRTC stats in the paper, but
+// modeled for completeness): base 180p, +360p, +720p enhancement.
+EncoderSettings zoom_layer_policy(int layer, DataRate target) {
+  EncoderSettings s;
+  static constexpr int kWidths[] = {180, 360, 1280};
+  s.width = kWidths[std::clamp(layer, 0, 2)];
+  s.fps = 30.0;
+  s.qp = 32 - 2 * layer;
+  s.bitrate = target;
+  return s;
+}
+
+VcaProfile meet_base() {
+  VcaProfile p;
+  p.name = "meet";
+  p.kind = VcaKind::kMeet;
+  p.arch = Architecture::kSimulcastSfu;
+  p.cc_name = "gcc";
+  // Two copies observed in the paper: 320x180 and 640x360 (§3.1).
+  p.layers = {
+      {.width = 320, .rate = DataRate::kbps(150), .min_request_width = 0},
+      {.width = 640, .rate = DataRate::kbps(700), .min_request_width = 640},
+  };
+  p.nominal_video = DataRate::kbps(850);
+  p.start_rate = DataRate::kbps(500);
+  p.viewer_preset = ReceiveSideEstimator::Preset::kGcc;
+  p.sfu_uplink_preset = ReceiveSideEstimator::Preset::kGcc;
+  p.viewer_max_estimate = DataRate::kbps(2600);
+  p.viewer_est_increase = 0.22;  // fast simulcast switch-up (Fig 5b)
+  p.sfu_est_increase = 0.085;    // ~20 s uplink recovery scale (Fig 4b)
+  p.viewer_est_clamp = 1.2;      // low-copy plateau under constraint (Fig 1b)
+  p.encoder_run_sd = 0.04;
+  return p;
+}
+
+VcaProfile teams_base() {
+  VcaProfile p;
+  p.name = "teams";
+  p.kind = VcaKind::kTeams;
+  p.arch = Architecture::kRelay;
+  p.cc_name = "teams";
+  p.layers = {{.width = 1280, .rate = DataRate::kbps(1300), .min_request_width = 0}};
+  p.nominal_video = DataRate::kbps(1300);
+  p.start_rate = DataRate::kbps(600);
+  p.viewer_preset = ReceiveSideEstimator::Preset::kConservative;
+  p.sfu_uplink_preset = ReceiveSideEstimator::Preset::kGcc;
+  p.viewer_max_estimate = DataRate::mbps(4);
+  // Wide run-to-run variability (large CIs in Figs 1-2, and the Table 2
+  // upstream/downstream asymmetry the paper attributes to variance).
+  p.encoder_run_sd = 0.10;
+  p.nominal_run_sd = 0.16;
+  // Baseline 3.6% freeze ratio (Fig 3a at unconstrained capacity).
+  p.stall_every_mean = Duration::seconds(18);
+  p.stall_len = Duration::millis(650);
+  p.speaker_uplink_anomaly = true;
+  return p;
+}
+
+VcaProfile zoom_base() {
+  VcaProfile p;
+  p.name = "zoom";
+  p.kind = VcaKind::kZoom;
+  p.arch = Architecture::kSvcSfu;
+  p.cc_name = "zoom";
+  p.layers = {
+      {.width = 180, .rate = DataRate::kbps(120), .min_request_width = 0},
+      {.width = 360, .rate = DataRate::kbps(280), .min_request_width = 320},
+      {.width = 1280, .rate = DataRate::kbps(330), .min_request_width = 640},
+  };
+  p.nominal_video = DataRate::kbps(680);
+  // Zoom joins calls at a low rate and climbs: under a congested link the
+  // climb stays paused, which is what starves a joining Zoom client
+  // against an incumbent one (Fig 9a).
+  p.start_rate = DataRate::kbps(150);
+  p.sender_fec = 0.05;
+  p.server_fec = 0.18;  // the §3.1 upstream/downstream asymmetry
+  p.viewer_preset = ReceiveSideEstimator::Preset::kAggressive;
+  p.sfu_uplink_preset = ReceiveSideEstimator::Preset::kAggressive;
+  p.viewer_max_estimate = DataRate::mbps(3);
+  p.encoder_run_sd = 0.04;
+  return p;
+}
+
+}  // namespace
+
+EncoderPolicy VcaProfile::policy_for_layer(int layer) const {
+  switch (kind) {
+    case VcaKind::kMeet:
+      return layer == 0 ? EncoderPolicy(meet_low_policy)
+                        : EncoderPolicy(meet_high_policy);
+    case VcaKind::kTeams:
+      return teams_policy;
+    case VcaKind::kZoom:
+      return [layer](DataRate target, int) {
+        return zoom_layer_policy(layer, target);
+      };
+  }
+  return meet_high_policy;
+}
+
+DataRate VcaProfile::width_rate_cap(int max_width) const {
+  // Receiver-driven encode ceiling: no VCA spends full bitrate on a video
+  // nobody displays larger than a small tile.
+  if (kind == VcaKind::kTeams) {
+    if (max_width >= 1280) return DataRate::kbps(1400);
+    if (max_width >= 960) return DataRate::kbps(1100);
+    if (max_width >= 640) return DataRate::kbps(900);
+    if (max_width >= 480) return DataRate::kbps(550);
+    if (max_width >= 320) return DataRate::kbps(300);
+    return DataRate::kbps(150);
+  }
+  // Meet/Zoom gate whole layers instead; cap is effectively unbounded.
+  return DataRate::mbps(10);
+}
+
+StreamAllocation VcaProfile::allocate(DataRate total, int max_width,
+                                      bool ultra_low) const {
+  StreamAllocation out;
+  switch (kind) {
+    case VcaKind::kTeams: {
+      DataRate t = std::min(total, width_rate_cap(max_width));
+      out.items.push_back({.layer = 0, .target = t, .ultra_low = false});
+      return out;
+    }
+    case VcaKind::kMeet: {
+      const DataRate low_full =
+          ultra_low ? DataRate::kbps(110) : layers[0].rate;
+      // High copy needs a viewer that wants >= 640 and leftover budget.
+      DataRate hi_cap = max_width >= 960 ? DataRate::kbps(850)
+                                         : DataRate::kbps(720);
+      bool high_ok = max_width >= layers[1].min_request_width &&
+                     total >= DataRate::kbps(460);
+      if (high_ok) {
+        DataRate hi = std::min(total - low_full, hi_cap);
+        out.items.push_back({.layer = 0, .target = low_full, .ultra_low = ultra_low});
+        out.items.push_back({.layer = 1, .target = hi, .ultra_low = false});
+      } else {
+        // Low copy absorbs the whole (small) budget — this is where Meet's
+        // >90% uplink utilization at 0.3-0.5 Mbps comes from (Fig 1a), and
+        // the width/fps reduction of Fig 2d-f. When every viewer's tile is
+        // tiny (gallery with 7+ participants), there is nothing to spend
+        // the budget on: the uplink collapses to ~0.2 Mbps (Fig 15b, n=7).
+        DataRate cap =
+            max_width <= 320 ? DataRate::kbps(180) : DataRate::kbps(420);
+        DataRate lo = std::clamp(total, DataRate::kbps(80), cap);
+        out.items.push_back({.layer = 0, .target = lo, .ultra_low = ultra_low});
+      }
+      return out;
+    }
+    case VcaKind::kZoom: {
+      // Activate layers bottom-up while they fit; the top active layer
+      // absorbs the remaining budget (Zoom's encoder tracks its target
+      // closely across SVC layers, §4.2). A layout that gates out upper
+      // layers also caps the spend — this is the n=5 uplink knee of
+      // Fig 15b (0.8 -> 0.4 Mbps when tiles shrink below 640).
+      DataRate width_cap = DataRate::zero();
+      for (const auto& l : layers) {
+        if (max_width >= l.min_request_width) width_cap = width_cap + l.rate;
+      }
+      total = std::min(total, width_cap * 1.05);
+      DataRate committed = DataRate::zero();
+      int top = -1;
+      for (size_t i = 0; i < layers.size(); ++i) {
+        if (max_width < layers[i].min_request_width) break;
+        if (i > 0 && committed + layers[i].rate * 0.6 > total) break;
+        out.items.push_back({.layer = static_cast<int>(i),
+                             .target = layers[i].rate,
+                             .ultra_low = false});
+        committed = committed + layers[i].rate;
+        top = static_cast<int>(i);
+      }
+      if (top >= 0) {
+        DataRate lower = committed - layers[static_cast<size_t>(top)].rate;
+        DataRate spec = layers[static_cast<size_t>(top)].rate;
+        DataRate remainder = total > lower ? total - lower : DataRate::kbps(50);
+        out.items.back().target =
+            std::clamp(remainder, spec * 0.5, spec * 1.4);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+VcaProfile vca_profile(const std::string& name) {
+  if (name == "meet") return meet_base();
+  if (name == "teams") return teams_base();
+  if (name == "zoom") return zoom_base();
+  if (name == "teams-chrome") {
+    VcaProfile p = teams_base();
+    p.name = "teams-chrome";
+    p.platform = Platform::kChrome;
+    // Browser client uses ~72% of the native client's rate at the same
+    // capacity (Fig 1c: 0.61 vs 0.84 Mbps under 1 Mbps shaping).
+    p.target_margin = 0.72;
+    p.nominal_run_sd = 0.12;
+    return p;
+  }
+  if (name == "zoom-chrome") {
+    VcaProfile p = zoom_base();
+    p.name = "zoom-chrome";
+    p.platform = Platform::kChrome;
+    // Paper: Zoom's utilization is similar across native and browser.
+    return p;
+  }
+  // --- ablation variants (bench_ablation) ---
+  if (name == "zoom-noprobe") {
+    VcaProfile p = zoom_base();
+    p.name = "zoom-noprobe";
+    p.cc_name = "zoom-noprobe";
+    return p;
+  }
+  if (name == "teams-gcc") {
+    VcaProfile p = teams_base();
+    p.name = "teams-gcc";
+    p.cc_name = "gcc";
+    return p;
+  }
+  if (name == "meet-nosimulcast") {
+    VcaProfile p = meet_base();
+    p.name = "meet-nosimulcast";
+    p.layers = {{.width = 640, .rate = DataRate::kbps(850),
+                 .min_request_width = 0}};
+    return p;
+  }
+  return meet_base();
+}
+
+std::vector<std::string> all_profile_names() {
+  return {"meet", "teams", "zoom", "teams-chrome", "zoom-chrome"};
+}
+
+}  // namespace vca

@@ -1,0 +1,427 @@
+#include "vca/sfu.h"
+
+#include <algorithm>
+
+namespace vca {
+
+SfuServer::SfuServer(EventScheduler* sched, Host* host, Config cfg)
+    : sched_(sched), host_(host), cfg_(std::move(cfg)) {}
+
+void SfuServer::start() {
+  if (started_) return;
+  started_ = true;
+  tick();
+}
+
+void SfuServer::add_publisher(VcaClient* client) {
+  auto leg = std::make_unique<PublisherLeg>();
+  leg->client = client;
+  auto est_cfg = ReceiveSideEstimator::preset(
+      cfg_.profile.sfu_uplink_preset, DataRate::kbps(500), DataRate::mbps(10));
+  if (cfg_.profile.sfu_est_increase > 0.0) {
+    est_cfg.increase_per_sec = cfg_.profile.sfu_est_increase;
+  }
+  leg->uplink_estimator = std::make_unique<ReceiveSideEstimator>(est_cfg);
+
+  const size_t n_layers = cfg_.profile.layers.size();
+  leg->latest.resize(n_layers);
+  leg->has_latest.assign(n_layers, false);
+  PublisherLeg* raw = leg.get();
+
+  for (size_t i = 0; i < n_layers; ++i) {
+    int layer = static_cast<int>(i);
+    RtpReceiver::Config rc;
+    rc.ssrc = client->layer_ssrc(layer);
+    rc.feedback_flow = client->layer_flow(layer);
+    rc.feedback_dst = client->host()->id();
+    rc.report_interval = cfg_.profile.feedback_interval;
+    auto receiver = std::make_unique<RtpReceiver>(sched_, host_, rc);
+    receiver->set_arrival_observer(raw->uplink_estimator.get());
+    receiver->set_frame_handler([this, raw, layer](const DecodedFrame& f) {
+      on_video_frame(raw, layer, f);
+    });
+    RtpReceiver* recv = receiver.get();
+    host_->register_flow(client->layer_flow(layer), [recv](Packet pk) {
+      if (pk.is_media()) recv->handle_packet(pk);
+    });
+    leg->layer_receivers.push_back(std::move(receiver));
+  }
+
+  RtpReceiver::Config ac;
+  ac.ssrc = client->audio_ssrc();
+  ac.feedback_flow = client->audio_flow();
+  ac.feedback_dst = client->host()->id();
+  ac.enable_nack = false;
+  ac.fir_after = Duration::seconds(3600);
+  leg->audio_receiver = std::make_unique<RtpReceiver>(sched_, host_, ac);
+  leg->audio_receiver->set_frame_handler(
+      [this, raw](const DecodedFrame& f) { on_audio_frame(raw, f); });
+  RtpReceiver* arecv = leg->audio_receiver.get();
+  host_->register_flow(client->audio_flow(), [arecv](Packet pk) {
+    if (pk.is_media()) arecv->handle_packet(pk);
+  });
+
+  legs_.push_back(std::move(leg));
+}
+
+void SfuServer::subscribe(VcaClient* viewer, VcaClient* publisher,
+                          FlowId video_flow, FlowId audio_flow) {
+  PublisherLeg* leg = nullptr;
+  for (auto& l : legs_) {
+    if (l->client == publisher) leg = l.get();
+  }
+  if (leg == nullptr) return;
+
+  auto sub = std::make_unique<Subscription>();
+  sub->viewer = viewer;
+  sub->leg = leg;
+  sub->viewer_remb = DataRate::kbps(400);
+
+  RtpSender::Config vc;
+  vc.ssrc = video_flow;  // unique per subscription by construction
+  vc.flow = video_flow;
+  vc.dst = viewer->host()->id();
+  vc.pacing_rate = DataRate::mbps(8);
+  vc.fec_overhead = cfg_.profile.server_fec;  // Zoom server-side FEC (§3.1)
+  sub->video_sender = std::make_unique<RtpSender>(sched_, host_, vc);
+
+  RtpSender::Config ac;
+  ac.ssrc = video_flow + 1000000;
+  ac.flow = audio_flow;
+  ac.dst = viewer->host()->id();
+  ac.media_type = PacketType::kRtpAudio;
+  sub->audio_sender = std::make_unique<RtpSender>(sched_, host_, ac);
+
+  // Viewer RTCP for this feed arrives on the video flow.
+  Subscription* raw = sub.get();
+  host_->register_flow(video_flow, [this, raw](Packet pk) {
+    if (pk.type != PacketType::kRtcp) return;
+    const RtcpMeta& fb = pk.rtcp();
+    if (!fb.remb.is_zero()) raw->viewer_remb = fb.remb;
+    if (!fb.receive_rate.is_zero()) raw->viewer_rx = fb.receive_rate;
+    raw->viewer_loss = fb.loss_fraction;
+    raw->viewer_qd_ms = fb.queuing_delay_ms;
+    raw->video_sender->handle_rtcp(fb);
+    if (raw->video_sender->take_keyframe_request()) {
+      // Propagate the viewer's FIR upstream to the real encoder.
+      int layer = cfg_.profile.kind == VcaKind::kMeet ? raw->selected_stream : 0;
+      raw->leg->client->request_keyframe(layer);
+    }
+  });
+
+  // Defaults depend on architecture.
+  if (cfg_.profile.kind == VcaKind::kMeet) {
+    sub->selected_stream = static_cast<int>(cfg_.profile.layers.size()) - 1;
+  } else if (cfg_.profile.kind == VcaKind::kZoom) {
+    sub->active_layers = static_cast<int>(cfg_.profile.layers.size());
+  }
+  subs_.push_back(std::move(sub));
+}
+
+void SfuServer::set_desired_width(VcaClient* viewer, VcaClient* publisher,
+                                  int width) {
+  for (auto& s : subs_) {
+    if (s->viewer == viewer && s->leg->client == publisher) {
+      s->desired_width = width;
+    }
+  }
+}
+
+void SfuServer::set_pinned(VcaClient* viewer, VcaClient* publisher, bool pinned) {
+  for (auto& s : subs_) {
+    if (s->viewer == viewer && s->leg->client == publisher) s->pinned = pinned;
+  }
+}
+
+void SfuServer::on_video_frame(PublisherLeg* leg, int layer,
+                               const DecodedFrame& f) {
+  leg->latest[static_cast<size_t>(layer)] = f;
+  leg->has_latest[static_cast<size_t>(layer)] = true;
+
+  for (auto& s : subs_) {
+    if (s->leg != leg) continue;
+    switch (cfg_.profile.kind) {
+      case VcaKind::kTeams: {
+        DecodedFrame out = f;
+        // Emulated §6.1 anomaly: large Teams calls thin the relayed
+        // stream even though the publisher's uplink is unchanged.
+        s->temporal_divisor = relay_divisor_;
+        forward(*s, out, /*thinnable=*/true);
+        break;
+      }
+      case VcaKind::kMeet: {
+        if (layer != s->selected_stream) break;
+        forward(*s, f, /*thinnable=*/true);
+        break;
+      }
+      case VcaKind::kZoom: {
+        // Composite SVC forwarding, triggered by base-layer frames:
+        // byte count is the sum of the active layers; reported quality is
+        // the top active layer's.
+        if (layer != 0) break;
+        DecodedFrame out = f;
+        int top = 0;
+        for (int l = 1; l < s->active_layers &&
+                        l < static_cast<int>(leg->latest.size());
+             ++l) {
+          if (!leg->has_latest[static_cast<size_t>(l)]) continue;
+          const DecodedFrame& lf = leg->latest[static_cast<size_t>(l)];
+          // Only combine fresh enhancement frames (the encoder may have
+          // stopped a layer under uplink pressure).
+          if (sched_->now() - lf.delivered_at > Duration::millis(150)) continue;
+          out.bytes += lf.bytes;
+          top = l;
+        }
+        const DecodedFrame& top_frame = leg->latest[static_cast<size_t>(top)];
+        out.width = top_frame.width;
+        out.qp = top_frame.qp;
+        forward(*s, out, /*thinnable=*/false);
+        break;
+      }
+    }
+  }
+}
+
+void SfuServer::forward(Subscription& sub, const DecodedFrame& f,
+                        bool thinnable) {
+  if (thinnable && sub.temporal_divisor > 1 && !f.keyframe) {
+    if (++sub.thinning_counter % static_cast<uint64_t>(sub.temporal_divisor) != 0) {
+      return;
+    }
+  }
+  EncodedFrame out;
+  out.ssrc = sub.video_sender->ssrc();
+  out.frame_id = sub.next_video_frame++;
+  out.bytes = f.bytes;
+  out.keyframe = f.keyframe;
+  out.spatial_layer = f.spatial_layer;
+  out.width = f.width;
+  out.fps = sub.temporal_divisor > 1 ? f.fps / sub.temporal_divisor : f.fps;
+  out.qp = f.qp;
+  out.capture_time = f.capture_time;
+  sub.video_sender->send_frame(out);
+}
+
+void SfuServer::on_audio_frame(PublisherLeg* leg, const DecodedFrame& f) {
+  for (auto& s : subs_) {
+    if (s->leg != leg) continue;
+    EncodedFrame out;
+    out.ssrc = s->audio_sender->ssrc();
+    out.frame_id = s->next_audio_frame++;
+    out.bytes = f.bytes;
+    out.keyframe = true;
+    out.fps = f.fps;
+    out.capture_time = f.capture_time;
+    s->audio_sender->send_frame(out);
+  }
+}
+
+void SfuServer::tick() {
+  // Split each viewer's downlink estimate across its feeds, then update
+  // per-subscription stream/layer selection.
+  std::map<VcaClient*, std::vector<Subscription*>> by_viewer;
+  for (auto& s : subs_) by_viewer[s->viewer].push_back(s.get());
+
+  for (auto& [viewer, subs] : by_viewer) {
+    DataRate budget = subs.front()->viewer_remb;
+    bool has_pinned = false;
+    for (auto* s : subs) has_pinned |= s->pinned;
+    int n = static_cast<int>(subs.size());
+    for (auto* s : subs) {
+      if (has_pinned) {
+        s->share = s->pinned ? budget * 0.75
+                             : budget * (0.25 / std::max(1, n - 1));
+      } else {
+        s->share = budget * (1.0 / n);
+      }
+      update_selection(*s);
+      maybe_probe(*s);
+    }
+  }
+  sched_->schedule(cfg_.tick, [this] { tick(); });
+}
+
+void SfuServer::maybe_probe(Subscription& sub) {
+  // The viewer's delay-based estimate is clamped to ~1.5x what actually
+  // arrives, so after a downgrade it can never climb back by itself.
+  // Real SFUs (and Zoom's server, with FEC) send probe padding to let the
+  // estimate grow — this is what makes Meet/Zoom downlink recovery fast
+  // (Fig 5b) while relay-only Teams stays slow.
+  const VcaProfile& p = cfg_.profile;
+  if (p.kind == VcaKind::kTeams) return;
+  if (sub.viewer_loss > 0.05) return;  // genuinely congested: do not pile on
+
+  if (p.kind == VcaKind::kTeams) return;
+
+  // Is there anything to upgrade to?
+  bool wants_upgrade = false;
+  if (p.kind == VcaKind::kMeet) {
+    const int top = static_cast<int>(p.layers.size()) - 1;
+    bool width_ok = sub.desired_width >= p.layers.back().min_request_width;
+    wants_upgrade =
+        width_ok && !(sub.selected_stream == top && sub.temporal_divisor == 1);
+  } else {  // Zoom
+    int max_layers = 0;
+    for (const auto& l : p.layers) {
+      if (sub.desired_width < l.min_request_width) break;
+      ++max_layers;
+    }
+    wants_upgrade = sub.active_layers < max_layers;
+  }
+  TimePoint now = sched_->now();
+  if (!wants_upgrade) return;
+
+  // A growing standing queue at the viewer means the probe is the problem:
+  // stop pushing.
+  if (sub.viewer_qd_ms > 40.0) {
+    sub.cooldown_until = now + Duration::seconds(3);
+    return;
+  }
+
+  // Probe cycle: pad continuously while the path looks clean, abort the
+  // moment the viewer reports loss, then cool down before retrying. On a
+  // genuinely constrained link every probe dies within a feedback interval
+  // and the mean utilization stays pinned near the low tier (Fig 1b's
+  // Meet plateau); after a disruption *ends*, probes run uninterrupted and
+  // the viewer's estimate climbs to the upgrade threshold within seconds
+  // (Fig 5b's fast Meet/Zoom downlink recovery).
+  if (sub.viewer_loss > 0.03) {
+    sub.cooldown_until =
+        now + (p.kind == VcaKind::kZoom ? Duration::seconds(2)
+                                        : Duration::seconds(3));
+    return;
+  }
+  if (now < sub.cooldown_until) return;
+
+  double factor = p.kind == VcaKind::kZoom ? 0.5 : 0.6;
+  int bytes = static_cast<int>(sub.share.bits_per_sec() * factor *
+                               cfg_.tick.seconds() / 8.0);
+  if (bytes > 0) sub.video_sender->send_padding(bytes);
+}
+
+void SfuServer::update_selection(Subscription& sub) {
+  const VcaProfile& p = cfg_.profile;
+  double kbps = sub.share.kbps_f();
+
+  switch (p.kind) {
+    case VcaKind::kTeams:
+      break;  // relay: nothing to select
+    case VcaKind::kMeet: {
+      // Desired state from the budget: full high copy, thinned high copy,
+      // or the low copy (Fig 1b's 39-70% utilization knee; Fig 2a's fps
+      // staircase between 0.7 and 1.0 Mbps).
+      const int top = static_cast<int>(p.layers.size()) - 1;
+      int want_stream;
+      int want_div = 1;
+      bool width_ok = sub.desired_width >= p.layers.back().min_request_width;
+      // Upgrades must be *validated*: the viewer has to have demonstrably
+      // received at the next tier's rate (probe padding supplies the extra
+      // bytes). An estimate inflated by slow creep is not enough — this is
+      // what pins a constrained downlink at the low copy (Fig 1b).
+      double rx_kbps = sub.viewer_rx.kbps_f();
+      if (width_ok && kbps >= 730.0) {
+        want_stream = top;
+      } else if (width_ok && kbps >= 500.0) {
+        want_stream = top;
+        want_div = 2;
+      } else {
+        want_stream = 0;
+        if (top == 0 && kbps < 500.0) want_div = 2;  // single-stream ablation
+      }
+      auto rank = [](int stream, int div) { return stream == 0 ? 0 : (div > 1 ? 1 : 2); };
+      if (rank(want_stream, want_div) > rank(sub.selected_stream, sub.temporal_divisor)) {
+        double need = want_div > 1 ? 500.0 : 730.0;
+        if (rx_kbps < need * 1.02) {
+          want_stream = sub.selected_stream;
+          want_div = sub.temporal_divisor;
+        }
+      }
+      sub.wants_ultra_low = kbps < 170.0;
+      if (want_stream != sub.selected_stream || want_div != sub.temporal_divisor) {
+        if (++sub.debounce >= 3) {  // ~300 ms of hysteresis
+          bool stream_changed = want_stream != sub.selected_stream;
+          sub.selected_stream = want_stream;
+          sub.temporal_divisor = want_div;
+          sub.debounce = 0;
+          if (stream_changed) sub.leg->client->request_keyframe(want_stream);
+        }
+      } else {
+        sub.debounce = 0;
+      }
+      break;
+    }
+    case VcaKind::kZoom: {
+      // Keep adding layers while the cumulative nominal rate fits.
+      double cum = 0.0;
+      int k = 0;
+      for (size_t i = 0; i < p.layers.size(); ++i) {
+        if (sub.desired_width < p.layers[i].min_request_width) break;
+        cum += p.layers[i].rate.kbps_f();
+        if (i > 0 && cum * 1.08 > kbps) break;
+        k = static_cast<int>(i) + 1;
+      }
+      sub.active_layers = std::max(1, k);
+      break;
+    }
+  }
+}
+
+DataRate SfuServer::min_viewer_share_for(VcaClient* publisher) const {
+  DataRate best = DataRate::mbps(1000);
+  bool any = false;
+  for (const auto& s : subs_) {
+    if (s->leg->client != publisher) continue;
+    any = true;
+    // A relay that is temporally thinning delivers half the publisher's
+    // rate; the publisher may keep sending at divisor x the viewer's
+    // per-feed budget (otherwise the thinning feeds back into the uplink,
+    // which the paper explicitly does not observe, §6.1).
+    DataRate share = s->share * std::max(1, s->temporal_divisor);
+    if (share < best) best = share;
+  }
+  return any ? best : DataRate::mbps(1000);
+}
+
+bool SfuServer::any_ultra_low(VcaClient* publisher) const {
+  for (const auto& s : subs_) {
+    if (s->leg->client == publisher && s->wants_ultra_low) return true;
+  }
+  return false;
+}
+
+const SfuServer::Subscription* SfuServer::find(VcaClient* viewer,
+                                               VcaClient* publisher) const {
+  for (const auto& s : subs_) {
+    if (s->viewer == viewer && s->leg->client == publisher) return s.get();
+  }
+  return nullptr;
+}
+
+int SfuServer::selected_stream(VcaClient* viewer, VcaClient* publisher) const {
+  const Subscription* s = find(viewer, publisher);
+  return s != nullptr ? s->selected_stream : -1;
+}
+
+int SfuServer::active_layers(VcaClient* viewer, VcaClient* publisher) const {
+  const Subscription* s = find(viewer, publisher);
+  return s != nullptr ? s->active_layers : -1;
+}
+
+int SfuServer::fir_count_for(VcaClient* publisher) const {
+  for (const auto& leg : legs_) {
+    if (leg->client != publisher) continue;
+    int total = 0;
+    for (const auto& r : leg->layer_receivers) total += r->fir_sent();
+    return total;
+  }
+  return 0;
+}
+
+DataRate SfuServer::viewer_budget(VcaClient* viewer) const {
+  for (const auto& s : subs_) {
+    if (s->viewer == viewer) return s->viewer_remb;
+  }
+  return DataRate::zero();
+}
+
+}  // namespace vca

@@ -1,0 +1,128 @@
+// SFU server models (§2.1 "streaming architecture", §4.2).
+//
+// All three VCAs route media through an intermediary server; what the
+// server *does* differs and drives the paper's downlink results:
+//  * Teams  (kRelay):         forwards the single stream untouched; rate
+//    adaptation is end-to-end (the far sender obeys the receiver's slow,
+//    conservative estimate) => slow downlink recovery (Fig 5b, Fig 6).
+//  * Meet   (kSimulcastSfu):  picks one of the uploaded copies per viewer
+//    and can thin frames (temporal layers); switching is instant once the
+//    viewer's estimate moves => sub-10 s downlink recovery (Fig 5b).
+//  * Zoom   (kSvcSfu):        selects how many SVC layers to forward and
+//    adds server-side FEC (the §3.1 up/down asymmetry); layer re-adds are
+//    instant => fast downlink recovery.
+//
+// The SFU re-originates every forwarded stream (fresh SSRC/sequence/frame
+// numbering), as production SFUs do, so temporal thinning and stream
+// switches never break the viewer's decode chain.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cc/remb.h"
+#include "core/scheduler.h"
+#include "net/node.h"
+#include "transport/rtp.h"
+#include "vca/client.h"
+#include "vca/profile.h"
+
+namespace vca {
+
+class SfuServer {
+ public:
+  struct Config {
+    VcaProfile profile;
+    Duration tick = Duration::millis(100);
+  };
+
+  SfuServer(EventScheduler* sched, Host* host, Config cfg);
+
+  Host* host() const { return host_; }
+
+  // Register a client as a media publisher (uplink legs).
+  void add_publisher(VcaClient* client);
+
+  // Forward `publisher`'s video+audio to `viewer` on the given flows.
+  // The caller must also call viewer->add_feed(video_flow, ...).
+  void subscribe(VcaClient* viewer, VcaClient* publisher, FlowId video_flow,
+                 FlowId audio_flow);
+
+  void set_desired_width(VcaClient* viewer, VcaClient* publisher, int width);
+  void set_pinned(VcaClient* viewer, VcaClient* publisher, bool pinned);
+  // Teams §6.1 anomaly: downstream thinning for large calls.
+  void set_relay_divisor(int divisor) { relay_divisor_ = divisor; }
+
+  void start();
+
+  // --- queries used by the Call's signaling loop ---
+  // The smallest per-feed downlink budget any viewer has for `publisher`
+  // (Teams: relayed to the publisher as its allowed sending rate).
+  DataRate min_viewer_share_for(VcaClient* publisher) const;
+  // Meet: some viewer of `publisher` is so starved it needs the ultra-low
+  // low-stream variant.
+  bool any_ultra_low(VcaClient* publisher) const;
+  // Introspection for tests/benches.
+  int selected_stream(VcaClient* viewer, VcaClient* publisher) const;
+  int active_layers(VcaClient* viewer, VcaClient* publisher) const;
+  DataRate viewer_budget(VcaClient* viewer) const;
+  // FIRs generated against this publisher's uplink streams (Fig 3b).
+  int fir_count_for(VcaClient* publisher) const;
+
+ private:
+  struct PublisherLeg {
+    VcaClient* client = nullptr;
+    std::vector<std::unique_ptr<RtpReceiver>> layer_receivers;
+    std::unique_ptr<RtpReceiver> audio_receiver;
+    std::unique_ptr<ReceiveSideEstimator> uplink_estimator;
+    std::vector<DecodedFrame> latest;  // most recent frame per layer
+    std::vector<bool> has_latest;
+  };
+
+  struct Subscription {
+    VcaClient* viewer = nullptr;
+    PublisherLeg* leg = nullptr;
+    std::unique_ptr<RtpSender> video_sender;
+    std::unique_ptr<RtpSender> audio_sender;
+    int desired_width = 1280;
+    bool pinned = false;
+    // Meet state.
+    int selected_stream = 0;
+    int temporal_divisor = 1;
+    uint64_t thinning_counter = 0;
+    int debounce = 0;
+    bool wants_ultra_low = false;
+    // Zoom state.
+    int active_layers = 1;
+    // Probe-cycle state (see maybe_probe).
+    TimePoint cooldown_until;
+    // Re-origination counters.
+    uint64_t next_video_frame = 0;
+    uint64_t next_audio_frame = 0;
+    // Latest viewer feedback.
+    DataRate viewer_remb;
+    DataRate viewer_rx;       // what actually arrived at the viewer
+    double viewer_loss = 0.0;
+    double viewer_qd_ms = 0.0;
+    DataRate share;  // budget assigned this tick
+  };
+
+  void on_video_frame(PublisherLeg* leg, int layer, const DecodedFrame& f);
+  void on_audio_frame(PublisherLeg* leg, const DecodedFrame& f);
+  void forward(Subscription& sub, const DecodedFrame& f, bool thinnable);
+  void tick();
+  void update_selection(Subscription& sub);
+  void maybe_probe(Subscription& sub);
+  const Subscription* find(VcaClient* viewer, VcaClient* publisher) const;
+
+  EventScheduler* sched_;
+  Host* host_;
+  Config cfg_;
+  std::vector<std::unique_ptr<PublisherLeg>> legs_;
+  std::vector<std::unique_ptr<Subscription>> subs_;
+  int relay_divisor_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace vca

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "apps/abr_video.h"
+#include "apps/bulk_tcp.h"
+#include "sim_fixture.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+using vca::testing::TwoHostNet;
+
+TEST(BulkTcpTest, SaturatesBottleneck) {
+  TwoHostNet net(DataRate::mbps(10));
+  BulkTcpApp app(&net.sched, &net.c1, &net.c2, {});
+  app.start();
+  net.sched.run_for(20_s);
+  double mbps = static_cast<double>(app.delivered_bytes()) * 8 / 20e6;
+  EXPECT_GT(mbps, 8.0);
+  app.stop();
+  int64_t bytes = app.sender()->sent_bytes();
+  net.sched.run_for(5_s);
+  EXPECT_EQ(app.sender()->sent_bytes(), bytes);
+}
+
+struct AbrRig {
+  TwoHostNet net;  // c1 = viewer, c2 = CDN server
+  AbrVideoApp app;
+  AbrRig(DataRate link, AbrVideoApp::Config cfg)
+      : net(DataRate::gbps(1)),
+        app(&net.sched, &net.c1, &net.c2,
+            [&] {
+              cfg.flow_base = 9100;
+              return cfg;
+            }()) {
+    net.c1_down->set_rate(link);  // viewer's downlink is the bottleneck
+    net.c1_down->set_queue_bytes(40'000);
+  }
+};
+
+TEST(AbrTest, ClimbsLadderWithHeadroom) {
+  AbrRig rig(DataRate::mbps(5), AbrVideoApp::youtube());
+  rig.app.start();
+  rig.net.sched.run_for(60_s);
+  rig.app.stop();
+  EXPECT_GE(rig.app.current_quality(), 4);  // >= 1.05 Mbps tier
+  EXPECT_GT(rig.app.buffer_seconds(), 10.0);
+  EXPECT_LT(rig.app.rebuffer_seconds(), 3.0);
+}
+
+TEST(AbrTest, StaysLowOnScarceLink) {
+  AbrRig rig(DataRate::kbps(400), AbrVideoApp::youtube());
+  rig.app.start();
+  rig.net.sched.run_for(90_s);
+  rig.app.stop();
+  EXPECT_LE(rig.app.current_quality(), 1);
+}
+
+TEST(AbrTest, NetflixEscalatesParallelConnectionsUnderScarcity) {
+  AbrRig rig(DataRate::kbps(300), AbrVideoApp::netflix());
+  rig.app.start();
+  rig.net.sched.run_for(120_s);
+  rig.app.stop();
+  // Fig 14b behavior: many connections, several in parallel.
+  EXPECT_GT(rig.app.connections_opened(), 10);
+  EXPECT_GE(rig.app.max_parallel_seen(), 3);
+}
+
+TEST(AbrTest, YoutubeKeepsSingleConnectionPerChunk) {
+  AbrRig rig(DataRate::kbps(300), AbrVideoApp::youtube());
+  rig.app.start();
+  rig.net.sched.run_for(60_s);
+  rig.app.stop();
+  EXPECT_EQ(rig.app.max_parallel_seen(), 1);
+}
+
+TEST(AbrTest, OffPeriodsWhenBufferFull) {
+  AbrRig rig(DataRate::mbps(20), AbrVideoApp::youtube());
+  rig.app.start();
+  rig.net.sched.run_for(120_s);
+  rig.app.stop();
+  // Buffer saturates at the target and stays there.
+  EXPECT_LE(rig.app.buffer_seconds(), 30.0);
+  EXPECT_GT(rig.app.buffer_seconds(), 15.0);
+}
+
+TEST(AbrTest, DeliversActualBytes) {
+  AbrRig rig(DataRate::mbps(2), AbrVideoApp::youtube());
+  rig.app.start();
+  rig.net.sched.run_for(30_s);
+  rig.app.stop();
+  EXPECT_GT(rig.app.delivered_bytes(), 500'000);
+}
+
+}  // namespace
+}  // namespace vca

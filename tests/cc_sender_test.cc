@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "cc/sender_cc.h"
+
+namespace vca {
+namespace {
+
+TimePoint at_ms(int64_t ms) { return TimePoint::from_ns(ms * 1'000'000); }
+
+SenderCongestionController::Bounds bounds(double nominal_mbps) {
+  SenderCongestionController::Bounds b;
+  b.min_rate = DataRate::kbps(100);
+  b.max_rate = DataRate::mbps_d(nominal_mbps);
+  b.start_rate = DataRate::kbps(500);
+  return b;
+}
+
+RtcpMeta fb(double loss, double rx_mbps, double gradient = 0.0,
+            double remb_mbps = 0.0) {
+  RtcpMeta m;
+  m.loss_fraction = loss;
+  m.receive_rate = DataRate::mbps_d(rx_mbps);
+  m.delay_gradient_ms_per_s = gradient;
+  if (remb_mbps > 0) m.remb = DataRate::mbps_d(remb_mbps);
+  return m;
+}
+
+TEST(GccSenderTest, RampsToNominalOnCleanFeedback) {
+  GccSenderController cc(bounds(1.0));
+  for (int64_t t = 0; t <= 60'000; t += 100) {
+    cc.on_feedback(fb(0.0, cc.target_rate(at_ms(t)).mbps_f()), at_ms(t));
+  }
+  EXPECT_NEAR(cc.target_rate(at_ms(60'000)).mbps_f(), 1.0, 0.01);
+}
+
+TEST(GccSenderTest, RembCapsTarget) {
+  GccSenderController cc(bounds(1.0));
+  for (int64_t t = 0; t <= 30'000; t += 100) {
+    cc.on_feedback(fb(0.0, 0.5, 0.0, /*remb=*/0.4), at_ms(t));
+  }
+  EXPECT_LE(cc.target_rate(at_ms(30'000)).mbps_f(), 0.41);
+}
+
+TEST(GccSenderTest, LossCausesBackoff) {
+  GccSenderController cc(bounds(1.0));
+  for (int64_t t = 0; t <= 30'000; t += 100) cc.on_feedback(fb(0.0, 1.0), at_ms(t));
+  double before = cc.target_rate(at_ms(30'000)).mbps_f();
+  for (int64_t t = 30'000; t <= 34'000; t += 100) {
+    cc.on_feedback(fb(0.3, 0.5), at_ms(t));
+  }
+  EXPECT_LT(cc.target_rate(at_ms(34'000)).mbps_f(), before * 0.7);
+}
+
+TEST(TeamsSenderTest, GradientTriggersBackoffEvenWithoutLoss) {
+  TeamsSenderController cc(bounds(1.5));
+  for (int64_t t = 0; t <= 60'000; t += 100) cc.on_feedback(fb(0.0, 1.5), at_ms(t));
+  double before = cc.target_rate(at_ms(60'000)).mbps_f();
+  EXPECT_NEAR(before, 1.5, 0.05);
+  // TCP-like sawtooth: repeated strong positive delay gradients, no loss.
+  for (int64_t t = 60'000; t <= 75'000; t += 100) {
+    cc.on_feedback(fb(0.0, 1.0, /*gradient=*/60.0), at_ms(t));
+  }
+  EXPECT_LT(cc.target_rate(at_ms(75'000)).mbps_f(), before * 0.5);
+}
+
+TEST(TeamsSenderTest, SlowThenFastRecovery) {
+  TeamsSenderController cc(bounds(1.5));
+  // Reach nominal, then force a deep backoff.
+  for (int64_t t = 0; t <= 60'000; t += 100) cc.on_feedback(fb(0.0, 1.5), at_ms(t));
+  for (int64_t t = 60'000; t <= 64'000; t += 100) {
+    cc.on_feedback(fb(0.5, 0.2), at_ms(t));
+  }
+  double low = cc.target_rate(at_ms(64'000)).mbps_f();
+  ASSERT_LT(low, 0.5);
+  // Clean feedback resumes; measure growth in the first 5 s vs next 10 s.
+  for (int64_t t = 64'000; t <= 69'000; t += 100) {
+    cc.on_feedback(fb(0.0, cc.target_rate(at_ms(t)).mbps_f()), at_ms(t));
+  }
+  double after_slow = cc.target_rate(at_ms(69'000)).mbps_f();
+  for (int64_t t = 69'000; t <= 79'000; t += 100) {
+    cc.on_feedback(fb(0.0, cc.target_rate(at_ms(t)).mbps_f()), at_ms(t));
+  }
+  double after_fast = cc.target_rate(at_ms(79'000)).mbps_f();
+  double slow_growth_per_s = (after_slow - low) / 5.0;
+  double fast_growth_per_s = (after_fast - after_slow) / 10.0;
+  EXPECT_GT(fast_growth_per_s, slow_growth_per_s * 1.5);
+}
+
+TEST(ZoomSenderTest, ToleratesModerateLoss) {
+  // Start at steady nominal, then sustain 18% loss — below the FEC
+  // protection threshold, so Zoom must NOT back off (§5.1).
+  auto b = bounds(0.8);
+  b.start_rate = DataRate::kbps(700);
+  ZoomSenderController cc(b);
+  for (int64_t t = 0; t <= 60'000; t += 100) {
+    cc.on_feedback(fb(0.18, 0.6), at_ms(t));
+  }
+  EXPECT_GT(cc.target_rate(at_ms(60'000)).mbps_f(), 0.65);
+}
+
+TEST(ZoomSenderTest, ProbesAboveNominalAfterDisruption) {
+  ZoomSenderController cc(bounds(0.8));
+  // Settle at nominal.
+  for (int64_t t = 0; t <= 60'000; t += 100) cc.on_feedback(fb(0.0, 0.8), at_ms(t));
+  // Severe disruption: heavy loss for 30 s.
+  for (int64_t t = 60'000; t <= 90'000; t += 100) {
+    cc.on_feedback(fb(0.6, 0.2), at_ms(t));
+  }
+  EXPECT_LT(cc.target_rate(at_ms(90'000)).mbps_f(), 0.5);
+  // Recovery: find the peak rate during the next two minutes.
+  double peak = 0.0;
+  for (int64_t t = 90'000; t <= 210'000; t += 100) {
+    cc.on_feedback(fb(0.0, cc.target_rate(at_ms(t)).mbps_f()), at_ms(t));
+    peak = std::max(peak, cc.target_rate(at_ms(t)).mbps_f());
+  }
+  EXPECT_GT(peak, 0.8 * 1.3);  // overshoot well past nominal (Fig 4a)
+  // ...but eventually settles back to nominal.
+  EXPECT_NEAR(cc.target_rate(at_ms(210'000)).mbps_f(), 0.8, 0.1);
+}
+
+TEST(ZoomSenderTest, NoProbeAblationStaysAtNominal) {
+  ZoomSenderController::Tuning t;
+  t.probing_enabled = false;
+  ZoomSenderController cc(bounds(0.8), t);
+  for (int64_t ts = 0; ts <= 60'000; ts += 100) {
+    cc.on_feedback(fb(0.0, cc.target_rate(at_ms(ts)).mbps_f()), at_ms(ts));
+  }
+  double peak = 0.0;
+  for (int64_t ts = 60'000; ts <= 120'000; ts += 100) {
+    cc.on_feedback(fb(0.0, cc.target_rate(at_ms(ts)).mbps_f()), at_ms(ts));
+    peak = std::max(peak, cc.target_rate(at_ms(ts)).mbps_f());
+  }
+  EXPECT_LE(peak, 0.81);
+}
+
+TEST(SenderCcFactoryTest, MakesAllControllers) {
+  auto b = bounds(1.0);
+  EXPECT_NE(make_sender_cc("gcc", b), nullptr);
+  EXPECT_NE(make_sender_cc("teams", b), nullptr);
+  EXPECT_NE(make_sender_cc("zoom", b), nullptr);
+  EXPECT_NE(make_sender_cc("zoom-noprobe", b), nullptr);
+  EXPECT_EQ(make_sender_cc("bogus", b), nullptr);
+}
+
+TEST(SenderCcTest, AllRespectMinRate) {
+  for (const char* name : {"gcc", "teams", "zoom"}) {
+    auto cc = make_sender_cc(name, bounds(1.0));
+    for (int64_t t = 0; t <= 30'000; t += 100) {
+      cc->on_feedback(fb(0.9, 0.05), at_ms(t));  // catastrophic loss
+    }
+    EXPECT_GE(cc->target_rate(at_ms(30'000)).kbps_f(), 99.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace vca {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng root(7);
+  Rng x = root.fork("x");
+  Rng y = root.fork("y");
+  // Forks with different tags should produce different streams...
+  EXPECT_NE(x.uniform(), y.uniform());
+  // ...and the same tag should reproduce the same stream.
+  Rng x2 = Rng(7).fork("x");
+  Rng x3 = Rng(7).fork("x");
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(x2.uniform(), x3.uniform());
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    if (v == 0) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.gaussian(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng r(13);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng a(0), b(0);
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule(30_ms, [&] { order.push_back(3); });
+  sched.schedule(10_ms, [&] { order.push_back(1); });
+  sched.schedule(20_ms, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, FifoTieBreakAtSameInstant) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule(5_ms, [&] { order.push_back(1); });
+  sched.schedule(5_ms, [&] { order.push_back(2); });
+  sched.schedule(5_ms, [&] { order.push_back(3); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, ClockAdvancesToEventTime) {
+  EventScheduler sched;
+  TimePoint seen;
+  sched.schedule(250_ms, [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(seen.ns(), Duration::millis(250).ns());
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  EventScheduler sched;
+  int fired = 0;
+  sched.schedule(100_ms, [&] { ++fired; });
+  sched.schedule(300_ms, [&] { ++fired; });
+  sched.run_until(TimePoint::zero() + 200_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.now().ns(), Duration::millis(200).ns());
+  sched.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  EventScheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sched.schedule(10_ms, chain);
+  };
+  sched.schedule(10_ms, chain);
+  sched.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now().ns(), Duration::millis(50).ns());
+}
+
+TEST(SchedulerTest, NegativeDelayClampsToNow) {
+  EventScheduler sched;
+  bool ran = false;
+  sched.schedule(10_ms, [&] {
+    sched.schedule(Duration::millis(-5), [&] { ran = true; });
+  });
+  sched.run_all();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, RunForAdvancesRelative) {
+  EventScheduler sched;
+  int fired = 0;
+  sched.schedule(1_s, [&] { ++fired; });
+  sched.run_for(500_ms);
+  EXPECT_EQ(fired, 0);
+  sched.run_for(500_ms);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, CountsProcessedEvents) {
+  EventScheduler sched;
+  for (int i = 0; i < 10; ++i) sched.schedule(Duration::millis(i), [] {});
+  sched.run_all();
+  EXPECT_EQ(sched.events_processed(), 10u);
+  EXPECT_TRUE(sched.empty());
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats_math.h"
+
+namespace vca {
+namespace {
+
+TEST(StatsMathTest, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of_sorted_copy({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of_sorted_copy({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of_sorted_copy({}), 0.0);
+}
+
+TEST(StatsMathTest, Percentiles) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile_of(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 25), 20.0);
+}
+
+TEST(StatsMathTest, StddevKnownValue) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} with n-1 is ~2.138.
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev_of(v), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+}
+
+TEST(StatsMathTest, ConfidenceIntervalCoversMean) {
+  std::vector<double> v{1.0, 1.1, 0.9, 1.05, 0.95};
+  ConfidenceInterval ci = confidence_interval(v, 0.90);
+  EXPECT_NEAR(ci.mean, 1.0, 1e-9);
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  // dof=4 -> t=2.132; half-width = 2.132 * sd/sqrt(5).
+  double half = 2.132 * stddev_of(v) / std::sqrt(5.0);
+  EXPECT_NEAR(ci.hi - ci.mean, half, 1e-6);
+}
+
+TEST(StatsMathTest, ConfidenceLevelWidens) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6};
+  auto ci90 = confidence_interval(v, 0.90);
+  auto ci99 = confidence_interval(v, 0.99);
+  EXPECT_GT(ci99.hi - ci99.lo, ci90.hi - ci90.lo);
+}
+
+TEST(StatsMathTest, SingleSampleDegenerate) {
+  auto ci = confidence_interval({3.0}, 0.90);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(Duration::seconds(2).ms(), 2000);
+  EXPECT_EQ(Duration::micros(7).ns(), 7000);
+  EXPECT_DOUBLE_EQ(Duration::seconds_d(0.5).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(Duration::millis_d(1.5).millis(), 1.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration a = 100_ms;
+  Duration b = 50_ms;
+  EXPECT_EQ((a + b).ms(), 150);
+  EXPECT_EQ((a - b).ms(), 50);
+  EXPECT_EQ((a * 3).ms(), 300);
+  EXPECT_EQ((a / 2).ms(), 50);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+  a += b;
+  EXPECT_EQ(a.ms(), 150);
+}
+
+TEST(DurationTest, InfiniteAndZero) {
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE(Duration::infinite().is_infinite());
+  EXPECT_LT(Duration::seconds(1000000), Duration::infinite());
+}
+
+TEST(TimePointTest, Arithmetic) {
+  TimePoint t = TimePoint::zero() + 250_ms;
+  EXPECT_EQ(t.ns(), 250'000'000);
+  TimePoint u = t + 1_s;
+  EXPECT_EQ((u - t).ms(), 1000);
+  EXPECT_GT(u, t);
+  u += 10_ms;
+  EXPECT_EQ((u - t).ms(), 1010);
+}
+
+TEST(DataRateTest, Conversions) {
+  EXPECT_EQ(DataRate::mbps(2).bits_per_sec(), 2'000'000);
+  EXPECT_DOUBLE_EQ(DataRate::kbps(500).mbps_f(), 0.5);
+  EXPECT_DOUBLE_EQ(DataRate::mbps_d(1.5).kbps_f(), 1500.0);
+}
+
+TEST(DataRateTest, TransmitTime) {
+  // 1250 bytes at 1 Mbps = 10 ms.
+  EXPECT_EQ(DataRate::mbps(1).transmit_time(1250).ms(), 10);
+  EXPECT_TRUE(DataRate::zero().transmit_time(100).is_infinite());
+}
+
+TEST(DataRateTest, BytesIn) {
+  EXPECT_EQ(DataRate::mbps(8).bytes_in(Duration::seconds(1)), 1'000'000);
+}
+
+TEST(DataRateTest, RateFromBytes) {
+  EXPECT_EQ(rate_from_bytes(125'000, Duration::seconds(1)).bits_per_sec(),
+            1'000'000);
+  EXPECT_TRUE(rate_from_bytes(100, Duration::zero()).is_zero());
+}
+
+TEST(DataRateTest, ScalingAndComparison) {
+  DataRate r = DataRate::mbps(2) * 0.5;
+  EXPECT_EQ(r.bits_per_sec(), 1'000'000);
+  EXPECT_DOUBLE_EQ(DataRate::mbps(3) / DataRate::mbps(2), 1.5);
+  EXPECT_LT(DataRate::kbps(999), DataRate::mbps(1));
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/timeseries.h"
+
+namespace vca {
+namespace {
+
+TimePoint at_s(double s) { return TimePoint::from_ns(static_cast<int64_t>(s * 1e9)); }
+
+TEST(TimeSeriesTest, ValuesBetween) {
+  TimeSeries ts;
+  for (int i = 0; i < 10; ++i) ts.push(at_s(i), i);
+  auto v = ts.values_between(at_s(2), at_s(5));
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 2);
+  EXPECT_DOUBLE_EQ(v[2], 4);
+}
+
+TEST(TimeSeriesTest, MeanBetween) {
+  TimeSeries ts;
+  ts.push(at_s(0), 1.0);
+  ts.push(at_s(1), 3.0);
+  ts.push(at_s(2), 5.0);
+  EXPECT_DOUBLE_EQ(*ts.mean_between(at_s(0), at_s(3)), 3.0);
+  EXPECT_FALSE(ts.mean_between(at_s(10), at_s(20)).has_value());
+}
+
+TEST(TimeSeriesTest, RollingMedianSmoothsSpike) {
+  TimeSeries ts;
+  for (int i = 0; i < 20; ++i) ts.push(at_s(i), i == 10 ? 100.0 : 1.0);
+  TimeSeries rm = ts.rolling_median(Duration::seconds(5));
+  // The single spike should never dominate a 5-sample median window.
+  for (const auto& s : rm.samples()) EXPECT_DOUBLE_EQ(s.value, 1.0);
+}
+
+TEST(TimeSeriesTest, RollingMedianTracksLevelShift) {
+  TimeSeries ts;
+  for (int i = 0; i < 30; ++i) ts.push(at_s(i), i < 15 ? 1.0 : 9.0);
+  TimeSeries rm = ts.rolling_median(Duration::seconds(4));
+  EXPECT_DOUBLE_EQ(rm.samples().back().value, 9.0);
+  EXPECT_DOUBLE_EQ(rm.samples().front().value, 1.0);
+}
+
+TEST(RateMeterTest, SingleBucketRate) {
+  RateMeter m(Duration::seconds(1));
+  m.on_bytes(at_s(0.2), 125'000);  // 1 Mbit in 1 s bucket
+  TimeSeries r = m.rates();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r.samples()[0].value, 1.0, 1e-9);
+}
+
+TEST(RateMeterTest, IdleBucketsAreZero) {
+  RateMeter m(Duration::seconds(1));
+  m.on_bytes(at_s(0.5), 125'000);
+  m.on_bytes(at_s(3.5), 125'000);
+  TimeSeries r = m.rates();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_NEAR(r.samples()[1].value, 0.0, 1e-9);
+  EXPECT_NEAR(r.samples()[2].value, 0.0, 1e-9);
+  EXPECT_NEAR(r.samples()[3].value, 1.0, 1e-9);
+}
+
+TEST(RateMeterTest, MeanRateOverWindow) {
+  RateMeter m(Duration::seconds(1));
+  for (int i = 0; i < 10; ++i) m.on_bytes(at_s(i + 0.5), 250'000);  // 2 Mbps
+  DataRate mean = m.mean_rate(at_s(0), at_s(10));
+  EXPECT_NEAR(mean.mbps_f(), 2.0, 1e-9);
+  EXPECT_EQ(m.total_bytes(), 2'500'000);
+}
+
+TEST(RateMeterTest, SubSecondBuckets) {
+  RateMeter m(Duration::millis(500));
+  m.on_bytes(at_s(0.1), 62'500);  // 1 Mbps over 0.5 s
+  TimeSeries r = m.rates();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r.samples()[0].value, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,148 @@
+// Tests for the topology builder and the experiment runners (smoke-level:
+// the runners execute whole experiments, so these double as end-to-end
+// integration tests of every module at once).
+#include <gtest/gtest.h>
+
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "vca/profile.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+TEST(NetworkTest, DirectHostsRoundTrip) {
+  Network net;
+  auto a = net.add_host("a");
+  auto b = net.add_host("b");
+  int got = 0;
+  b.host->register_flow(1, [&](Packet) { ++got; });
+  Packet p;
+  p.flow = 1;
+  p.dst = b.host->id();
+  p.size_bytes = 500;
+  a.host->send(p);
+  net.sched().run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NetworkTest, SegmentSharesOneBottleneck) {
+  Network net;
+  auto seg = net.add_segment(DataRate::mbps(1));
+  auto c1 = net.add_host_on_segment(seg, "c1");
+  auto f1 = net.add_host_on_segment(seg, "f1");
+  auto server = net.add_host("server");
+
+  // Both segment hosts send to the server; the shared uplink caps the sum.
+  int64_t received = 0;
+  server.host->register_flow(1, [&](Packet pk) { received += pk.size_bytes; });
+  for (int i = 0; i < 2000; ++i) {
+    // Offer ~4 Mbps against the 1 Mbps shared link.
+    net.sched().schedule_at(
+        TimePoint::zero() + Duration::millis(2 * i), [&, i] {
+          Packet p;
+          p.flow = 1;
+          p.dst = server.host->id();
+          p.size_bytes = 1000;
+          (i % 2 == 0 ? c1.host : f1.host)->send(p);
+        });
+  }
+  net.sched().run_until(TimePoint::zero() + 4_s);
+  // 1 Mbps for ~4 s = ~500 kB, not the 2 MB offered.
+  EXPECT_LT(received, 700'000);
+  EXPECT_GT(received, 300'000);
+}
+
+TEST(NetworkTest, SegmentHostsReachEachOtherLocally) {
+  Network net;
+  auto seg = net.add_segment(DataRate::kbps(100));  // tiny shared link
+  auto c1 = net.add_host_on_segment(seg, "c1");
+  auto f1 = net.add_host_on_segment(seg, "f1");
+  int got = 0;
+  f1.host->register_flow(2, [&](Packet) { ++got; });
+  Packet p;
+  p.flow = 2;
+  p.dst = f1.host->id();
+  p.size_bytes = 10000;
+  c1.host->send(p);
+  net.sched().run_for(1_s);
+  // Switch-local traffic must not cross the shared bottleneck.
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NetworkTest, ShapeAtChangesRateOnSchedule) {
+  Network net;
+  auto a = net.add_host("a", DataRate::mbps(10));
+  net.shape_at(a.up, TimePoint::zero() + 1_s, DataRate::kbps(100));
+  net.sched().run_until(TimePoint::zero() + 2_s);
+  EXPECT_EQ(a.up->rate().kbps_f(), 100.0);
+}
+
+TEST(ScenarioTest, QueueSizingHasFloorsAndCeilings) {
+  EXPECT_EQ(queue_bytes_for(DataRate::kbps(100)), 20'000);
+  EXPECT_EQ(queue_bytes_for(DataRate::gbps(10)), 1'000'000);
+  // 2 Mbps * 300 ms / 8 = 75 kB.
+  EXPECT_EQ(queue_bytes_for(DataRate::mbps(2)), 75'000);
+}
+
+TEST(ScenarioTest, TwoPartySmokeAllProfiles) {
+  for (const auto& name : all_profile_names()) {
+    TwoPartyConfig cfg;
+    cfg.profile = name;
+    cfg.seed = 3;
+    cfg.duration = Duration::seconds(60);
+    TwoPartyResult r = run_two_party(cfg);
+    EXPECT_GT(r.c1_up_mbps, 0.3) << name;
+    EXPECT_LT(r.c1_up_mbps, 2.5) << name;
+    EXPECT_GT(r.c1_received.median_fps, 10.0) << name;
+  }
+}
+
+TEST(ScenarioTest, ShapingReducesUtilization) {
+  TwoPartyConfig cfg;
+  cfg.profile = "teams";
+  cfg.seed = 3;
+  cfg.duration = Duration::seconds(90);
+  cfg.c1_up = DataRate::kbps(500);
+  TwoPartyResult r = run_two_party(cfg);
+  EXPECT_LT(r.c1_up_mbps, 0.55);
+  EXPECT_GT(r.c1_up_mbps, 0.30);
+}
+
+TEST(ScenarioTest, DisruptionProducesTtr) {
+  DisruptionConfig cfg;
+  cfg.profile = "meet";
+  cfg.seed = 3;
+  cfg.total = Duration::seconds(200);
+  DisruptionResult r = run_disruption(cfg);
+  EXPECT_GT(r.ttr.nominal_mbps, 0.5);
+  ASSERT_TRUE(r.ttr.ttr.has_value());
+  EXPECT_GT(r.ttr.ttr->seconds(), 1.0);
+  EXPECT_LT(r.ttr.ttr->seconds(), 80.0);
+}
+
+TEST(ScenarioTest, CompetitionSharesSumBelowCapacity) {
+  CompetitionConfig cfg;
+  cfg.incumbent = "meet";
+  cfg.competitor = CompetitorKind::kVca;
+  cfg.competitor_profile = "zoom";
+  cfg.seed = 3;
+  CompetitionResult r = run_competition(cfg);
+  EXPECT_LE(r.incumbent_up_share + r.competitor_up_share, 1.05);
+  EXPECT_GT(r.incumbent_up_share + r.competitor_up_share, 0.5);
+}
+
+TEST(ScenarioTest, MultipartyRunsAtScale) {
+  MultipartyConfig cfg;
+  cfg.profile = "meet";
+  cfg.participants = 6;
+  cfg.seed = 3;
+  cfg.duration = Duration::seconds(60);
+  MultipartyResult r = run_multiparty(cfg);
+  EXPECT_GT(r.c1_down_mbps, 0.5);  // several feeds' worth
+  EXPECT_GT(r.c1_up_mbps, 0.1);
+}
+
+}  // namespace
+}  // namespace vca

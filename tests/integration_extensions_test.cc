@@ -1,0 +1,105 @@
+// Integration tests for the §8 extension features (impairments) and a few
+// cross-cutting paper claims used as regression guards.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.h"
+
+namespace vca {
+namespace {
+
+TEST(ExtensionTest, RandomLossReducesMeetUplink) {
+  auto run = [](double loss_pct) {
+    TwoPartyConfig cfg;
+    cfg.profile = "meet";
+    cfg.seed = 9;
+    cfg.duration = Duration::seconds(90);
+    cfg.c1_loss = loss_pct / 100.0;
+    return run_two_party(cfg).c1_up_mbps;
+  };
+  double clean = run(0.0);
+  double lossy = run(8.0);
+  EXPECT_LT(lossy, clean * 0.8);  // loss-based controller sheds rate
+}
+
+TEST(ExtensionTest, ZoomShrugsOffModerateRandomLoss) {
+  auto run = [](double loss_pct) {
+    TwoPartyConfig cfg;
+    cfg.profile = "zoom";
+    cfg.seed = 9;
+    cfg.duration = Duration::seconds(90);
+    cfg.c1_loss = loss_pct / 100.0;
+    return run_two_party(cfg).c1_up_mbps;
+  };
+  double clean = run(0.0);
+  double lossy = run(8.0);
+  // FEC-protected: Zoom keeps sending near its nominal rate.
+  EXPECT_GT(lossy, clean * 0.85);
+}
+
+TEST(ExtensionTest, AddedLatencyBarelyMovesUtilization) {
+  auto run = [](double ms) {
+    TwoPartyConfig cfg;
+    cfg.profile = "meet";
+    cfg.seed = 9;
+    cfg.duration = Duration::seconds(90);
+    cfg.c1_extra_latency = Duration::millis_d(ms);
+    return run_two_party(cfg).c1_up_mbps;
+  };
+  EXPECT_NEAR(run(80.0), run(0.0), 0.25);
+}
+
+TEST(ExtensionTest, JitterDegradesFreezesBeforeUtilization) {
+  TwoPartyConfig cfg;
+  cfg.profile = "meet";
+  cfg.seed = 9;
+  cfg.duration = Duration::seconds(90);
+  cfg.c1_jitter = Duration::millis(25);
+  TwoPartyResult r = run_two_party(cfg);
+  // Still sends video, but the jittered path costs some smoothness.
+  EXPECT_GT(r.c1_up_mbps, 0.3);
+  EXPECT_GE(r.c1_received.freeze_ratio, 0.0);
+}
+
+// --- paper-claim regression guards -----------------------------------------
+
+TEST(PaperClaimTest, TeamsChromeUsesLessThanNativeWhenShaped) {
+  auto run = [](const std::string& profile) {
+    TwoPartyConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = 12;
+    cfg.duration = Duration::seconds(90);
+    cfg.c1_up = DataRate::mbps(1);
+    return run_two_party(cfg).c1_up_mbps;
+  };
+  EXPECT_LT(run("teams-chrome"), run("teams") * 0.95);  // Fig 1c
+}
+
+TEST(PaperClaimTest, MeetDownlinkPlateausOnSimulcastLowCopy) {
+  TwoPartyConfig cfg;
+  cfg.profile = "meet";
+  cfg.seed = 12;
+  cfg.duration = Duration::seconds(120);
+  cfg.c1_down = DataRate::kbps(500);
+  TwoPartyResult r = run_two_party(cfg);
+  // Fig 1b: utilization pinned far below capacity.
+  EXPECT_LT(r.c1_down_mbps, 0.36);
+  // ...and the received stream is the 320-wide copy.
+  EXPECT_EQ(r.c1_received.median_width, 320);
+}
+
+TEST(PaperClaimTest, ZoomUplinkDisruptionOvershootsNominal) {
+  DisruptionConfig cfg;
+  cfg.profile = "zoom";
+  cfg.seed = 12;
+  DisruptionResult r = run_disruption(cfg);
+  double peak = 0.0;
+  for (const auto& s : r.disrupted_series.samples()) {
+    if (s.at.seconds() > 95.0 && s.at.seconds() < 250.0) {
+      peak = std::max(peak, s.value);
+    }
+  }
+  EXPECT_GT(peak, r.ttr.nominal_mbps * 1.25);  // Fig 4a probe overshoot
+}
+
+}  // namespace
+}  // namespace vca

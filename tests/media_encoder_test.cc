@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scheduler.h"
+#include "media/encoder.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+EncoderSettings fixed_policy(DataRate target, int max_width) {
+  EncoderSettings s;
+  s.width = std::min(640, max_width);
+  s.fps = 30.0;
+  s.qp = 30;
+  s.bitrate = target;
+  return s;
+}
+
+struct EncoderHarness {
+  EventScheduler sched;
+  AdaptiveEncoder encoder;
+  std::vector<EncodedFrame> frames;
+
+  explicit EncoderHarness(uint64_t seed = 1)
+      : encoder(&sched, Rng(seed),
+                {.ssrc = 1, .spatial_layer = 0, .policy = fixed_policy}) {
+    encoder.set_frame_handler(
+        [this](const EncodedFrame& f) { frames.push_back(f); });
+  }
+};
+
+TEST(EncoderTest, EmitsAtConfiguredFps) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(500), 1280);
+  h.encoder.start();
+  h.sched.run_for(10_s);
+  // 30 fps for 10 s: ~300 frames (first tick at t=0).
+  EXPECT_NEAR(static_cast<double>(h.frames.size()), 300.0, 5.0);
+}
+
+TEST(EncoderTest, HitsBitrateTarget) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(800), 1280);
+  h.encoder.start();
+  h.sched.run_for(30_s);
+  int64_t bytes = 0;
+  for (const auto& f : h.frames) bytes += f.bytes;
+  double mbps = static_cast<double>(bytes) * 8 / 30e6;
+  EXPECT_NEAR(mbps, 0.8, 0.12);  // within 15% of target
+}
+
+TEST(EncoderTest, FirstFrameIsKeyframe) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(500), 1280);
+  h.encoder.start();
+  h.sched.run_for(100_ms);
+  ASSERT_FALSE(h.frames.empty());
+  EXPECT_TRUE(h.frames[0].keyframe);
+}
+
+TEST(EncoderTest, KeyframeOnRequest) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(500), 1280);
+  h.encoder.start();
+  h.sched.run_for(1_s);
+  size_t before = h.frames.size();
+  h.encoder.request_keyframe();
+  h.sched.run_for(200_ms);
+  bool found = false;
+  for (size_t i = before; i < h.frames.size(); ++i) {
+    found |= h.frames[i].keyframe;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EncoderTest, KeyframesAreLarger) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(500), 1280);
+  h.encoder.start();
+  h.sched.run_for(30_s);
+  double key_sum = 0, key_n = 0, delta_sum = 0, delta_n = 0;
+  for (const auto& f : h.frames) {
+    if (f.keyframe) {
+      key_sum += f.bytes;
+      ++key_n;
+    } else {
+      delta_sum += f.bytes;
+      ++delta_n;
+    }
+  }
+  ASSERT_GT(key_n, 0);
+  ASSERT_GT(delta_n, 0);
+  EXPECT_GT(key_sum / key_n, 1.5 * delta_sum / delta_n);
+}
+
+TEST(EncoderTest, RetargetTakesEffect) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(1000), 1280);
+  h.encoder.start();
+  h.sched.run_for(10_s);
+  h.encoder.set_target(DataRate::kbps(200), 1280);
+  size_t split = h.frames.size();
+  h.sched.run_for(10_s);
+  int64_t before = 0, after = 0;
+  for (size_t i = 0; i < h.frames.size(); ++i) {
+    (i < split ? before : after) += h.frames[i].bytes;
+  }
+  EXPECT_GT(before, after * 3);
+}
+
+TEST(EncoderTest, PolicyControlsReportedSettings) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(500), /*max_width=*/320);
+  h.encoder.start();
+  h.sched.run_for(1_s);
+  ASSERT_FALSE(h.frames.empty());
+  EXPECT_EQ(h.frames.back().width, 320);  // min(640, max_width)
+  EXPECT_EQ(h.frames.back().qp, 30);
+}
+
+TEST(EncoderTest, StopCeasesOutput) {
+  EncoderHarness h;
+  h.encoder.set_target(DataRate::kbps(500), 1280);
+  h.encoder.start();
+  h.sched.run_for(1_s);
+  h.encoder.stop();
+  size_t n = h.frames.size();
+  h.sched.run_for(2_s);
+  EXPECT_EQ(h.frames.size(), n);
+}
+
+TEST(EncoderTest, DeterministicAcrossRuns) {
+  EncoderHarness a(99), b(99);
+  a.encoder.set_target(DataRate::kbps(500), 1280);
+  b.encoder.set_target(DataRate::kbps(500), 1280);
+  a.encoder.start();
+  b.encoder.start();
+  a.sched.run_for(5_s);
+  b.sched.run_for(5_s);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].bytes, b.frames[i].bytes);
+  }
+}
+
+TEST(VideoSourceTest, ComplexityStaysInRange) {
+  VideoSource src(Rng(5));
+  for (int i = 0; i < 10000; ++i) {
+    double c = src.complexity(TimePoint::from_ns(i * 33'000'000LL));
+    EXPECT_GT(c, 0.2);
+    EXPECT_LT(c, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace vca

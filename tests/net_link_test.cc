@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/link.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+struct Collector : PacketSink {
+  std::vector<std::pair<uint64_t, TimePoint>> got;
+  EventScheduler* sched;
+  explicit Collector(EventScheduler* s) : sched(s) {}
+  void deliver(Packet p) override { got.emplace_back(p.id, sched->now()); }
+};
+
+Packet make_packet(uint64_t id, int bytes) {
+  Packet p;
+  p.id = id;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(LinkTest, SerializationPlusPropagationDelay) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(1);       // 1250 bytes = 10 ms
+  cfg.propagation = 5_ms;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.deliver(make_packet(1, 1250));
+  sched.run_all();
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(sink.got[0].second.ns(), Duration::millis(15).ns());
+}
+
+TEST(LinkTest, BackToBackPacketsQueue) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(1);
+  cfg.propagation = Duration::zero();
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.deliver(make_packet(1, 1250));
+  link.deliver(make_packet(2, 1250));
+  sched.run_all();
+  ASSERT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(sink.got[0].second.ms(), 10);
+  EXPECT_EQ(sink.got[1].second.ms(), 20);
+}
+
+TEST(LinkTest, DropTailWhenQueueFull) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::kbps(100);
+  cfg.queue_bytes = 3000;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  for (int i = 0; i < 10; ++i) link.deliver(make_packet(i, 1000));
+  sched.run_all();
+  EXPECT_GT(link.dropped_packets(), 0);
+  EXPECT_EQ(link.delivered_packets() + link.dropped_packets(), 10);
+}
+
+TEST(LinkTest, RateChangeAppliesToNextPacket) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(1);
+  cfg.propagation = Duration::zero();
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.deliver(make_packet(1, 1250));
+  // Halve the rate while packet 1 is being serialized.
+  sched.schedule(1_ms, [&] {
+    link.set_rate(DataRate::kbps(500));
+    link.deliver(make_packet(2, 1250));
+  });
+  sched.run_all();
+  ASSERT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(sink.got[0].second.ms(), 10);  // finished at old rate
+  EXPECT_EQ(sink.got[1].second.ms(), 30);  // 10 + 20 ms at new rate
+}
+
+TEST(LinkTest, TapSeesEveryDeliveredPacket) {
+  EventScheduler sched;
+  Link link(&sched, "l", {});
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  int tapped = 0;
+  int64_t tapped_bytes = 0;
+  link.set_tap([&](const Packet& p, TimePoint) {
+    ++tapped;
+    tapped_bytes += p.size_bytes;
+  });
+  for (int i = 0; i < 5; ++i) link.deliver(make_packet(i, 500));
+  sched.run_all();
+  EXPECT_EQ(tapped, 5);
+  EXPECT_EQ(tapped_bytes, 2500);
+  EXPECT_EQ(link.delivered_bytes(), 2500);
+}
+
+TEST(LinkTest, ZeroRateDropsPackets) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::zero();
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.deliver(make_packet(1, 100));
+  sched.run_all();
+  EXPECT_EQ(sink.got.size(), 0u);
+  EXPECT_EQ(link.dropped_packets(), 1);
+}
+
+TEST(LinkTest, QueueDelayReflectsBacklog) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(1);
+  cfg.queue_bytes = 1 << 20;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  for (int i = 0; i < 5; ++i) link.deliver(make_packet(i, 1250));
+  // One packet is in flight; four are queued: 4 * 10 ms.
+  EXPECT_EQ(link.current_queue_delay().ms(), 40);
+  sched.run_all();
+}
+
+TEST(LinkTest, OversizePacketAdmittedWhenQueueEmpty) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  cfg.queue_bytes = 100;  // smaller than the packet
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.deliver(make_packet(1, 1500));
+  sched.run_all();
+  EXPECT_EQ(sink.got.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vca

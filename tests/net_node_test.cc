@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "net/node.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+TEST(NodeTest, HostDispatchesByFlowId) {
+  Host h(1, "c1");
+  int flow7 = 0, flow9 = 0;
+  h.register_flow(7, [&](Packet) { ++flow7; });
+  h.register_flow(9, [&](Packet) { ++flow9; });
+  Packet p;
+  p.flow = 7;
+  h.deliver(p);
+  p.flow = 9;
+  h.deliver(p);
+  p.flow = 9;
+  h.deliver(p);
+  p.flow = 1234;  // unknown flow silently dropped
+  h.deliver(p);
+  EXPECT_EQ(flow7, 1);
+  EXPECT_EQ(flow9, 2);
+}
+
+TEST(NodeTest, HostStampsSourceOnSend) {
+  EventScheduler sched;
+  Link link(&sched, "up", {});
+  Host h(42, "c1");
+  h.set_uplink(&link);
+  NodeId seen = kInvalidNode;
+  link.set_tap([&](const Packet& p, TimePoint) { seen = p.src; });
+  link.set_sink(nullptr);
+  Packet p;
+  p.dst = 7;
+  h.send(p);
+  sched.run_all();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(NodeTest, ForwardingNodeRoutesByDestination) {
+  Host a(1, "a"), b(2, "b");
+  int got_a = 0, got_b = 0;
+  a.register_flow(0, [&](Packet) { ++got_a; });
+  b.register_flow(0, [&](Packet) { ++got_b; });
+  ForwardingNode router("r");
+  router.add_route(1, &a);
+  router.add_route(2, &b);
+  Packet p;
+  p.dst = 2;
+  router.deliver(p);
+  p.dst = 1;
+  router.deliver(p);
+  p.dst = 1;
+  router.deliver(p);
+  EXPECT_EQ(got_a, 2);
+  EXPECT_EQ(got_b, 1);
+}
+
+TEST(NodeTest, DefaultRouteUsedForUnknownDestination) {
+  Host fallback(9, "cloud");
+  int got = 0;
+  fallback.register_flow(0, [&](Packet) { ++got; });
+  ForwardingNode router("r");
+  router.set_default_route(&fallback);
+  Packet p;
+  p.dst = 12345;
+  router.deliver(p);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NodeTest, EndToEndThroughTwoLinksAndRouter) {
+  EventScheduler sched;
+  Host c1(1, "c1"), c2(2, "c2");
+  ForwardingNode router("r");
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  cfg.propagation = 2_ms;
+  Link up(&sched, "c1-up", cfg);
+  Link down(&sched, "c2-down", cfg);
+  c1.set_uplink(&up);
+  up.set_sink(&router);
+  router.add_route(2, &down);
+  down.set_sink(&c2);
+
+  TimePoint arrival;
+  c2.register_flow(5, [&](Packet) { arrival = sched.now(); });
+
+  Packet p;
+  p.flow = 5;
+  p.dst = 2;
+  p.size_bytes = 1250;  // 1 ms at 10 Mbps
+  c1.send(p);
+  sched.run_all();
+  // 1 ms tx + 2 ms prop + 1 ms tx + 2 ms prop = 6 ms.
+  EXPECT_EQ(arrival.ns(), Duration::millis(6).ns());
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,159 @@
+// Property-style parameterized suites: invariants that must hold across
+// sweeps of rates, seeds, and profiles.
+#include <gtest/gtest.h>
+
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "media/encoder.h"
+#include "sim_fixture.h"
+#include "transport/tcp.h"
+#include "vca/call.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+// --- Encoder hits any target in its operating range -----------------------
+
+class EncoderRateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderRateSweep, LongRunAverageOnTarget) {
+  const int kbps = GetParam();
+  EventScheduler sched;
+  AdaptiveEncoder enc(&sched, Rng(17),
+                      {.ssrc = 1, .spatial_layer = 0,
+                       .policy = [](DataRate t, int) {
+                         return EncoderSettings{640, 30.0, 30, t};
+                       }});
+  int64_t bytes = 0;
+  enc.set_frame_handler([&](const EncodedFrame& f) { bytes += f.bytes; });
+  enc.set_target(DataRate::kbps(kbps), 1280);
+  enc.start();
+  sched.run_until(TimePoint::zero() + 60_s);
+  double got_kbps = static_cast<double>(bytes) * 8 / 60.0 / 1000.0;
+  EXPECT_NEAR(got_kbps, kbps, kbps * 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, EncoderRateSweep,
+                         ::testing::Values(100, 250, 500, 800, 1200, 2000));
+
+// --- The wire never exceeds the shaped capacity ----------------------------
+
+class CapacitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacitySweep, ShapedLinkCapsEveryBucket) {
+  TwoPartyConfig cfg;
+  cfg.profile = "zoom";  // the most aggressive sender
+  cfg.seed = 5;
+  cfg.duration = Duration::seconds(60);
+  cfg.c1_up = DataRate::mbps_d(GetParam());
+  TwoPartyResult r = run_two_party(cfg);
+  for (const auto& s : r.c1_up_series.samples()) {
+    EXPECT_LE(s.value, GetParam() * 1.02 + 0.02)
+        << "bucket at t=" << s.at.seconds();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, CapacitySweep,
+                         ::testing::Values(0.3, 0.5, 1.0, 2.0, 5.0));
+
+// --- TCP delivers exactly what was written under random loss ---------------
+
+class TcpLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossSweep, ExactDeliveryUnderRandomDrops) {
+  vca::testing::TwoHostNet net(DataRate::mbps(20));
+  TcpSender sender(&net.sched, &net.c1, {.flow = 1, .dst = 2});
+  TcpReceiverEndpoint receiver(&net.sched, &net.c2, {.flow = 1, .peer = 1});
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  net.c2.register_flow(1, [&](Packet p) {
+    if (rng.bernoulli(0.05)) return;  // 5% random loss
+    receiver.handle_packet(p);
+  });
+  net.c1.register_flow(1, [&](Packet p) { sender.handle_packet(p); });
+  sender.write(2'000'000);
+  net.sched.run_until(TimePoint::zero() + 120_s);
+  EXPECT_EQ(receiver.delivered_bytes(), 2'000'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpLossSweep, ::testing::Range(1, 9));
+
+// --- Every profile is deterministic and well-behaved ----------------------
+
+class ProfileSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileSweep, DeterministicAndBounded) {
+  auto run = [&](uint64_t seed) {
+    TwoPartyConfig cfg;
+    cfg.profile = GetParam();
+    cfg.seed = seed;
+    cfg.duration = Duration::seconds(45);
+    return run_two_party(cfg);
+  };
+  TwoPartyResult a = run(11);
+  TwoPartyResult b = run(11);
+  EXPECT_DOUBLE_EQ(a.c1_up_mbps, b.c1_up_mbps);
+  EXPECT_DOUBLE_EQ(a.c1_down_mbps, b.c1_down_mbps);
+  // Sanity bounds on an unconstrained link.
+  EXPECT_GT(a.c1_up_mbps, 0.2);
+  EXPECT_LT(a.c1_up_mbps, 3.0);
+  EXPECT_GE(a.c1_received.freeze_ratio, 0.0);
+  EXPECT_LE(a.c1_received.freeze_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileSweep,
+                         ::testing::Values("meet", "teams", "zoom",
+                                           "teams-chrome", "zoom-chrome"));
+
+// --- Link byte conservation across random traffic --------------------------
+
+class LinkConservationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkConservationSweep, OfferedEqualsDeliveredPlusDropped) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::kbps(500);
+  cfg.queue_bytes = 10'000;
+  Link link(&sched, "l", cfg);
+  struct Sink : PacketSink {
+    int64_t bytes = 0;
+    void deliver(Packet p) override { bytes += p.size_bytes; }
+  } sink;
+  link.set_sink(&sink);
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  int64_t offered = 0;
+  for (int i = 0; i < 3000; ++i) {
+    Packet p;
+    p.size_bytes = static_cast<int>(rng.uniform_int(40, 1500));
+    offered += p.size_bytes;
+    sched.schedule(Duration::millis(rng.uniform_int(0, 20'000)),
+                   [&link, p] { link.deliver(p); });
+  }
+  sched.run_all();
+  EXPECT_EQ(offered, sink.bytes + link.dropped_bytes());
+  EXPECT_EQ(sink.bytes, link.delivered_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkConservationSweep, ::testing::Range(1, 7));
+
+// --- Multiparty utilization behaves across participant counts --------------
+
+class ParticipantsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParticipantsSweep, DownlinkScalesWithFeeds) {
+  MultipartyConfig cfg;
+  cfg.profile = "meet";
+  cfg.participants = GetParam();
+  cfg.seed = 4;
+  cfg.duration = Duration::seconds(50);
+  MultipartyResult r = run_multiparty(cfg);
+  EXPECT_GT(r.c1_down_mbps, 0.1);
+  // Downlink cannot exceed feeds x (top copy + overhead headroom).
+  EXPECT_LT(r.c1_down_mbps, (GetParam() - 1) * 1.0 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(N, ParticipantsSweep, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,43 @@
+// Shared test topology: two hosts connected through a router, with
+// independently shapeable uplinks and downlinks — a miniature of the
+// paper's laboratory setup.
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.h"
+#include "net/link.h"
+#include "net/node.h"
+
+namespace vca::testing {
+
+struct TwoHostNet {
+  EventScheduler sched;
+  Host c1{1, "c1"};
+  Host c2{2, "c2"};
+  ForwardingNode router{"router"};
+  std::unique_ptr<Link> c1_up, c1_down, c2_up, c2_down;
+
+  explicit TwoHostNet(DataRate rate = DataRate::mbps(100),
+                      Duration prop = Duration::millis(5),
+                      int64_t queue_bytes = 150 * 1024) {
+    Link::Config cfg;
+    cfg.rate = rate;
+    cfg.propagation = prop;
+    cfg.queue_bytes = queue_bytes;
+    c1_up = std::make_unique<Link>(&sched, "c1-up", cfg);
+    c1_down = std::make_unique<Link>(&sched, "c1-down", cfg);
+    c2_up = std::make_unique<Link>(&sched, "c2-up", cfg);
+    c2_down = std::make_unique<Link>(&sched, "c2-down", cfg);
+    c1.set_uplink(c1_up.get());
+    c2.set_uplink(c2_up.get());
+    c1_up->set_sink(&router);
+    c2_up->set_sink(&router);
+    router.add_route(c1.id(), c1_down.get());
+    router.add_route(c2.id(), c2_down.get());
+    c1_down->set_sink(&c1);
+    c2_down->set_sink(&c2);
+  }
+};
+
+}  // namespace vca::testing

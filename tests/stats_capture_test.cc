@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "net/link.h"
+#include "stats/capture.h"
+#include "stats/table.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+Packet pkt(FlowId flow, int bytes) {
+  Packet p;
+  p.flow = flow;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(CaptureTest, UnfilteredSeesEverything) {
+  FlowCapture cap;
+  auto tap = cap.tap();
+  tap(pkt(1, 100), TimePoint::zero());
+  tap(pkt(2, 200), TimePoint::zero());
+  EXPECT_EQ(cap.total_bytes(), 300);
+}
+
+TEST(CaptureTest, FlowFilter) {
+  FlowCapture cap;
+  cap.add_flow(7);
+  auto tap = cap.tap();
+  tap(pkt(7, 100), TimePoint::zero());
+  tap(pkt(8, 200), TimePoint::zero());
+  EXPECT_EQ(cap.total_bytes(), 100);
+}
+
+TEST(CaptureTest, RangeFilterInclusive) {
+  FlowCapture cap;
+  cap.add_flow_range(1000, 1999);
+  EXPECT_TRUE(cap.matches(1000));
+  EXPECT_TRUE(cap.matches(1999));
+  EXPECT_FALSE(cap.matches(999));
+  EXPECT_FALSE(cap.matches(2000));
+}
+
+TEST(CaptureTest, MixedFilters) {
+  FlowCapture cap;
+  cap.add_flow(5);
+  cap.add_flow_range(100, 200);
+  EXPECT_TRUE(cap.matches(5));
+  EXPECT_TRUE(cap.matches(150));
+  EXPECT_FALSE(cap.matches(6));
+}
+
+TEST(CaptureTest, TapFanoutFeedsAllCaptures) {
+  EventScheduler sched;
+  Link link(&sched, "l", {});
+  struct Sink : PacketSink {
+    void deliver(Packet) override {}
+  } sink;
+  link.set_sink(&sink);
+
+  FlowCapture a, b;
+  b.add_flow(2);
+  TapFanout fan;
+  fan.add(a.tap());
+  fan.add(b.tap());
+  link.set_tap(fan.tap());
+
+  link.deliver(pkt(1, 100));
+  link.deliver(pkt(2, 200));
+  sched.run_all();
+  EXPECT_EQ(a.total_bytes(), 300);
+  EXPECT_EQ(b.total_bytes(), 200);
+}
+
+TEST(TextTableTest, AlignsAndRendersAllRows) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-cell", "2"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+  // Header + separator + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456), "1.23");
+  EXPECT_EQ(fmt(1.23456, 4), "1.2346");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace vca

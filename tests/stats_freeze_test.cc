@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "stats/freeze.h"
+
+namespace vca {
+namespace {
+
+TimePoint at_ms(int64_t ms) { return TimePoint::from_ns(ms * 1'000'000); }
+
+TEST(FreezeTest, SteadyStreamHasNoFreezes) {
+  FreezeDetector fd;
+  for (int64_t t = 0; t < 10'000; t += 33) fd.on_frame(at_ms(t));
+  EXPECT_EQ(fd.freeze_count(), 0);
+  EXPECT_EQ(fd.frozen_time().ms(), 0);
+}
+
+TEST(FreezeTest, LongGapCountsAsFreeze) {
+  FreezeDetector fd;
+  for (int64_t t = 0; t <= 2'000; t += 33) fd.on_frame(at_ms(t));
+  fd.on_frame(at_ms(3'000));  // ~1 s gap >> max(3*33, 33+150)
+  EXPECT_EQ(fd.freeze_count(), 1);
+  EXPECT_GT(fd.frozen_time().ms(), 800);
+}
+
+TEST(FreezeTest, GapBelowThresholdIgnored) {
+  FreezeDetector fd;
+  for (int64_t t = 0; t <= 2'000; t += 33) fd.on_frame(at_ms(t));
+  // 120 ms gap: above 3*33=99ms? The paper rule is max(3d, d+150) = 183ms.
+  fd.on_frame(at_ms(2'100 + 20));
+  EXPECT_EQ(fd.freeze_count(), 0);
+}
+
+TEST(FreezeTest, PaperThresholdUsesAdditive150msForFastStreams) {
+  FreezeDetector fd;
+  // 60 fps stream: d=16.7ms, 3d = 50ms, but threshold is d+150 = 167ms.
+  for (int64_t t = 0; t <= 1'000; t += 17) fd.on_frame(at_ms(t));
+  fd.on_frame(at_ms(1'100));  // 100 ms gap: > 3d but < d+150
+  EXPECT_EQ(fd.freeze_count(), 0);
+  fd.on_frame(at_ms(1'300));  // 200 ms gap: freeze
+  EXPECT_EQ(fd.freeze_count(), 1);
+}
+
+TEST(FreezeTest, FreezeRatio) {
+  FreezeDetector fd;
+  for (int64_t t = 0; t <= 1'000; t += 33) fd.on_frame(at_ms(t));
+  fd.on_frame(at_ms(2'000));  // ~1 s frozen in a 2 s call
+  double ratio = fd.freeze_ratio(Duration::seconds(2));
+  EXPECT_GT(ratio, 0.40);
+  EXPECT_LT(ratio, 0.55);
+}
+
+TEST(FreezeTest, FinalizeCountsTrailingFreeze) {
+  FreezeDetector fd;
+  for (int64_t t = 0; t <= 1'000; t += 33) fd.on_frame(at_ms(t));
+  fd.finalize(at_ms(4'000));  // stream died 3 s before call end
+  EXPECT_EQ(fd.freeze_count(), 1);
+  EXPECT_GT(fd.frozen_time().ms(), 2'500);
+}
+
+TEST(FreezeTest, MultipleFreezesAccumulate) {
+  FreezeDetector fd;
+  int64_t t = 0;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 30; ++i) {
+      fd.on_frame(at_ms(t));
+      t += 33;
+    }
+    t += 500;  // freeze gap
+  }
+  EXPECT_EQ(fd.freeze_count(), 2);  // gaps between the three bursts
+  EXPECT_GT(fd.frozen_time().ms(), 800);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/trace_writer.h"
+
+namespace vca {
+namespace {
+
+TimePoint at_s(double s) { return TimePoint::from_ns(static_cast<int64_t>(s * 1e9)); }
+
+TEST(TraceWriterTest, SingleSeriesCsv) {
+  TimeSeries ts;
+  ts.push(at_s(1), 0.5);
+  ts.push(at_s(2), 1.5);
+  std::ostringstream os;
+  TraceWriter::write_series(os, {"rate"}, {&ts});
+  std::string out = os.str();
+  EXPECT_NE(out.find("t_s,rate"), std::string::npos);
+  EXPECT_NE(out.find("1.0000,0.5000"), std::string::npos);
+  EXPECT_NE(out.find("2.0000,1.5000"), std::string::npos);
+}
+
+TEST(TraceWriterTest, MergesMisalignedSeries) {
+  TimeSeries a, b;
+  a.push(at_s(1), 1.0);
+  a.push(at_s(2), 2.0);
+  b.push(at_s(2), 20.0);
+  b.push(at_s(3), 30.0);
+  std::ostringstream os;
+  TraceWriter::write_series(os, {"a", "b"}, {&a, &b});
+  std::string out = os.str();
+  // t=1 has no b value; t=3 has no a value.
+  EXPECT_NE(out.find("1.0000,1.0000,\n"), std::string::npos);
+  EXPECT_NE(out.find("2.0000,2.0000,20.0000"), std::string::npos);
+  EXPECT_NE(out.find("3.0000,,30.0000"), std::string::npos);
+}
+
+TEST(TraceWriterTest, StatsCsvHasAllColumns) {
+  std::vector<SecondStats> stats;
+  SecondStats s;
+  s.at = at_s(1);
+  s.fps = 30;
+  s.avg_qp = 32.5;
+  s.width = 640;
+  s.freeze_ms = 150;
+  stats.push_back(s);
+  std::ostringstream os;
+  TraceWriter::write_stats(os, stats);
+  std::string out = os.str();
+  EXPECT_NE(out.find("t_s,fps,avg_qp,width,freeze_ms"), std::string::npos);
+  EXPECT_NE(out.find("640"), std::string::npos);
+  EXPECT_NE(out.find("150"), std::string::npos);
+}
+
+TEST(TraceWriterTest, EmptySeriesHeaderOnly) {
+  TimeSeries ts;
+  std::ostringstream os;
+  TraceWriter::write_series(os, {"x"}, {&ts});
+  EXPECT_EQ(os.str(), "t_s,x\n");
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "stats/ttr.h"
+
+namespace vca {
+namespace {
+
+TimePoint at_s(double s) { return TimePoint::from_ns(static_cast<int64_t>(s * 1e9)); }
+
+// Build a bitrate series: nominal until disruption, `low` during it, then
+// a linear ramp back over `ramp_s` seconds after it ends.
+TimeSeries make_series(double nominal, double low, double start_s, double end_s,
+                       double ramp_s, double total_s = 300) {
+  TimeSeries ts;
+  for (double t = 1; t <= total_s; t += 1.0) {
+    double v;
+    if (t < start_s) {
+      v = nominal;
+    } else if (t < end_s) {
+      v = low;
+    } else {
+      double since = t - end_s;
+      v = since >= ramp_s ? nominal : low + (nominal - low) * since / ramp_s;
+    }
+    ts.push(at_s(t), v);
+  }
+  return ts;
+}
+
+TEST(TtrTest, InstantRecoveryIsFast) {
+  TimeSeries ts = make_series(1.0, 0.2, 60, 90, /*ramp_s=*/1);
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(90));
+  ASSERT_TRUE(r.ttr.has_value());
+  EXPECT_NEAR(r.nominal_mbps, 1.0, 0.01);
+  // Rolling 5s median needs a few post-recovery samples to flip.
+  EXPECT_LT(r.ttr->seconds(), 6.0);
+}
+
+TEST(TtrTest, SlowRampMeasuredCorrectly) {
+  TimeSeries ts = make_series(1.0, 0.2, 60, 90, /*ramp_s=*/30);
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(90));
+  ASSERT_TRUE(r.ttr.has_value());
+  EXPECT_GT(r.ttr->seconds(), 25.0);
+  EXPECT_LT(r.ttr->seconds(), 40.0);
+}
+
+TEST(TtrTest, NeverRecoversIsCensored) {
+  TimeSeries ts = make_series(1.0, 0.2, 60, 90, /*ramp_s=*/1e9);
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(90));
+  EXPECT_FALSE(r.ttr.has_value());
+  EXPECT_NEAR(r.nominal_mbps, 1.0, 0.01);
+}
+
+TEST(TtrTest, RecoveryFractionLowersBar) {
+  TimeSeries ts = make_series(1.0, 0.2, 60, 90, /*ramp_s=*/40);
+  TtrResult strict = time_to_recovery(ts, at_s(60), at_s(90),
+                                      Duration::seconds(5), 1.0);
+  TtrResult lenient = time_to_recovery(ts, at_s(60), at_s(90),
+                                       Duration::seconds(5), 0.8);
+  ASSERT_TRUE(strict.ttr.has_value());
+  ASSERT_TRUE(lenient.ttr.has_value());
+  EXPECT_LT(lenient.ttr->seconds(), strict.ttr->seconds());
+}
+
+TEST(TtrTest, NoisyNominalUsesMedian) {
+  TimeSeries ts;
+  // Nominal alternates 0.9/1.1 (median 1.0); disruption 60-90; ramp 10 s.
+  for (int t = 1; t <= 200; ++t) {
+    double v;
+    if (t < 60) {
+      v = t % 2 == 0 ? 0.9 : 1.1;
+    } else if (t < 90) {
+      v = 0.1;
+    } else {
+      v = std::min(1.0, 0.1 + (t - 90) * 0.09);
+    }
+    ts.push(at_s(t), v);
+  }
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(90));
+  EXPECT_NEAR(r.nominal_mbps, 1.0, 0.15);
+  ASSERT_TRUE(r.ttr.has_value());
+}
+
+TEST(TtrTest, EmptyPreWindowGivesZeroNominal) {
+  TimeSeries ts;
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(90));
+  EXPECT_EQ(r.nominal_mbps, 0.0);
+  EXPECT_FALSE(r.ttr.has_value());
+}
+
+}  // namespace
+}  // namespace vca

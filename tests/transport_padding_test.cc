@@ -1,0 +1,112 @@
+// Tests for probe padding and its interaction with the receiver.
+#include <gtest/gtest.h>
+
+#include "cc/remb.h"
+#include "sim_fixture.h"
+#include "transport/rtp.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+using vca::testing::TwoHostNet;
+
+struct PaddedPair {
+  TwoHostNet& net;
+  RtpSender sender;
+  RtpReceiver receiver;
+  int frames = 0;
+
+  explicit PaddedPair(TwoHostNet& n)
+      : net(n),
+        sender(&n.sched, &n.c1,
+               {.ssrc = 1, .flow = 10, .dst = n.c2.id(),
+                .pacing_rate = DataRate::mbps(50)}),
+        receiver(&n.sched, &n.c2,
+                 {.ssrc = 1, .feedback_flow = 10, .feedback_dst = n.c1.id()}) {
+    n.c2.register_flow(10, [this](Packet p) {
+      if (p.is_media()) receiver.handle_packet(p);
+    });
+    n.c1.register_flow(10, [this](Packet p) {
+      if (p.type == PacketType::kRtcp) sender.handle_rtcp(p.rtcp());
+    });
+    receiver.set_frame_handler([this](const DecodedFrame&) { ++frames; });
+  }
+
+  void send_frame(uint64_t id, bool key = false) {
+    EncodedFrame f;
+    f.ssrc = 1;
+    f.frame_id = id;
+    f.bytes = 2000;
+    f.keyframe = key;
+    f.capture_time = net.sched.now();
+    sender.send_frame(f);
+  }
+};
+
+TEST(PaddingTest, PaddingNeverDecodesAsFrames) {
+  TwoHostNet net;
+  PaddedPair p(net);
+  p.send_frame(0, true);
+  for (int i = 0; i < 20; ++i) p.sender.send_padding(2400);
+  net.sched.run_for(2_s);
+  EXPECT_EQ(p.frames, 1);  // only the real frame
+}
+
+TEST(PaddingTest, PaddingCountsTowardReceiveRate) {
+  TwoHostNet net;
+  PaddedPair p(net);
+  DataRate rate_with_padding;
+  p.sender.set_feedback_handler([&](const RtcpMeta& fb) {
+    if (fb.receive_rate > rate_with_padding) rate_with_padding = fb.receive_rate;
+  });
+  // ~0.5 Mbps media + ~1 Mbps padding.
+  for (int i = 0; i < 30; ++i) {
+    net.sched.schedule(Duration::millis(100 * i), [&, i] {
+      p.send_frame(static_cast<uint64_t>(i), i == 0);
+      p.sender.send_padding(12'500);
+    });
+  }
+  net.sched.run_for(4_s);
+  EXPECT_GT(rate_with_padding.mbps_f(), 1.0);
+}
+
+TEST(PaddingTest, PaddingGrowsReceiverEstimate) {
+  TwoHostNet net;
+  PaddedPair p(net);
+  auto cfg = ReceiveSideEstimator::preset(ReceiveSideEstimator::Preset::kGcc,
+                                          DataRate::kbps(300),
+                                          DataRate::mbps(5));
+  ReceiveSideEstimator est(cfg);
+  p.receiver.set_arrival_observer(&est);
+  // Media alone: ~0.16 Mbps. The estimate saturates near 1.5x that.
+  for (int i = 0; i < 100; ++i) {
+    net.sched.schedule(Duration::millis(100 * i),
+                       [&, i] { p.send_frame(static_cast<uint64_t>(i), i == 0); });
+  }
+  net.sched.run_for(11_s);
+  double without = est.current_estimate().mbps_f();
+  // Now add heavy padding: the estimate must climb well past that.
+  for (int i = 100; i < 200; ++i) {
+    net.sched.schedule(Duration::millis(100 * (i - 100)), [&, i] {
+      p.send_frame(static_cast<uint64_t>(i));
+      p.sender.send_padding(25'000);  // ~2 Mbps of probing
+    });
+  }
+  net.sched.run_for(11_s);
+  EXPECT_GT(est.current_estimate().mbps_f(), without * 1.5);
+}
+
+TEST(PaddingTest, FecBytesAccountedSeparately) {
+  TwoHostNet net;
+  PaddedPair p(net);
+  p.send_frame(0, true);
+  p.sender.send_padding(5000);
+  net.sched.run_for(1_s);
+  EXPECT_GT(p.sender.sent_fec_bytes(), 4900);
+  EXPECT_GT(p.sender.sent_media_bytes(), 1900);
+  EXPECT_LT(p.sender.sent_media_bytes(), 3000);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "sim_fixture.h"
+#include "transport/tcp.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+using vca::testing::TwoHostNet;
+
+constexpr FlowId kTcp = 20;
+
+struct TcpPair {
+  TcpSender sender;
+  TcpReceiverEndpoint receiver;
+
+  TcpPair(TwoHostNet& n, TcpSender::Config cfg = {})
+      : sender(&n.sched, &n.c1,
+               [&] {
+                 cfg.flow = kTcp;
+                 cfg.dst = n.c2.id();
+                 return cfg;
+               }()),
+        receiver(&n.sched, &n.c2, {.flow = kTcp, .peer = n.c1.id()}) {
+    n.c2.register_flow(kTcp, [this](Packet p) { receiver.handle_packet(p); });
+    n.c1.register_flow(kTcp, [this](Packet p) { sender.handle_packet(p); });
+  }
+};
+
+TEST(TcpTest, TransfersExactByteCount) {
+  TwoHostNet net(DataRate::mbps(10));
+  TcpPair t(net);
+  t.sender.write(100'000);
+  net.sched.run_for(5_s);
+  EXPECT_EQ(t.receiver.delivered_bytes(), 100'000);
+  EXPECT_EQ(t.sender.acked_bytes(), 100'000);
+  EXPECT_TRUE(t.sender.idle());
+}
+
+TEST(TcpTest, UnlimitedFlowSaturatesLink) {
+  TwoHostNet net(DataRate::mbps(5));
+  TcpSender::Config cfg;
+  cfg.unlimited = true;
+  TcpPair t(net, cfg);
+  net.sched.run_for(10_s);
+  // Goodput within 20% of the 5 Mbps bottleneck after slow start.
+  double mbps = static_cast<double>(t.receiver.delivered_bytes()) * 8 / 10e6;
+  EXPECT_GT(mbps, 4.0);
+  EXPECT_LT(mbps, 5.2);
+}
+
+TEST(TcpTest, RecoversFromSingleLoss) {
+  TwoHostNet net(DataRate::mbps(10));
+  TcpPair t(net);
+  // Drop one specific data packet by intercepting the flow.
+  int count = 0;
+  net.c2.register_flow(kTcp, [&](Packet p) {
+    if (++count == 20) return;
+    t.receiver.handle_packet(p);
+  });
+  t.sender.write(300'000);
+  net.sched.run_for(10_s);
+  EXPECT_EQ(t.receiver.delivered_bytes(), 300'000);
+  EXPECT_GT(t.sender.retransmits(), 0);
+}
+
+TEST(TcpTest, SlowStartDoublesWindow) {
+  TwoHostNet net(DataRate::mbps(100));
+  TcpSender::Config cfg;
+  cfg.unlimited = true;
+  TcpPair t(net, cfg);
+  double cwnd_start = t.sender.cwnd_packets();
+  net.sched.run_for(500_ms);
+  EXPECT_GT(t.sender.cwnd_packets(), cwnd_start * 2);
+}
+
+TEST(TcpTest, CongestionReducesWindow) {
+  // Tight bottleneck with a small queue: losses are guaranteed.
+  TwoHostNet net(DataRate::mbps(2), Duration::millis(5), 20'000);
+  TcpSender::Config cfg;
+  cfg.unlimited = true;
+  TcpPair t(net, cfg);
+  net.sched.run_for(15_s);
+  EXPECT_GT(t.sender.retransmits(), 0);
+  // cwnd should have settled near the BDP+queue (~(2Mbps*20ms + 20kB)/1.5kB
+  // ~= 17 packets), far below the unbounded slow-start trajectory.
+  EXPECT_LT(t.sender.cwnd_packets(), 100.0);
+}
+
+TEST(TcpTest, RtoFiresAfterBlackout) {
+  TwoHostNet net(DataRate::mbps(10));
+  TcpPair t(net);
+  bool blackhole = false;
+  net.c2.register_flow(kTcp, [&](Packet p) {
+    if (blackhole) return;
+    t.receiver.handle_packet(p);
+  });
+  t.sender.write(50'000);
+  net.sched.schedule(50_ms, [&] { blackhole = true; });
+  net.sched.schedule(2_s, [&] { blackhole = false; });
+  net.sched.run_for(20_s);
+  EXPECT_GT(t.sender.timeouts(), 0);
+  EXPECT_EQ(t.receiver.delivered_bytes(), 50'000);
+}
+
+TEST(TcpTest, SrttTracksPathRtt) {
+  TwoHostNet net(DataRate::mbps(50), Duration::millis(10));
+  TcpSender::Config cfg;
+  cfg.unlimited = true;
+  TcpPair t(net, cfg);
+  net.sched.run_for(2_s);
+  // Path RTT is 4 x 10 ms propagation plus serialization/queueing.
+  EXPECT_GT(t.sender.srtt().ms(), 30);
+  EXPECT_LT(t.sender.srtt().ms(), 200);
+}
+
+TEST(TcpTest, TwoFlowsShareBottleneckRoughlyFairly) {
+  // Both senders on c1 side; shared 4 Mbps bottleneck at c2 downlink.
+  TwoHostNet net(DataRate::mbps(100), Duration::millis(5), 100'000);
+  net.c2_down->set_rate(DataRate::mbps(4));
+  TcpSender::Config cfg;
+  cfg.unlimited = true;
+
+  TcpSender s1(&net.sched, &net.c1, {.flow = 31, .dst = 2, .unlimited = true});
+  TcpReceiverEndpoint r1(&net.sched, &net.c2, {.flow = 31, .peer = 1});
+  TcpSender s2(&net.sched, &net.c1, {.flow = 32, .dst = 2, .unlimited = true});
+  TcpReceiverEndpoint r2(&net.sched, &net.c2, {.flow = 32, .peer = 1});
+  net.c2.register_flow(31, [&](Packet p) { r1.handle_packet(p); });
+  net.c2.register_flow(32, [&](Packet p) { r2.handle_packet(p); });
+  net.c1.register_flow(31, [&](Packet p) { s1.handle_packet(p); });
+  net.c1.register_flow(32, [&](Packet p) { s2.handle_packet(p); });
+
+  net.sched.run_for(60_s);
+  double g1 = static_cast<double>(r1.delivered_bytes());
+  double g2 = static_cast<double>(r2.delivered_bytes());
+  double share = g1 / (g1 + g2);
+  EXPECT_GT(share, 0.30);
+  EXPECT_LT(share, 0.70);
+  // Combined goodput should approach the bottleneck.
+  double total_mbps = (g1 + g2) * 8 / 60e6;
+  EXPECT_GT(total_mbps, 3.2);
+}
+
+TEST(TcpTest, StopHaltsTransmission) {
+  TwoHostNet net(DataRate::mbps(10));
+  TcpSender::Config cfg;
+  cfg.unlimited = true;
+  TcpPair t(net, cfg);
+  net.sched.run_for(1_s);
+  t.sender.stop();
+  int64_t sent = t.sender.sent_bytes();
+  net.sched.run_for(2_s);
+  EXPECT_EQ(t.sender.sent_bytes(), sent);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,181 @@
+// Integration tests: full calls over the simulated network.
+#include <gtest/gtest.h>
+
+#include "harness/network.h"
+#include "vca/call.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+struct CallRig {
+  Network net;
+  Network::HostPorts sfu, c1, c2;
+  std::unique_ptr<Call> call;
+
+  explicit CallRig(const std::string& profile, uint64_t seed = 1,
+                   ViewMode mode = ViewMode::kGallery) {
+    sfu = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                       Duration::millis(8), 4 << 20);
+    c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1),
+                      Duration::millis(2), 1 << 20);
+    c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                      Duration::millis(2), 1 << 20);
+    Call::Config cfg;
+    cfg.profile = vca_profile(profile);
+    cfg.seed = seed;
+    cfg.mode = mode;
+    call = std::make_unique<Call>(&net.sched(), sfu.host, cfg);
+    call->add_client(c1.host);
+    call->add_client(c2.host);
+  }
+};
+
+TEST(CallTest, MediaFlowsBothWays) {
+  CallRig rig("meet");
+  FlowCapture* up = rig.net.capture(rig.c1.up);
+  FlowCapture* down = rig.net.capture(rig.c1.down);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 60_s);
+  rig.call->stop();
+  EXPECT_GT(up->total_bytes(), 1'000'000);
+  EXPECT_GT(down->total_bytes(), 1'000'000);
+}
+
+TEST(CallTest, FramesAreDecodedAtBothClients) {
+  CallRig rig("zoom");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 30_s);
+  rig.call->stop();
+  for (size_t i = 0; i < 2; ++i) {
+    const auto& feeds = rig.call->client(i)->feeds();
+    ASSERT_EQ(feeds.size(), 1u);
+    // ~30 fps for ~30 s, allowing startup slack.
+    EXPECT_GT(feeds[0]->stats->total_frames(), 500);
+  }
+}
+
+TEST(CallTest, UtilizationNearNominal) {
+  // Regression guard on the Table 2 calibration (generous tolerances).
+  struct Expect {
+    const char* profile;
+    double up_lo, up_hi;
+  };
+  for (const Expect& e : {Expect{"meet", 0.75, 1.15},
+                          Expect{"zoom", 0.65, 1.05}}) {
+    CallRig rig(e.profile, 42);
+    FlowCapture* up = rig.net.capture(rig.c1.up);
+    rig.call->start();
+    rig.net.sched().run_until(TimePoint::zero() + 120_s);
+    rig.call->stop();
+    double mbps = up->mean_rate(TimePoint::zero() + 40_s,
+                                TimePoint::zero() + 120_s)
+                      .mbps_f();
+    EXPECT_GT(mbps, e.up_lo) << e.profile;
+    EXPECT_LT(mbps, e.up_hi) << e.profile;
+  }
+}
+
+TEST(CallTest, StopSilencesClients) {
+  CallRig rig("meet");
+  FlowCapture* up = rig.net.capture(rig.c1.up);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 10_s);
+  rig.call->stop();
+  rig.net.sched().run_until(TimePoint::zero() + 12_s);
+  int64_t bytes = up->total_bytes();
+  rig.net.sched().run_until(TimePoint::zero() + 20_s);
+  // Only residual RTCP may trickle; media must have stopped.
+  EXPECT_LT(up->total_bytes() - bytes, 100'000);
+}
+
+TEST(CallTest, MeetSendsTwoSimulcastCopiesUnconstrained) {
+  CallRig rig("meet");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 30_s);
+  VcaClient* c1 = rig.call->client(0);
+  const EncoderSettings* low = c1->layer_settings(0);
+  const EncoderSettings* high = c1->layer_settings(1);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_EQ(low->width, 320);
+  EXPECT_EQ(high->width, 640);
+  rig.call->stop();
+}
+
+TEST(CallTest, ZoomDownstreamExceedsUpstreamViaServerFec) {
+  CallRig rig("zoom", 9);
+  FlowCapture* up = rig.net.capture(rig.c1.up);
+  FlowCapture* down = rig.net.capture(rig.c1.down);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 120_s);
+  rig.call->stop();
+  TimePoint from = TimePoint::zero() + 40_s;
+  TimePoint to = TimePoint::zero() + 120_s;
+  // §3.1 asymmetry: the SFU adds FEC downstream.
+  EXPECT_GT(down->mean_rate(from, to).mbps_f(),
+            up->mean_rate(from, to).mbps_f() * 1.05);
+}
+
+TEST(CallTest, TeamsRelaysAllowedRateEndToEnd) {
+  CallRig rig("teams");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 40_s);
+  // Unconstrained: allowed rate must not be the limiting factor.
+  EXPECT_GT(rig.call->client(1)->current_target().mbps_f(), 0.9);
+  // Shape C1's downlink hard; C2's sending rate must follow within ~15 s.
+  rig.c1.down->set_rate(DataRate::kbps(300));
+  rig.c1.down->set_queue_bytes(15'000);
+  rig.net.sched().run_until(TimePoint::zero() + 70_s);
+  EXPECT_LT(rig.call->client(1)->current_target().mbps_f(), 0.5);
+  rig.call->stop();
+}
+
+TEST(CallTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [](uint64_t seed) {
+    CallRig rig("meet", seed);
+    FlowCapture* up = rig.net.capture(rig.c1.up);
+    rig.call->start();
+    rig.net.sched().run_until(TimePoint::zero() + 30_s);
+    rig.call->stop();
+    return up->total_bytes();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(CallTest, SpeakerModeRaisesPinnedUplink) {
+  // Three-party call; everyone pins C1 -> its encode width request rises
+  // and so does its uplink (§6.2).
+  auto uplink_for = [](ViewMode mode) {
+    Network net;
+    auto sfu = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                            Duration::millis(8), 4 << 20);
+    Call::Config cfg;
+    cfg.profile = vca_profile("zoom");
+    cfg.seed = 5;
+    cfg.mode = mode;
+    cfg.pinned_client = 0;
+    Call call(&net.sched(), sfu.host, cfg);
+    std::vector<Network::HostPorts> ports;
+    for (int i = 0; i < 5; ++i) {
+      ports.push_back(net.add_host("c" + std::to_string(i)));
+      call.add_client(ports.back().host);
+    }
+    FlowCapture* up = net.capture(ports[0].up);
+    call.start();
+    net.sched().run_until(TimePoint::zero() + 60_s);
+    call.stop();
+    return up->mean_rate(TimePoint::zero() + 30_s, TimePoint::zero() + 60_s)
+        .mbps_f();
+  };
+  double gallery = uplink_for(ViewMode::kGallery);
+  double speaker = uplink_for(ViewMode::kSpeaker);
+  // Zoom at n=5 gallery has 320-wide tiles (~0.4 Mbps); pinning restores
+  // the full ladder (~0.8+ Mbps).
+  EXPECT_GT(speaker, gallery * 1.5);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "vca/layout.h"
+
+namespace vca {
+namespace {
+
+TEST(LayoutTest, TwoPartyIsFullscreen) {
+  for (VcaKind k : {VcaKind::kMeet, VcaKind::kTeams, VcaKind::kZoom}) {
+    EXPECT_EQ(requested_width(k, 2, ViewMode::kGallery, false), 1280);
+  }
+}
+
+TEST(LayoutTest, ZoomGridKneeAtFiveParticipants) {
+  // 2x2 grid through n=4 keeps 640-wide requests; the third column at n=5
+  // shrinks tiles below the 640 threshold (the paper's §6.1 uplink knee).
+  EXPECT_EQ(requested_width(VcaKind::kZoom, 4, ViewMode::kGallery, false), 640);
+  EXPECT_EQ(requested_width(VcaKind::kZoom, 5, ViewMode::kGallery, false), 320);
+  EXPECT_EQ(requested_width(VcaKind::kZoom, 8, ViewMode::kGallery, false), 320);
+}
+
+TEST(LayoutTest, MeetKneeAtSevenParticipants) {
+  EXPECT_EQ(requested_width(VcaKind::kMeet, 6, ViewMode::kGallery, false), 640);
+  EXPECT_EQ(requested_width(VcaKind::kMeet, 7, ViewMode::kGallery, false), 320);
+}
+
+TEST(LayoutTest, TeamsRequestsNeverShrink) {
+  for (int n = 3; n <= 8; ++n) {
+    EXPECT_EQ(requested_width(VcaKind::kTeams, n, ViewMode::kGallery, false),
+              640)
+        << "n=" << n;
+  }
+}
+
+TEST(LayoutTest, SpeakerModePinnedGetsLargeRequest) {
+  for (VcaKind k : {VcaKind::kMeet, VcaKind::kTeams, VcaKind::kZoom}) {
+    EXPECT_EQ(requested_width(k, 6, ViewMode::kSpeaker, true), 1280);
+    EXPECT_EQ(requested_width(k, 6, ViewMode::kSpeaker, false), 180);
+  }
+}
+
+TEST(LayoutTest, TeamsDisplaysAtMostFourFeeds) {
+  EXPECT_EQ(displayed_feeds(VcaKind::kTeams, 3, ViewMode::kGallery), 2);
+  EXPECT_EQ(displayed_feeds(VcaKind::kTeams, 5, ViewMode::kGallery), 4);
+  EXPECT_EQ(displayed_feeds(VcaKind::kTeams, 8, ViewMode::kGallery), 4);
+  EXPECT_EQ(displayed_feeds(VcaKind::kMeet, 8, ViewMode::kGallery), 7);
+  EXPECT_EQ(displayed_feeds(VcaKind::kTeams, 8, ViewMode::kSpeaker), 7);
+}
+
+TEST(LayoutTest, TileWidthLadder) {
+  EXPECT_EQ(width_request_for_tile(1366), 1280);
+  EXPECT_EQ(width_request_for_tile(683), 640);
+  EXPECT_EQ(width_request_for_tile(455), 320);
+  EXPECT_EQ(width_request_for_tile(200), 180);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "vca/profile.h"
+
+namespace vca {
+namespace {
+
+TEST(ProfileTest, FactoryKnowsAllNames) {
+  for (const auto& name : all_profile_names()) {
+    VcaProfile p = vca_profile(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_FALSE(p.layers.empty());
+    EXPECT_GT(p.nominal_video.bits_per_sec(), 0);
+  }
+}
+
+TEST(ProfileTest, ArchitecturesMatchPaper) {
+  EXPECT_EQ(vca_profile("meet").arch, Architecture::kSimulcastSfu);
+  EXPECT_EQ(vca_profile("teams").arch, Architecture::kRelay);
+  EXPECT_EQ(vca_profile("zoom").arch, Architecture::kSvcSfu);
+}
+
+TEST(ProfileTest, ZoomHasServerFecTeamsAndMeetDoNot) {
+  EXPECT_GT(vca_profile("zoom").server_fec, 0.0);
+  EXPECT_EQ(vca_profile("meet").server_fec, 0.0);
+  EXPECT_EQ(vca_profile("teams").server_fec, 0.0);
+}
+
+TEST(ProfileTest, ChromeVariantUsesMargin) {
+  EXPECT_LT(vca_profile("teams-chrome").target_margin, 0.9);
+  EXPECT_DOUBLE_EQ(vca_profile("zoom-chrome").target_margin, 1.0);
+}
+
+TEST(ProfileTest, MeetAllocatorUsesBothSimulcastCopies) {
+  VcaProfile p = vca_profile("meet");
+  StreamAllocation a = p.allocate(DataRate::kbps(850), 1280, false);
+  ASSERT_EQ(a.items.size(), 2u);
+  EXPECT_EQ(a.items[0].layer, 0);
+  EXPECT_EQ(a.items[1].layer, 1);
+  // Low copy fixed, high copy absorbs the rest.
+  EXPECT_NEAR(a.items[0].target.kbps_f(), 150.0, 1.0);
+  EXPECT_GT(a.items[1].target.kbps_f(), 500.0);
+}
+
+TEST(ProfileTest, MeetDropsHighCopyUnderPressureOrSmallTiles) {
+  VcaProfile p = vca_profile("meet");
+  // Tight budget: low copy only, absorbing the budget (Fig 1a >90% util).
+  StreamAllocation tight = p.allocate(DataRate::kbps(400), 1280, false);
+  ASSERT_EQ(tight.items.size(), 1u);
+  EXPECT_EQ(tight.items[0].layer, 0);
+  EXPECT_NEAR(tight.items[0].target.kbps_f(), 400.0, 1.0);
+  // Small tiles: no viewer wants 640, so no high copy even with budget.
+  StreamAllocation small = p.allocate(DataRate::kbps(850), 320, false);
+  ASSERT_EQ(small.items.size(), 1u);
+}
+
+TEST(ProfileTest, MeetUltraLowVariantShrinksLowCopy) {
+  VcaProfile p = vca_profile("meet");
+  StreamAllocation a = p.allocate(DataRate::kbps(850), 1280, true);
+  EXPECT_NEAR(a.items[0].target.kbps_f(), 110.0, 1.0);
+  EXPECT_TRUE(a.items[0].ultra_low);
+}
+
+TEST(ProfileTest, ZoomLayerActivationFollowsBudgetAndWidth) {
+  VcaProfile p = vca_profile("zoom");
+  // Full budget, big window: all three layers.
+  EXPECT_EQ(p.allocate(DataRate::kbps(680), 1280, false).items.size(), 3u);
+  // Small tile: top (720p) layer gated out even with budget.
+  EXPECT_EQ(p.allocate(DataRate::kbps(680), 320, false).items.size(), 2u);
+  // Tiny budget: base layer only.
+  EXPECT_EQ(p.allocate(DataRate::kbps(150), 1280, false).items.size(), 1u);
+}
+
+TEST(ProfileTest, ZoomTopLayerAbsorbsRemainder) {
+  VcaProfile p = vca_profile("zoom");
+  StreamAllocation a = p.allocate(DataRate::kbps(680), 1280, false);
+  DataRate total;
+  for (const auto& i : a.items) total = total + i.target;
+  EXPECT_NEAR(total.kbps_f(), 680.0, 40.0);
+}
+
+TEST(ProfileTest, TeamsWidthRateCapLadder) {
+  VcaProfile p = vca_profile("teams");
+  EXPECT_GT(p.width_rate_cap(1280).kbps_f(), p.width_rate_cap(640).kbps_f());
+  EXPECT_GT(p.width_rate_cap(640).kbps_f(), p.width_rate_cap(320).kbps_f());
+  // Allocation respects the cap for small tiles.
+  StreamAllocation a = p.allocate(DataRate::kbps(1300), 640, false);
+  ASSERT_EQ(a.items.size(), 1u);
+  EXPECT_LE(a.items[0].target.kbps_f(), 901.0);
+}
+
+TEST(ProfileTest, TeamsPolicyWidthBugBelow320kbps) {
+  VcaProfile p = vca_profile("teams");
+  EncoderPolicy policy = p.policy_for_layer(0);
+  // Healthy ladder above the bug zone...
+  EXPECT_LE(policy(DataRate::kbps(400), 1280).width, 480);
+  // ...but at ~0.3 Mbps the width jumps back up (emulated §3.2 bug).
+  EXPECT_EQ(policy(DataRate::kbps(300), 1280).width, 960);
+}
+
+TEST(ProfileTest, MeetPoliciesMatchFig2Shapes) {
+  VcaProfile p = vca_profile("meet");
+  EncoderPolicy low = p.policy_for_layer(0);
+  EncoderPolicy high = p.policy_for_layer(1);
+  // Low copy is 320 wide; the ultra-low variant reports the QP 33 quirk.
+  EXPECT_EQ(low(DataRate::kbps(150), 320).width, 320);
+  EXPECT_EQ(low(DataRate::kbps(150), 320).qp, 38);
+  EXPECT_EQ(low(DataRate::kbps(110), 320).qp, 33);
+  // High copy degrades QP-first as its budget shrinks, fps stays 30.
+  EncoderSettings full = high(DataRate::kbps(700), 1280);
+  EncoderSettings squeezed = high(DataRate::kbps(400), 1280);
+  EXPECT_GT(squeezed.qp, full.qp);
+  EXPECT_DOUBLE_EQ(squeezed.fps, 30.0);
+}
+
+}  // namespace
+}  // namespace vca

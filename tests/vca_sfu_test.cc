@@ -1,0 +1,147 @@
+// Direct tests of SFU forwarding behavior (selection, thinning, FEC,
+// keyframe propagation) using a real two-client call rig.
+#include <gtest/gtest.h>
+
+#include "harness/network.h"
+#include "vca/call.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+struct SfuRig {
+  Network net;
+  Network::HostPorts sfu, c1, c2;
+  std::unique_ptr<Call> call;
+
+  explicit SfuRig(const std::string& profile, uint64_t seed = 1) {
+    sfu = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                       Duration::millis(8), 4 << 20);
+    c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1),
+                      Duration::millis(2), 1 << 20);
+    c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                      Duration::millis(2), 1 << 20);
+    Call::Config cfg;
+    cfg.profile = vca_profile(profile);
+    cfg.seed = seed;
+    call = std::make_unique<Call>(&net.sched(), sfu.host, cfg);
+    call->add_client(c1.host);
+    call->add_client(c2.host);
+  }
+  VcaClient* cl(int i) { return call->client(static_cast<size_t>(i)); }
+};
+
+TEST(SfuTest, MeetSelectsHighCopyWithHeadroom) {
+  SfuRig rig("meet");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 40_s);
+  EXPECT_EQ(rig.call->sfu()->selected_stream(rig.cl(0), rig.cl(1)), 1);
+  // The viewer sees 640-wide video at full rate.
+  EXPECT_EQ(rig.cl(0)->feeds()[0]->stats->per_second().back().width, 640);
+  rig.call->stop();
+}
+
+TEST(SfuTest, MeetDowngradesToLowCopyUnderDownlinkConstraint) {
+  SfuRig rig("meet");
+  rig.c1.down->set_rate(DataRate::kbps(400));
+  rig.c1.down->set_queue_bytes(15'000);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 60_s);
+  EXPECT_EQ(rig.call->sfu()->selected_stream(rig.cl(0), rig.cl(1)), 0);
+  EXPECT_EQ(rig.cl(0)->feeds()[0]->stats->per_second().back().width, 320);
+  rig.call->stop();
+}
+
+TEST(SfuTest, MeetThinsTemporallyInTheMiddleBand) {
+  SfuRig rig("meet");
+  rig.c1.down->set_rate(DataRate::kbps(650));
+  rig.c1.down->set_queue_bytes(24'000);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 90_s);
+  // Either the thinned high copy (fps ~15) or the low copy (fps 30,
+  // width 320) — never full-rate 640@30 (Fig 2a's staircase).
+  double fps = rig.cl(0)->feeds()[0]->stats->median_fps();
+  double width = rig.cl(0)->feeds()[0]->stats->median_width();
+  EXPECT_TRUE((width == 640 && fps < 22.0) || width == 320)
+      << "width=" << width << " fps=" << fps;
+  rig.call->stop();
+}
+
+TEST(SfuTest, ZoomForwardsAllLayersWithFecOverhead) {
+  SfuRig rig("zoom");
+  FlowCapture* down = rig.net.capture(rig.c1.down);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 60_s);
+  EXPECT_EQ(rig.call->sfu()->active_layers(rig.cl(0), rig.cl(1)), 3);
+  // Downstream carries the upstream media plus ~18% server FEC.
+  FlowCapture* up = rig.net.capture(rig.c2.up);
+  rig.net.sched().run_until(TimePoint::zero() + 120_s);
+  double down_mbps = down->mean_rate(TimePoint::zero() + 70_s,
+                                     TimePoint::zero() + 120_s)
+                         .mbps_f();
+  double up_mbps = up->mean_rate(TimePoint::zero() + 70_s,
+                                 TimePoint::zero() + 120_s)
+                       .mbps_f();
+  EXPECT_GT(down_mbps, up_mbps * 1.08);
+  rig.call->stop();
+}
+
+TEST(SfuTest, ZoomShedsLayersUnderDownlinkConstraint) {
+  SfuRig rig("zoom");
+  rig.c1.down->set_rate(DataRate::kbps(400));
+  rig.c1.down->set_queue_bytes(15'000);
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 60_s);
+  EXPECT_LT(rig.call->sfu()->active_layers(rig.cl(0), rig.cl(1)), 3);
+  rig.call->stop();
+}
+
+TEST(SfuTest, TeamsRelayDoesNotReoriginateQuality) {
+  SfuRig rig("teams");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 40_s);
+  // What C1 sees is exactly what C2 encodes (width passes through).
+  const EncoderSettings* s = rig.cl(1)->layer_settings(0);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(rig.cl(0)->feeds()[0]->stats->per_second().back().width, s->width);
+  rig.call->stop();
+}
+
+TEST(SfuTest, ViewerFirPropagatesToPublisherEncoder) {
+  SfuRig rig("meet");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 10_s);
+  uint64_t frames_before = 0;
+  // Blackhole C1's downlink media for a while: its feed stalls, FIRs flow
+  // back to the SFU, which must solicit keyframes upstream.
+  (void)frames_before;
+  rig.c1.down->set_rate(DataRate::kbps(10));
+  rig.net.sched().run_until(TimePoint::zero() + 13_s);
+  rig.c1.down->set_rate(DataRate::gbps(1));
+  int fir_before = rig.cl(0)->feeds()[0]->receiver->fir_sent();
+  rig.net.sched().run_until(TimePoint::zero() + 30_s);
+  EXPECT_GE(rig.cl(0)->feeds()[0]->receiver->fir_sent(), fir_before);
+  // And the call must fully recover.
+  auto& stats = *rig.cl(0)->feeds()[0]->stats;
+  rig.net.sched().run_until(TimePoint::zero() + 40_s);
+  EXPECT_GT(stats.per_second().back().fps, 20.0);
+  rig.call->stop();
+}
+
+TEST(SfuTest, ViewerBudgetTracksDownlink) {
+  SfuRig rig("meet");
+  rig.call->start();
+  rig.net.sched().run_until(TimePoint::zero() + 40_s);
+  DataRate unconstrained = rig.call->sfu()->viewer_budget(rig.cl(0));
+  rig.c1.down->set_rate(DataRate::kbps(300));
+  rig.c1.down->set_queue_bytes(12'000);
+  rig.net.sched().run_until(TimePoint::zero() + 80_s);
+  DataRate constrained = rig.call->sfu()->viewer_budget(rig.cl(0));
+  EXPECT_LT(constrained.bits_per_sec(), unconstrained.bits_per_sec());
+  EXPECT_LT(constrained.kbps_f(), 500.0);
+  rig.call->stop();
+}
+
+}  // namespace
+}  // namespace vca
