@@ -1,0 +1,80 @@
+// Fault-injection study: hard mid-call outages (rate -> 0, unlike the
+// paper's §4 shaped-down disruptions) and how each profile's resilience
+// machinery rides them out. Extends the §4 recovery comparison to full
+// connectivity loss: detection latency, reconnect latency after restore,
+// and time-to-recovery of the media rate, per profile and outage target.
+#include "bench_common.h"
+#include "core/stats_math.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+using namespace vca::bench;
+
+std::string opt_s(const std::optional<Duration>& d, int prec = 1) {
+  return d ? fmt(d->seconds(), prec) : std::string("never");
+}
+
+void uplink_outage_panel() {
+  header("outage-a", "10 s uplink outage at t=60 s (4 reps)");
+  TextTable table({"profile", "detect s [CI]", "reconnect s [CI]",
+                   "TTR s [CI]", "degradations", "invariant violations"});
+  for (const std::string profile : {"meet", "teams", "zoom"}) {
+    std::vector<double> detect, reconnect, ttr;
+    int degrades = 0;
+    size_t violations = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      OutageConfig cfg;
+      cfg.profile = profile;
+      cfg.seed = 900 + static_cast<uint64_t>(rep);
+      OutageResult r = run_outage(cfg);
+      if (r.detect_delay) detect.push_back(r.detect_delay->seconds());
+      if (r.reconnect_delay) reconnect.push_back(r.reconnect_delay->seconds());
+      // Censored = remaining call time, conservative (as in bench_fig4).
+      ttr.push_back(r.ttr.ttr ? r.ttr.ttr->seconds() : 110.0);
+      degrades += r.degrade_events;
+      violations += r.invariant_violations.size();
+    }
+    table.add_row({profile, ci_cell(confidence_interval(detect), 1),
+                   ci_cell(confidence_interval(reconnect), 1),
+                   ci_cell(confidence_interval(ttr), 1),
+                   std::to_string(degrades), std::to_string(violations)});
+  }
+  table.print(std::cout);
+  note("detect = outage onset -> media-timeout watchdog; reconnect = link "
+       "restore -> first keepalive echo / live feedback.");
+}
+
+void target_sweep_panel() {
+  header("outage-b", "outage target sweep, meet profile, single run");
+  TextTable table({"target", "detect (s)", "reconnect (s)", "TTR (s)",
+                   "reconnects"});
+  struct Row {
+    const char* name;
+    OutageTarget target;
+  };
+  for (const Row& row : {Row{"uplink", OutageTarget::kUplink},
+                         Row{"downlink", OutageTarget::kDownlink},
+                         Row{"both", OutageTarget::kBoth},
+                         Row{"sfu", OutageTarget::kSfu}}) {
+    OutageConfig cfg;
+    cfg.profile = "meet";
+    cfg.seed = 17;
+    cfg.target = row.target;
+    OutageResult r = run_outage(cfg);
+    table.add_row({row.name, opt_s(r.detect_delay), opt_s(r.reconnect_delay),
+                   r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1)
+                             : std::string("censored"),
+                   std::to_string(r.reconnects)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  uplink_outage_panel();
+  target_sweep_panel();
+  return 0;
+}

@@ -3,6 +3,7 @@
 //
 //   vcabench_cli two-party   --profile zoom --up 0.5 --seed 3 --csv out.csv
 //   vcabench_cli disruption  --profile teams --direction down --drop 0.25
+//   vcabench_cli outage      --profile meet --target up --start 60 --len 10
 //   vcabench_cli competition --profile zoom --vs iperf-up --link 2.0
 //   vcabench_cli multiparty  --profile meet --n 6 --mode speaker
 //
@@ -99,6 +100,47 @@ int cmd_disruption(const Args& a) {
   return 0;
 }
 
+int cmd_outage(const Args& a) {
+  OutageConfig cfg;
+  cfg.profile = a.get("profile", "meet");
+  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
+  std::string target = a.get("target", "up");
+  if (target == "down") {
+    cfg.target = OutageTarget::kDownlink;
+  } else if (target == "both") {
+    cfg.target = OutageTarget::kBoth;
+  } else if (target == "sfu") {
+    cfg.target = OutageTarget::kSfu;
+  } else {
+    cfg.target = OutageTarget::kUplink;
+  }
+  cfg.start = Duration::seconds(a.get_i("start", 60));
+  cfg.length = Duration::seconds(a.get_i("len", 10));
+  cfg.total = Duration::seconds(a.get_i("seconds", 180));
+  OutageResult r = run_outage(cfg);
+
+  auto opt_s = [](const std::optional<Duration>& d) {
+    return d ? fmt(d->seconds(), 2) + " s" : std::string("never");
+  };
+  TextTable t({"metric", "value"});
+  t.add_row({"detect (outage -> watchdog)", opt_s(r.detect_delay)});
+  t.add_row({"reconnect (restore -> alive)", opt_s(r.reconnect_delay)});
+  t.add_row({"reconnects", std::to_string(r.reconnects)});
+  t.add_row({"audio-only degradations", std::to_string(r.degrade_events)});
+  t.add_row({"nominal (Mbps)", fmt(r.ttr.nominal_mbps)});
+  t.add_row({"TTR", r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + " s"
+                              : std::string("censored")});
+  t.add_row({"invariant violations",
+             std::to_string(r.invariant_violations.size())});
+  t.print(std::cout);
+  for (const auto& v : r.invariant_violations) {
+    std::cout << "violation: " << v << "\n";
+  }
+  maybe_csv(a, {"c1_up_mbps", "c1_down_mbps"},
+            {&r.c1_up_series, &r.c1_down_series});
+  return r.invariant_violations.empty() ? 0 : 1;
+}
+
 int cmd_competition(const Args& a) {
   CompetitionConfig cfg;
   cfg.incumbent = a.get("profile", "zoom");
@@ -151,12 +193,14 @@ int cmd_multiparty(const Args& a) {
 
 int usage() {
   std::cout <<
-      "usage: vcabench_cli <two-party|disruption|competition|multiparty> "
+      "usage: vcabench_cli <two-party|disruption|outage|competition|multiparty> "
       "[--flag value ...]\n"
       "  two-party:   --profile P --up M --down M --loss PCT --latency MS "
       "--jitter MS --seconds N --seed S --csv FILE\n"
       "  disruption:  --profile P --direction up|down --drop M --seed S "
       "--csv FILE\n"
+      "  outage:      --profile P --target up|down|both|sfu --start S --len S "
+      "--seconds N --seed S --csv FILE\n"
       "  competition: --profile P --vs "
       "meet|teams|zoom|iperf-up|iperf-down|netflix|youtube --link M --csv F\n"
       "  multiparty:  --profile P --n N --mode gallery|speaker --seed S\n"
@@ -171,6 +215,7 @@ int main(int argc, char** argv) {
   Args a = parse(argc, argv);
   if (a.command == "two-party") return cmd_two_party(a);
   if (a.command == "disruption") return cmd_disruption(a);
+  if (a.command == "outage") return cmd_outage(a);
   if (a.command == "competition") return cmd_competition(a);
   if (a.command == "multiparty") return cmd_multiparty(a);
   return usage();

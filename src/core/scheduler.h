@@ -34,6 +34,7 @@ class EventScheduler {
     while (!queue_.empty() && queue_.top().at <= end) {
       Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
+      if (ev.at < now_) time_monotonic_ = false;
       now_ = ev.at;
       ++events_processed_;
       ev.fn();
@@ -49,6 +50,7 @@ class EventScheduler {
     while (!queue_.empty()) {
       Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
+      if (ev.at < now_) time_monotonic_ = false;
       now_ = ev.at;
       ++events_processed_;
       ev.fn();
@@ -58,6 +60,9 @@ class EventScheduler {
   bool empty() const { return queue_.empty(); }
   size_t pending() const { return queue_.size(); }
   uint64_t events_processed() const { return events_processed_; }
+  // False if any event was ever dispatched at a time before the clock —
+  // impossible by construction, verified by the sim invariant checker.
+  bool time_monotonic() const { return time_monotonic_; }
 
  private:
   struct Event {
@@ -72,6 +77,7 @@ class EventScheduler {
   TimePoint now_;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  bool time_monotonic_ = true;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

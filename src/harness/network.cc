@@ -21,6 +21,8 @@ Network::HostPorts Network::add_host(const std::string& name, DataRate up,
   down_link->set_sink(host.get());
 
   HostPorts ports{host.get(), up_link.get(), down_link.get()};
+  checker_.watch(up_link.get());
+  checker_.watch(down_link.get());
   hosts_.push_back(std::move(host));
   links_.push_back(std::move(up_link));
   links_.push_back(std::move(down_link));
@@ -47,6 +49,8 @@ Network::Segment* Network::add_segment(DataRate rate, Duration prop,
   seg->shared_up = up.get();
   seg->shared_down = down.get();
 
+  checker_.watch(up.get());
+  checker_.watch(down.get());
   switches_.push_back(std::move(sw));
   links_.push_back(std::move(up));
   links_.push_back(std::move(down));
@@ -75,6 +79,8 @@ Network::HostPorts Network::add_host_on_segment(Segment* seg,
   router_.add_route(host->id(), seg->shared_down);
 
   HostPorts ports{host.get(), up_link.get(), down_link.get()};
+  checker_.watch(up_link.get());
+  checker_.watch(down_link.get());
   hosts_.push_back(std::move(host));
   links_.push_back(std::move(up_link));
   links_.push_back(std::move(down_link));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/scheduler.h"
+#include "net/invariants.h"
 #include "net/link.h"
 #include "net/node.h"
 #include "stats/capture.h"
@@ -30,7 +31,7 @@ class Network {
     Link* shared_down = nullptr;  // router -> switch
   };
 
-  Network() = default;
+  Network() { checker_.watch(&sched_); }
 
   EventScheduler& sched() { return sched_; }
   ForwardingNode& router() { return router_; }
@@ -56,8 +57,16 @@ class Network {
     sched_.schedule_at(at, [link, rate] { link->set_rate(rate); });
   }
 
+  // Simulation self-checks over every link this topology created plus the
+  // scheduler clock. check() lists violations; enforce() also prints them
+  // and asserts in debug builds. Scenarios call enforce() after run_until
+  // so every test exercises the invariants.
+  std::vector<std::string> check_invariants() const { return checker_.check(); }
+  int enforce_invariants() const { return checker_.enforce(); }
+
  private:
   EventScheduler sched_;
+  SimInvariantChecker checker_;
   ForwardingNode router_{"router"};
   NodeId next_id_ = 1;
   std::vector<std::unique_ptr<Host>> hosts_;

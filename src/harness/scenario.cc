@@ -5,6 +5,7 @@
 #include "apps/abr_video.h"
 #include "apps/bulk_tcp.h"
 #include "harness/network.h"
+#include "net/faults.h"
 #include "vca/call.h"
 
 namespace vca {
@@ -125,6 +126,88 @@ DisruptionResult run_disruption(const DisruptionConfig& cfg) {
   out.ttr = time_to_recovery(out.disrupted_series, t0 + cfg.start,
                              t0 + cfg.start + cfg.length,
                              Duration::seconds(5), /*recovery_fraction=*/0.95);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+OutageResult run_outage(const OutageConfig& cfg) {
+  Network net;
+  auto sfu_ports = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                                Duration::millis(8), 4 << 20);
+  auto c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 256 * 1024);
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+
+  Call::Config call_cfg;
+  call_cfg.profile = vca_profile(cfg.profile);
+  call_cfg.seed = cfg.seed;
+  call_cfg.flow_base = kIncumbentFlowBase;
+  Call call(&net.sched(), sfu_ports.host, call_cfg);
+  VcaClient* cl1 = call.add_client(c1.host);
+  call.add_client(c2.host);
+
+  Duration bucket = Duration::millis(500);
+  FlowCapture* up_cap = net.capture(c1.up, bucket);
+  FlowCapture* down_cap = net.capture(c1.down, bucket);
+
+  TimePoint t0 = TimePoint::zero();
+  FaultPlan plan;
+  switch (cfg.target) {
+    case OutageTarget::kUplink:
+      plan.add_outage(c1.up, t0 + cfg.start, cfg.length);
+      break;
+    case OutageTarget::kDownlink:
+      plan.add_outage(c1.down, t0 + cfg.start, cfg.length);
+      break;
+    case OutageTarget::kBoth:
+      plan.add_outage(c1.up, t0 + cfg.start, cfg.length);
+      plan.add_outage(c1.down, t0 + cfg.start, cfg.length);
+      break;
+    case OutageTarget::kSfu: {
+      // Server blackout: its access links go dark and it stops serving,
+      // so restart resumes from live state (production SFU failover).
+      plan.add_outage(sfu_ports.up, t0 + cfg.start, cfg.length);
+      plan.add_outage(sfu_ports.down, t0 + cfg.start, cfg.length);
+      SfuServer* sfu = call.sfu();
+      plan.at(t0 + cfg.start, "sfu-offline", [sfu] { sfu->set_online(false); });
+      plan.at(t0 + cfg.start + cfg.length, "sfu-restart",
+              [sfu] { sfu->set_online(true); });
+      break;
+    }
+  }
+  plan.schedule(&net.sched());
+
+  call.start();
+  net.sched().run_until(t0 + cfg.total);
+  call.stop();
+
+  OutageResult out;
+  out.c1_up_series = up_cap->rates();
+  out.c1_down_series = down_cap->rates();
+  const TimeSeries& affected = cfg.target == OutageTarget::kDownlink
+                                   ? out.c1_down_series
+                                   : out.c1_up_series;
+  out.ttr = time_to_recovery(affected, t0 + cfg.start,
+                             t0 + cfg.start + cfg.length,
+                             Duration::seconds(5), /*recovery_fraction=*/0.95);
+  TimePoint onset = t0 + cfg.start;
+  TimePoint restored = t0 + cfg.start + cfg.length;
+  for (const ResilienceEvent& ev : cl1->resilience_events()) {
+    if (!out.detect_delay && ev.kind == ResilienceEventKind::kMediaTimeout &&
+        ev.at >= onset) {
+      out.detect_delay = ev.at - onset;
+    }
+    if (!out.reconnect_delay && ev.kind == ResilienceEventKind::kReconnected &&
+        ev.at >= restored) {
+      out.reconnect_delay = ev.at - restored;
+    }
+    if (ev.kind == ResilienceEventKind::kDegraded) ++out.degrade_events;
+  }
+  out.reconnects = cl1->reconnect_count();
+  out.invariant_violations = net.check_invariants();
+  net.enforce_invariants();
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/timeseries.h"
 #include "core/units.h"
@@ -71,6 +72,44 @@ struct DisruptionResult {
 };
 
 DisruptionResult run_disruption(const DisruptionConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Fault injection: a hard mid-call outage (rate -> 0, not merely shaped
+// down) or an SFU blackout, driven by a FaultPlan. Measures how each
+// profile's resilience machinery detects the dead path, reconnects once
+// service returns, and how long the media rate takes to recover.
+// ---------------------------------------------------------------------------
+
+enum class OutageTarget {
+  kUplink,    // C1's access uplink goes dark
+  kDownlink,  // C1's access downlink goes dark
+  kBoth,      // both directions (modem reboot)
+  kSfu,       // the server blacks out for everyone
+};
+
+struct OutageConfig {
+  std::string profile = "meet";
+  uint64_t seed = 1;
+  OutageTarget target = OutageTarget::kUplink;
+  Duration start = Duration::seconds(60);
+  Duration length = Duration::seconds(10);
+  Duration total = Duration::seconds(180);
+};
+
+struct OutageResult {
+  TimeSeries c1_up_series;
+  TimeSeries c1_down_series;
+  TtrResult ttr;  // recovery of the outage-affected direction
+  // Outage onset -> the client's watchdog declaring the path dead.
+  std::optional<Duration> detect_delay;
+  // Service restoration -> the client's first successful reconnect.
+  std::optional<Duration> reconnect_delay;
+  int reconnects = 0;
+  int degrade_events = 0;  // audio-only degradations observed
+  std::vector<std::string> invariant_violations;  // empty == healthy sim
+};
+
+OutageResult run_outage(const OutageConfig& cfg);
 
 // ---------------------------------------------------------------------------
 // §5: competition on a shared bottleneck (paper Fig 7 topology).

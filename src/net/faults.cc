@@ -1,0 +1,67 @@
+#include "net/faults.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vca {
+
+void FaultPlan::at(TimePoint when, std::string label,
+                   std::function<void()> action) {
+  entries_.push_back({when, std::move(label), std::move(action)});
+}
+
+void FaultPlan::add_outage(Link* link, TimePoint start, Duration length) {
+  at(start, link->name() + " down", [this, link] {
+    // Capture the live rate at outage time, not plan-build time: shaping
+    // may have changed it since.
+    if (!link->is_down()) saved_rate_[link] = link->rate();
+    link->set_rate(DataRate::zero());
+  });
+  at(start + length, link->name() + " up", [this, link] {
+    auto it = saved_rate_.find(link);
+    if (it != saved_rate_.end()) link->set_rate(it->second);
+  });
+}
+
+void FaultPlan::add_flap(Link* link, TimePoint first_down, int cycles,
+                         Duration down_for, Duration up_for) {
+  TimePoint t = first_down;
+  for (int i = 0; i < cycles; ++i) {
+    add_outage(link, t, down_for);
+    t += down_for + up_for;
+  }
+}
+
+void FaultPlan::add_burst_loss(Link* link, TimePoint start, Duration length,
+                               const GilbertElliott& ge) {
+  at(start, link->name() + " burst-loss on",
+     [link, ge] { link->set_burst_loss(ge); });
+  at(start + length, link->name() + " burst-loss off",
+     [link] { link->clear_burst_loss(); });
+}
+
+void FaultPlan::add_reorder(Link* link, TimePoint start, Duration length,
+                            double prob, Duration detour) {
+  at(start, link->name() + " reorder on",
+     [link, prob, detour] { link->set_reorder(prob, detour); });
+  at(start + length, link->name() + " reorder off",
+     [link] { link->set_reorder(0.0, Duration::zero()); });
+}
+
+void FaultPlan::add_duplicate(Link* link, TimePoint start, Duration length,
+                              double prob) {
+  at(start, link->name() + " duplicate on",
+     [link, prob] { link->set_duplicate(prob); });
+  at(start + length, link->name() + " duplicate off",
+     [link] { link->set_duplicate(0.0); });
+}
+
+void FaultPlan::schedule(EventScheduler* sched) {
+  assert(!armed_ && "FaultPlan::schedule called twice");
+  armed_ = true;
+  for (Entry& e : entries_) {
+    sched->schedule_at(e.at, e.action);
+  }
+}
+
+}  // namespace vca

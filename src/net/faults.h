@@ -1,0 +1,76 @@
+// Schedulable fault injection: the disruption shapes a real measurement
+// campaign throws at a VCA (mid-call outages, link flaps, bursty loss,
+// reordering, duplication, server failure) expressed as one declarative
+// plan and installed onto the event scheduler.
+//
+// A FaultPlan is built before the run and armed once with schedule().
+// Every entry is deterministic: timed actions fire at fixed virtual
+// times, and the random impairments they enable (burst loss, reorder,
+// duplication) draw from the target Link's impairment streams, which are
+// seeded up front. Identical seed + identical plan => identical packet
+// traces (see net_faults_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/time.h"
+#include "net/link.h"
+
+namespace vca {
+
+class FaultPlan {
+ public:
+  struct Entry {
+    TimePoint at;
+    std::string label;
+    std::function<void()> action;
+  };
+
+  // Link outage: rate -> 0 at `start`, restored to the rate the link had
+  // when the outage began at `start + length`. Packets queue through the
+  // outage (drop-tail); serialization resumes on restore.
+  void add_outage(Link* link, TimePoint start, Duration length);
+
+  // Link flap: `cycles` outages of `down_for` each, separated by `up_for`
+  // of healthy operation, starting at `first_down`.
+  void add_flap(Link* link, TimePoint first_down, int cycles,
+                Duration down_for, Duration up_for);
+
+  // Gilbert-Elliott burst loss on [start, start+length); reverts to the
+  // link's configured i.i.d. loss afterwards.
+  void add_burst_loss(Link* link, TimePoint start, Duration length,
+                      const GilbertElliott& ge);
+
+  // Probabilistic reordering (extra `detour` delay) on [start, start+length).
+  void add_reorder(Link* link, TimePoint start, Duration length, double prob,
+                   Duration detour);
+
+  // Probabilistic duplication on [start, start+length).
+  void add_duplicate(Link* link, TimePoint start, Duration length, double prob);
+
+  // Arbitrary timed action — infrastructure faults beyond single links
+  // (e.g. an SFU process outage/restart) hook in here so the net layer
+  // stays ignorant of what runs on top of it.
+  void at(TimePoint when, std::string label, std::function<void()> action);
+
+  // Install every entry onto the scheduler. Call exactly once, before the
+  // first entry's time; entries at equal times fire in insertion order.
+  void schedule(EventScheduler* sched);
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  // Rate each downed link had when its current outage began, so nested
+  // flap cycles restore the right thing.
+  std::map<Link*, DataRate> saved_rate_;
+  bool armed_ = false;
+};
+
+}  // namespace vca

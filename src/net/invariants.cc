@@ -1,0 +1,29 @@
+#include "net/invariants.h"
+
+#include <cassert>
+#include <iostream>
+
+namespace vca {
+
+std::vector<std::string> SimInvariantChecker::check() const {
+  std::vector<std::string> out;
+  TimePoint now = sched_ != nullptr ? sched_->now() : TimePoint::zero();
+  if (sched_ != nullptr && !sched_->time_monotonic()) {
+    out.push_back("scheduler: dispatched an event before the current time");
+  }
+  for (const Link* l : links_) {
+    l->append_invariant_violations(&out, now);
+  }
+  return out;
+}
+
+int SimInvariantChecker::enforce() const {
+  std::vector<std::string> violations = check();
+  for (const std::string& v : violations) {
+    std::cerr << "SIM INVARIANT VIOLATION: " << v << "\n";
+  }
+  assert(violations.empty() && "sim invariant violation (see stderr)");
+  return static_cast<int>(violations.size());
+}
+
+}  // namespace vca

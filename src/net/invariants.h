@@ -1,0 +1,41 @@
+// Sim invariant checker: the production-robustness safety net the fault
+// subsystem demanded. Registers the simulation's links and scheduler and,
+// on check(), validates:
+//   * packet conservation per link (offered == delivered + dropped +
+//     queued + in flight),
+//   * non-negative, drift-free queue byte accounting,
+//   * monotonic event time on the scheduler,
+//   * serialization liveness (no eternally-busy link, no idle link with a
+//     backlog) — the wedge class the zero-rate outage fix closed.
+//
+// check() is cheap (O(total queued packets)) and runs in every build;
+// enforce() additionally aborts in debug builds so a violating test dies
+// loudly at the point of corruption instead of producing garbage figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/link.h"
+
+namespace vca {
+
+class SimInvariantChecker {
+ public:
+  void watch(const Link* link) { links_.push_back(link); }
+  void watch(const EventScheduler* sched) { sched_ = sched; }
+
+  // Every violation found, one human-readable line each; empty == healthy.
+  std::vector<std::string> check() const;
+
+  // check(), print any violations to stderr, and (debug builds) abort.
+  // Returns the violation count so release callers can surface it.
+  int enforce() const;
+
+ private:
+  std::vector<const Link*> links_;
+  const EventScheduler* sched_ = nullptr;
+};
+
+}  // namespace vca

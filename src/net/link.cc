@@ -1,17 +1,52 @@
 #include "net/link.h"
 
 #include <algorithm>
-
 #include <utility>
 
 namespace vca {
 
+void Link::reseed_impairments() {
+  Rng root(cfg_.impairment_seed);
+  loss_jitter_rng_ = root;
+  burst_rng_ = root.fork("burst");
+  reorder_rng_ = root.fork("reorder");
+  duplicate_rng_ = root.fork("duplicate");
+  burst_state_bad_ = false;
+}
+
+void Link::set_impairment_seed(uint64_t seed) {
+  cfg_.impairment_seed = seed;
+  reseed_impairments();
+}
+
+void Link::set_burst_loss(const GilbertElliott& ge) {
+  burst_loss_ = ge;
+  burst_loss_enabled_ = true;
+}
+
+void Link::set_reorder(double prob, Duration extra) {
+  reorder_prob_ = prob;
+  reorder_extra_ = extra;
+}
+
+void Link::set_rate(DataRate r) {
+  bool was_down = cfg_.rate.is_zero();
+  cfg_.rate = r;
+  // Restoring a downed link resumes serialization of whatever the queue
+  // retained through the outage. (An in-flight packet at rate-change time
+  // still finishes at the old rate and restarts the loop itself.)
+  if (was_down && !r.is_zero() && !busy_ && !queue_.empty()) {
+    start_transmission();
+  }
+}
+
 void Link::deliver(Packet p) {
+  ++offered_packets_;
   // An empty queue always admits one packet, even one larger than the
   // configured capacity — matches bfifo semantics.
   if (queued_bytes_ + p.size_bytes > cfg_.queue_bytes && !queue_.empty()) {
-    ++dropped_packets_;
-    dropped_bytes_ += p.size_bytes;
+    ++queue_dropped_packets_;
+    queue_dropped_bytes_ += p.size_bytes;
     return;
   }
   queue_.push_back(std::move(p));
@@ -20,7 +55,8 @@ void Link::deliver(Packet p) {
 }
 
 void Link::start_transmission() {
-  if (queue_.empty()) {
+  // A down link holds its queue and waits for set_rate() to resume.
+  if (queue_.empty() || cfg_.rate.is_zero()) {
     busy_ = false;
     return;
   }
@@ -29,14 +65,26 @@ void Link::start_transmission() {
   queue_.pop_front();
   queued_bytes_ -= in_flight_.size_bytes;
   Duration tx = cfg_.rate.transmit_time(in_flight_.size_bytes);
-  if (tx.is_infinite()) {
-    // Zero-rate link: drop (shaped to nothing).
-    ++dropped_packets_;
-    dropped_bytes_ += in_flight_.size_bytes;
-    busy_ = false;
-    return;
-  }
+  finish_at_ = sched_->now() + tx;
   sched_->schedule(tx, [this] { finish_transmission(); });
+}
+
+bool Link::impairment_drop() {
+  if (burst_loss_enabled_) {
+    // Advance the two-state chain once per crossing, then draw the loss
+    // from the state the packet landed in.
+    if (burst_state_bad_) {
+      if (burst_rng_.bernoulli(burst_loss_.p_bad_to_good)) {
+        burst_state_bad_ = false;
+      }
+    } else if (burst_rng_.bernoulli(burst_loss_.p_good_to_bad)) {
+      burst_state_bad_ = true;
+    }
+    double p = burst_state_bad_ ? burst_loss_.loss_bad : burst_loss_.loss_good;
+    return burst_rng_.bernoulli(p);
+  }
+  return cfg_.random_loss > 0.0 &&
+         loss_jitter_rng_.bernoulli(cfg_.random_loss);
 }
 
 void Link::finish_transmission() {
@@ -44,22 +92,31 @@ void Link::finish_transmission() {
   ++delivered_packets_;
   if (tap_) tap_(in_flight_, sched_->now());
 
-  // netem-style impairments after the wire: random loss and jitter.
-  if (cfg_.random_loss > 0.0 || !cfg_.jitter_sd.is_zero()) {
-    if (!impairment_rng_) impairment_rng_.emplace(cfg_.impairment_seed);
-    if (cfg_.random_loss > 0.0 && impairment_rng_->bernoulli(cfg_.random_loss)) {
-      ++dropped_packets_;
-      dropped_bytes_ += in_flight_.size_bytes;
-      start_transmission();
-      return;
-    }
+  // netem-style impairments after the wire: loss, jitter, reorder, dup.
+  if (impairment_drop()) {
+    ++impairment_dropped_packets_;
+    impairment_dropped_bytes_ += in_flight_.size_bytes;
+    start_transmission();
+    return;
   }
   if (sink_ != nullptr) {
     Duration delay = cfg_.propagation;
     if (!cfg_.jitter_sd.is_zero()) {
-      double extra =
-          std::max(0.0, impairment_rng_->gaussian(0.0, cfg_.jitter_sd.seconds()));
+      double extra = std::max(
+          0.0, loss_jitter_rng_.gaussian(0.0, cfg_.jitter_sd.seconds()));
       delay += Duration::seconds_d(extra);
+    }
+    if (reorder_prob_ > 0.0 && reorder_rng_.bernoulli(reorder_prob_)) {
+      delay += reorder_extra_;
+      ++reordered_packets_;
+    }
+    bool dup = duplicate_prob_ > 0.0 && duplicate_rng_.bernoulli(duplicate_prob_);
+    if (dup) {
+      ++duplicated_packets_;
+      Packet copy = in_flight_;
+      sched_->schedule(delay, [this, copy = std::move(copy)]() mutable {
+        if (sink_ != nullptr) sink_->deliver(std::move(copy));
+      });
     }
     Packet out = std::move(in_flight_);
     sched_->schedule(delay, [this, out = std::move(out)]() mutable {
@@ -67,6 +124,43 @@ void Link::finish_transmission() {
     });
   }
   start_transmission();
+}
+
+void Link::append_invariant_violations(std::vector<std::string>* out,
+                                       TimePoint now) const {
+  auto fail = [&](const std::string& what) {
+    out->push_back("link '" + name_ + "': " + what);
+  };
+
+  if (queued_bytes_ < 0) {
+    fail("negative queued_bytes (" + std::to_string(queued_bytes_) + ")");
+  }
+  int64_t sum = 0;
+  for (const Packet& p : queue_) sum += p.size_bytes;
+  if (sum != queued_bytes_) {
+    fail("queue byte accounting drift (counter " +
+         std::to_string(queued_bytes_) + ", actual " + std::to_string(sum) +
+         ")");
+  }
+
+  int64_t accounted = delivered_packets_ + queue_dropped_packets_ +
+                      static_cast<int64_t>(queue_.size()) + (busy_ ? 1 : 0);
+  if (accounted != offered_packets_) {
+    fail("packet conservation broken (offered " +
+         std::to_string(offered_packets_) + ", accounted " +
+         std::to_string(accounted) + ")");
+  }
+
+  if (busy_) {
+    if (finish_at_ == TimePoint::infinite()) {
+      fail("busy with an infinite finish time (eternally-busy wedge)");
+    } else if (finish_at_ < now) {
+      fail("busy past its scheduled finish time (missed event)");
+    }
+  } else if (!queue_.empty() && !cfg_.rate.is_zero()) {
+    fail("idle with " + std::to_string(queue_.size()) +
+         " queued packets on an up link (stalled serialization)");
+  }
 }
 
 }  // namespace vca

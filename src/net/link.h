@@ -1,13 +1,29 @@
 // A unidirectional link: rate-limited serialization in front of a finite
 // drop-tail queue, plus propagation delay. `set_rate()` mid-simulation is
 // the equivalent of re-running `tc` on the testbed router.
+//
+// Outage semantics: a zero rate models a *down* link, not an infinitely
+// slow one. Packets keep queueing (drop-tail once the buffer fills) while
+// serialization is paused; restoring a nonzero rate restarts the
+// serialization loop with whatever survived in the queue — like a cable
+// unplugged and replugged under a CPE buffer.
+//
+// Impairments (netem-style) are applied after serialization, at the
+// simulated tcpdump vantage point: i.i.d. random loss, Gilbert-Elliott
+// burst loss, gaussian jitter, probabilistic reordering and duplication.
+// All impairment draws come from RNG streams derived from
+// `impairment_seed`; each impairment gets its own forked stream so that
+// enabling one never perturbs another's draws. The seed is latched when
+// the Link is constructed — changing it later requires
+// set_impairment_seed(), which reseeds every stream and resets the
+// Gilbert-Elliott chain to the good state.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/rng.h"
 #include "core/scheduler.h"
@@ -28,6 +44,16 @@ class PacketSink {
 // (i.e., actually crossed the wire) — the simulated tcpdump vantage point.
 using LinkTap = std::function<void(const Packet&, TimePoint)>;
 
+// Two-state Markov loss model (Gilbert-Elliott). The chain advances once
+// per packet crossing the wire; the packet is then dropped with the loss
+// probability of the state it landed in.
+struct GilbertElliott {
+  double p_good_to_bad = 0.0;  // per-packet transition into the burst state
+  double p_bad_to_good = 0.25; // per-packet recovery from the burst state
+  double loss_good = 0.0;      // residual loss outside bursts
+  double loss_bad = 0.5;       // loss inside a burst
+};
+
 class Link : public PacketSink {
  public:
   struct Config {
@@ -41,52 +67,117 @@ class Link : public PacketSink {
   };
 
   Link(EventScheduler* sched, std::string name, Config cfg)
-      : sched_(sched), name_(std::move(name)), cfg_(cfg) {}
+      : sched_(sched), name_(std::move(name)), cfg_(cfg) {
+    reseed_impairments();
+  }
 
   void set_sink(PacketSink* sink) { sink_ = sink; }
   void set_tap(LinkTap tap) { tap_ = std::move(tap); }
 
   // Change the serialization rate. Applies to the next packet that starts
   // serialization (like tc: the in-flight packet finishes at the old rate).
-  void set_rate(DataRate r) { cfg_.rate = r; }
+  // Zero pauses serialization (outage); a later nonzero rate resumes it.
+  void set_rate(DataRate r);
   DataRate rate() const { return cfg_.rate; }
+  bool is_down() const { return cfg_.rate.is_zero(); }
   void set_queue_bytes(int64_t b) { cfg_.queue_bytes = b; }
   void set_random_loss(double p) { cfg_.random_loss = p; }
   void set_jitter(Duration sd) { cfg_.jitter_sd = sd; }
 
+  // Burst loss (Gilbert-Elliott). Replaces i.i.d. loss while enabled;
+  // clear_burst_loss() reverts to cfg_.random_loss.
+  void set_burst_loss(const GilbertElliott& ge);
+  void clear_burst_loss() { burst_loss_enabled_ = false; }
+  bool burst_loss_enabled() const { return burst_loss_enabled_; }
+
+  // Reordering: with probability `prob`, a packet takes a detour of
+  // `extra` on top of propagation (+jitter), landing behind packets
+  // serialized after it. Duplication: with probability `prob`, a packet is
+  // delivered twice.
+  void set_reorder(double prob, Duration extra);
+  void set_duplicate(double prob) { duplicate_prob_ = prob; }
+
+  // Reseed every impairment stream (loss/jitter, burst chain, reorder,
+  // duplication) and reset the Gilbert-Elliott chain to the good state.
+  // The constructor seed is otherwise latched for the Link's lifetime.
+  void set_impairment_seed(uint64_t seed);
+
   void deliver(Packet p) override;
 
   // Stats.
+  int64_t offered_packets() const { return offered_packets_; }
   int64_t delivered_bytes() const { return delivered_bytes_; }
   int64_t delivered_packets() const { return delivered_packets_; }
-  int64_t dropped_packets() const { return dropped_packets_; }
-  int64_t dropped_bytes() const { return dropped_bytes_; }
+  int64_t dropped_packets() const {
+    return queue_dropped_packets_ + impairment_dropped_packets_;
+  }
+  int64_t dropped_bytes() const {
+    return queue_dropped_bytes_ + impairment_dropped_bytes_;
+  }
+  int64_t queue_dropped_packets() const { return queue_dropped_packets_; }
+  int64_t impairment_dropped_packets() const {
+    return impairment_dropped_packets_;
+  }
+  int64_t duplicated_packets() const { return duplicated_packets_; }
+  int64_t reordered_packets() const { return reordered_packets_; }
   int64_t queued_bytes() const { return queued_bytes_; }
+  int64_t queue_packets() const { return static_cast<int64_t>(queue_.size()); }
   Duration current_queue_delay() const {
     return cfg_.rate.transmit_time(queued_bytes_);
   }
   const std::string& name() const { return name_; }
 
+  // Sim invariants, checked by SimInvariantChecker (net/invariants.h):
+  //   * packet conservation: every offered packet is delivered, dropped,
+  //     queued, or in flight;
+  //   * non-negative, consistent queue byte accounting;
+  //   * serialization liveness: a pending queue on an up link implies an
+  //     in-flight packet, and busy implies a finite scheduled finish.
+  // Appends one human-readable line per violation.
+  void append_invariant_violations(std::vector<std::string>* out,
+                                   TimePoint now) const;
+
  private:
+  void reseed_impairments();
   void start_transmission();
   void finish_transmission();
+  bool impairment_drop();
 
   EventScheduler* sched_;
   std::string name_;
   Config cfg_;
   PacketSink* sink_ = nullptr;
   LinkTap tap_;
-  std::optional<Rng> impairment_rng_;
+
+  // Independent impairment streams (see header comment).
+  Rng loss_jitter_rng_{1};
+  Rng burst_rng_{1};
+  Rng reorder_rng_{1};
+  Rng duplicate_rng_{1};
+
+  bool burst_loss_enabled_ = false;
+  GilbertElliott burst_loss_;
+  bool burst_state_bad_ = false;
+
+  double reorder_prob_ = 0.0;
+  Duration reorder_extra_ = Duration::millis(20);
+  double duplicate_prob_ = 0.0;
 
   std::deque<Packet> queue_;
   int64_t queued_bytes_ = 0;
   bool busy_ = false;
   Packet in_flight_;
+  TimePoint finish_at_;
 
+  int64_t offered_packets_ = 0;
   int64_t delivered_bytes_ = 0;
   int64_t delivered_packets_ = 0;
-  int64_t dropped_packets_ = 0;
-  int64_t dropped_bytes_ = 0;
+  int64_t queue_dropped_packets_ = 0;
+  int64_t queue_dropped_bytes_ = 0;
+  int64_t impairment_dropped_packets_ = 0;
+  int64_t impairment_dropped_bytes_ = 0;
+  int64_t duplicated_packets_ = 0;
+  int64_t reordered_packets_ = 0;
 };
 
 }  // namespace vca

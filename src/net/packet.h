@@ -26,7 +26,13 @@ enum class PacketType : uint8_t {
   kRtcp,
   kTcpData,
   kTcpAck,
+  // Connectivity probe (STUN-consent-style). Clients send these on a
+  // dedicated flow; the SFU echoes them back. The echo is the client's
+  // liveness signal for its media-timeout watchdog.
+  kKeepalive,
 };
+
+constexpr int kKeepaliveBytes = 48;  // STUN binding request-sized
 
 // Per-packet RTP metadata. `wire` fields describe the encoded frame the
 // packet belongs to so the receiver can reassemble and compute stats.

@@ -19,6 +19,7 @@ VcaClient::VcaClient(EventScheduler* sched, Host* host, Config cfg)
   bounds.min_rate = DataRate::kbps(80);
   bounds.max_rate = p.nominal_video * nominal_scale_;
   bounds.start_rate = std::min(p.start_rate, bounds.max_rate);
+  cc_bounds_ = bounds;
   cc_ = make_sender_cc(p.cc_name, bounds);
 
   double run_scale = std::exp(rng_.fork("encoder").gaussian(0.0, p.encoder_run_sd));
@@ -67,6 +68,29 @@ VcaClient::VcaClient(EventScheduler* sched, Host* host, Config cfg)
   ac.media_type = PacketType::kRtpAudio;
   audio_sender_ = std::make_unique<RtpSender>(sched_, host_, ac);
 
+  // Audio RTCP from the SFU. While degraded to audio-only there is no
+  // video feedback, so the audio reports are the only loss signal left —
+  // fold them into the smoothed loss so restoration requires a genuinely
+  // clean path, not just silence.
+  host_->register_flow(audio_flow(), [this](Packet pk) {
+    if (pk.type != PacketType::kRtcp) return;
+    const RtcpMeta& fb = pk.rtcp();
+    audio_sender_->handle_rtcp(fb);
+    if (!fb.receive_rate.is_zero()) note_path_alive(sched_->now());
+    if (degraded_) {
+      loss_ewma_ = std::max(0.98 * loss_ewma_ + 0.02 * fb.loss_fraction,
+                            0.93 * loss_ewma_ + 0.07 * fb.loss_fraction);
+    }
+  });
+
+  // Keepalive echoes from the SFU: the watchdog's liveness signal. The
+  // SFU sends RTCP reports unconditionally even when nothing arrives, so
+  // mere RTCP arrival cannot prove the uplink works — only echoes and
+  // reports showing receive progress do.
+  host_->register_flow(keepalive_flow(), [this](Packet pk) {
+    if (pk.type == PacketType::kKeepalive) note_path_alive(sched_->now());
+  });
+
   auto est_cfg = ReceiveSideEstimator::preset(
       p.viewer_preset, std::max(DataRate::kbps(400), p.nominal_video * 0.5),
       p.viewer_max_estimate);
@@ -94,17 +118,24 @@ void VcaClient::start() {
       cfg_.profile.audio_rate.bits_per_sec() / 50 / 8);
   schedule_audio_ = [this, audio_payload]() {
     if (!running_) return;
-    EncodedFrame f;
-    f.ssrc = audio_ssrc();
-    f.frame_id = audio_frame_id_++;
-    f.bytes = audio_payload;
-    f.keyframe = true;
-    f.fps = 50.0;
-    f.capture_time = sched_->now();
-    audio_sender_->send_frame(f);
+    if (connected_) {
+      EncodedFrame f;
+      f.ssrc = audio_ssrc();
+      f.frame_id = audio_frame_id_++;
+      f.bytes = audio_payload;
+      f.keyframe = true;
+      f.fps = 50.0;
+      f.capture_time = sched_->now();
+      audio_sender_->send_frame(f);
+    }
     sched_->schedule(Duration::millis(20), schedule_audio_);
   };
   schedule_audio_();
+
+  connected_ = true;
+  last_path_ok_ = sched_->now();
+  probe_interval_ = p.resilience.keepalive_initial;
+  if (cfg_.sfu_node != kInvalidNode) keepalive_tick();
 
   tick();
 }
@@ -139,7 +170,93 @@ int64_t VcaClient::sent_media_bytes() const {
   return total;
 }
 
+void VcaClient::keepalive_tick() {
+  if (!running_) return;
+  const ResilienceSpec& rs = cfg_.profile.resilience;
+  Packet pk;
+  pk.id = keepalive_id_++;
+  pk.flow = keepalive_flow();
+  pk.dst = cfg_.sfu_node;
+  pk.size_bytes = kKeepaliveBytes;
+  pk.type = PacketType::kKeepalive;
+  pk.created_at = sched_->now();
+  host_->send(pk);
+
+  Duration next = rs.keepalive_interval;
+  if (!connected_) {
+    // Reconnect probing: exponential backoff up to the profile's cap.
+    next = probe_interval_;
+    probe_interval_ = std::min(
+        Duration::seconds_d(probe_interval_.seconds() * rs.keepalive_backoff),
+        rs.keepalive_max);
+  }
+  sched_->schedule(next, [this] { keepalive_tick(); });
+}
+
+void VcaClient::go_disconnected(TimePoint now) {
+  connected_ = false;
+  resilience_events_.push_back({now, ResilienceEventKind::kMediaTimeout});
+  probe_interval_ = cfg_.profile.resilience.keepalive_initial;
+  for (auto& l : layers_) {
+    if (l.active) {
+      l.encoder->stop();
+      l.active = false;
+    }
+    l.last_rx = DataRate::zero();
+  }
+  // Stale loss estimates describe the dead path, not the one we will
+  // reconnect over.
+  loss_ewma_ = 0.0;
+  loss_high_since_ = TimePoint::infinite();
+  loss_low_since_ = TimePoint::infinite();
+}
+
+void VcaClient::note_path_alive(TimePoint now) {
+  last_path_ok_ = now;
+  if (connected_) return;
+  connected_ = true;
+  ++reconnect_count_;
+  resilience_events_.push_back({now, ResilienceEventKind::kReconnected});
+  const ResilienceSpec& rs = cfg_.profile.resilience;
+  probe_interval_ = rs.keepalive_initial;
+  if (rs.reset_cc_on_reconnect) {
+    // Pre-outage controller state is meaningless on the restored path:
+    // re-ramp from the profile's start rate, as the apps do after ICE
+    // restart.
+    cc_ = make_sender_cc(cfg_.profile.cc_name, cc_bounds_);
+  }
+  loss_ewma_ = 0.0;
+}
+
+void VcaClient::update_degradation(TimePoint now) {
+  const ResilienceSpec& rs = cfg_.profile.resilience;
+  if (!degraded_) {
+    if (loss_ewma_ >= rs.degrade_loss) {
+      if (loss_high_since_ == TimePoint::infinite()) loss_high_since_ = now;
+      if (now - loss_high_since_ >= rs.degrade_after) {
+        degraded_ = true;
+        resilience_events_.push_back({now, ResilienceEventKind::kDegraded});
+        loss_low_since_ = TimePoint::infinite();
+      }
+    } else {
+      loss_high_since_ = TimePoint::infinite();
+    }
+  } else {
+    if (loss_ewma_ <= rs.restore_loss) {
+      if (loss_low_since_ == TimePoint::infinite()) loss_low_since_ = now;
+      if (now - loss_low_since_ >= rs.restore_hold) {
+        degraded_ = false;
+        resilience_events_.push_back({now, ResilienceEventKind::kRestored});
+        loss_high_since_ = TimePoint::infinite();
+      }
+    } else {
+      loss_low_since_ = TimePoint::infinite();
+    }
+  }
+}
+
 void VcaClient::on_layer_feedback(int layer, const RtcpMeta& fb) {
+  if (!fb.receive_rate.is_zero()) note_path_alive(sched_->now());
   layers_[static_cast<size_t>(layer)].last_rx = fb.receive_rate;
   // The controller reasons about the client's *aggregate* uplink: patch
   // the per-stream receive rate with the sum across active streams, and
@@ -164,6 +281,20 @@ void VcaClient::tick() {
   const VcaProfile& p = cfg_.profile;
   TimePoint now = sched_->now();
 
+  // Media-timeout watchdog: no keepalive echo and no receive-progress
+  // feedback for the profile's timeout => the path is dead. Shed media
+  // and let the (backing-off) keepalive probes revive us.
+  if (connected_ && cfg_.sfu_node != kInvalidNode &&
+      now - last_path_ok_ > p.resilience.media_timeout) {
+    go_disconnected(now);
+  }
+  if (!connected_) {
+    current_target_ = DataRate::zero();
+    sched_->schedule(cfg_.tick, [this] { tick(); });
+    return;
+  }
+  update_degradation(now);
+
   // Baseline encoder stalls (Teams's 3.6% unconstrained freeze ratio).
   if (now >= next_stall_ && next_stall_ != TimePoint::infinite()) {
     stall_until_ = now + p.stall_len;
@@ -181,6 +312,9 @@ void VcaClient::tick() {
   current_target_ = target;
 
   StreamAllocation alloc = p.allocate(target, max_width_, ultra_low_);
+  // Graceful degradation: sustained loss sheds every video layer; the
+  // audio stream (loss-concealing decoder, tiny rate) keeps the call up.
+  if (degraded_) alloc.items.clear();
   if (boosted && !alloc.items.empty()) {
     // The anomalous extra traffic bypasses the normal per-width encode
     // ceiling (that is what makes it an anomaly).

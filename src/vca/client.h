@@ -20,6 +20,21 @@
 
 namespace vca {
 
+// Connection-resilience lifecycle notifications, in call order. The
+// outage scenario and tests read these to measure detection and
+// reconnect latency.
+enum class ResilienceEventKind {
+  kMediaTimeout,  // watchdog declared the media path dead
+  kReconnected,   // a keepalive echo / positive feedback revived it
+  kDegraded,      // sustained loss shed video (audio-only)
+  kRestored,      // loss cleared; video re-enabled
+};
+
+struct ResilienceEvent {
+  TimePoint at;
+  ResilienceEventKind kind;
+};
+
 class VcaClient {
  public:
   struct Config {
@@ -33,6 +48,7 @@ class VcaClient {
   };
 
   static constexpr FlowId kAudioFlowOffset = 8;
+  static constexpr FlowId kKeepaliveFlowOffset = 9;
 
   VcaClient(EventScheduler* sched, Host* host, Config cfg);
 
@@ -46,6 +62,9 @@ class VcaClient {
     return cfg_.media_flow_base + static_cast<FlowId>(layer);
   }
   FlowId audio_flow() const { return cfg_.media_flow_base + kAudioFlowOffset; }
+  FlowId keepalive_flow() const {
+    return cfg_.media_flow_base + kKeepaliveFlowOffset;
+  }
   uint32_t layer_ssrc(int layer) const {
     return static_cast<uint32_t>(host_->id()) * 64 + static_cast<uint32_t>(layer);
   }
@@ -80,8 +99,25 @@ class VcaClient {
 
   int64_t sent_media_bytes() const;
 
+  // --- resilience introspection ---
+  // Connected = the media path is believed alive (keepalive echoes or
+  // positive receive-rate feedback within the profile's media timeout).
+  bool connected() const { return connected_; }
+  // Audio-only graceful degradation under sustained loss.
+  bool audio_only() const { return degraded_; }
+  int reconnect_count() const { return reconnect_count_; }
+  const std::vector<ResilienceEvent>& resilience_events() const {
+    return resilience_events_;
+  }
+
  private:
   void tick();
+  void keepalive_tick();
+  void go_disconnected(TimePoint now);
+  // Evidence the uplink path is alive (echo or media-progress feedback);
+  // revives a disconnected client.
+  void note_path_alive(TimePoint now);
+  void update_degradation(TimePoint now);
   void on_layer_feedback(int layer, const RtcpMeta& fb);
 
   EventScheduler* sched_;
@@ -119,6 +155,18 @@ class VcaClient {
   // Baseline stall emulation (Teams, §3.2).
   TimePoint stall_until_;
   TimePoint next_stall_ = TimePoint::infinite();
+
+  // --- resilience state ---
+  SenderCongestionController::Bounds cc_bounds_;  // kept for reconnect reset
+  bool connected_ = true;
+  TimePoint last_path_ok_;
+  Duration probe_interval_ = Duration::millis(250);
+  uint64_t keepalive_id_ = 1;
+  bool degraded_ = false;
+  TimePoint loss_high_since_ = TimePoint::infinite();
+  TimePoint loss_low_since_ = TimePoint::infinite();
+  int reconnect_count_ = 0;
+  std::vector<ResilienceEvent> resilience_events_;
 
   bool running_ = false;
 };

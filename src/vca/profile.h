@@ -43,6 +43,33 @@ struct StreamAllocation {
   std::vector<Item> items;
 };
 
+// Client resilience parameterization: how an app detects a dead path,
+// how hard it hammers reconnect probes, and when it sheds video to keep
+// audio alive. The §4 recovery differences between the three apps extend
+// to outages: these knobs are per-profile data, like everything else the
+// paper attributes to proprietary design.
+struct ResilienceSpec {
+  // Watchdog: no keepalive echo and no positive receive-rate feedback for
+  // this long => the media path is declared dead.
+  Duration media_timeout = Duration::millis(2500);
+  // Keepalive cadence while healthy, and the exponential backoff schedule
+  // for reconnect probes while the path is down.
+  Duration keepalive_interval = Duration::seconds(1);
+  Duration keepalive_initial = Duration::millis(250);
+  Duration keepalive_max = Duration::seconds(4);
+  double keepalive_backoff = 2.0;
+  // Graceful degradation: sustained uplink loss above `degrade_loss` for
+  // `degrade_after` sheds video (audio-only); loss back under
+  // `restore_loss` for `restore_hold` re-enables it.
+  double degrade_loss = 0.25;
+  Duration degrade_after = Duration::seconds(4);
+  double restore_loss = 0.08;
+  Duration restore_hold = Duration::seconds(4);
+  // Re-ramp from start_rate after a reconnect (vs. trusting pre-outage
+  // controller state).
+  bool reset_cc_on_reconnect = true;
+};
+
 struct VcaProfile {
   std::string name;
   VcaKind kind = VcaKind::kMeet;
@@ -93,6 +120,9 @@ struct VcaProfile {
   bool speaker_uplink_anomaly = false;
 
   Duration feedback_interval = Duration::millis(100);
+
+  // Outage detection / reconnect / degradation behavior.
+  ResilienceSpec resilience;
 
   // --- behavior ---
   EncoderPolicy policy_for_layer(int layer) const;

@@ -107,6 +107,11 @@ VcaProfile meet_base() {
   p.sfu_est_increase = 0.085;    // ~20 s uplink recovery scale (Fig 4b)
   p.viewer_est_clamp = 1.2;      // low-copy plateau under constraint (Fig 1b)
   p.encoder_run_sd = 0.04;
+  // Middle-of-the-pack resilience: WebRTC-standard 2.5 s consent timeout,
+  // moderate probe backoff, GCC re-ramps from start after a reconnect.
+  p.resilience.media_timeout = Duration::millis(2500);
+  p.resilience.keepalive_initial = Duration::millis(250);
+  p.resilience.keepalive_max = Duration::seconds(4);
   return p;
 }
 
@@ -130,6 +135,14 @@ VcaProfile teams_base() {
   p.stall_every_mean = Duration::seconds(18);
   p.stall_len = Duration::millis(650);
   p.speaker_uplink_anomaly = true;
+  // Slowest of the three to notice and to come back (the §4 recovery
+  // ordering carries over to outages): long watchdog, lazy probe backoff,
+  // and a conservative post-reconnect ramp via the Teams controller's
+  // cautious phase.
+  p.resilience.media_timeout = Duration::seconds(4);
+  p.resilience.keepalive_initial = Duration::millis(500);
+  p.resilience.keepalive_max = Duration::seconds(8);
+  p.resilience.degrade_loss = 0.20;  // sheds video comparatively early
   return p;
 }
 
@@ -155,6 +168,16 @@ VcaProfile zoom_base() {
   p.sfu_uplink_preset = ReceiveSideEstimator::Preset::kAggressive;
   p.viewer_max_estimate = DataRate::mbps(3);
   p.encoder_run_sd = 0.04;
+  // Fastest reconnect: aggressive keepalives and a tight watchdog, plus
+  // FEC-backed loss tolerance so video is shed only under extreme loss.
+  p.resilience.media_timeout = Duration::seconds(2);
+  p.resilience.keepalive_initial = Duration::millis(200);
+  p.resilience.keepalive_max = Duration::seconds(2);
+  // Zoom keeps pushing FEC-protected video through §4.1's shaped-down
+  // disruption (~40% smoothed loss) rather than shedding it; only
+  // outage-grade loss rates trip its audio-only fallback.
+  p.resilience.degrade_loss = 0.55;
+  p.resilience.degrade_after = Duration::seconds(8);
   return p;
 }
 

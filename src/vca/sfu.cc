@@ -41,8 +41,8 @@ void SfuServer::add_publisher(VcaClient* client) {
       on_video_frame(raw, layer, f);
     });
     RtpReceiver* recv = receiver.get();
-    host_->register_flow(client->layer_flow(layer), [recv](Packet pk) {
-      if (pk.is_media()) recv->handle_packet(pk);
+    host_->register_flow(client->layer_flow(layer), [this, recv](Packet pk) {
+      if (online_ && pk.is_media()) recv->handle_packet(pk);
     });
     leg->layer_receivers.push_back(std::move(receiver));
   }
@@ -57,8 +57,19 @@ void SfuServer::add_publisher(VcaClient* client) {
   leg->audio_receiver->set_frame_handler(
       [this, raw](const DecodedFrame& f) { on_audio_frame(raw, f); });
   RtpReceiver* arecv = leg->audio_receiver.get();
-  host_->register_flow(client->audio_flow(), [arecv](Packet pk) {
-    if (pk.is_media()) arecv->handle_packet(pk);
+  host_->register_flow(client->audio_flow(), [this, arecv](Packet pk) {
+    if (online_ && pk.is_media()) arecv->handle_packet(pk);
+  });
+
+  // Keepalive echo: bounce the probe straight back. The echo reaching the
+  // client is its proof the round trip (and this server) is alive.
+  NodeId client_node = client->host()->id();
+  host_->register_flow(client->keepalive_flow(), [this, client_node](Packet pk) {
+    if (!online_ || pk.type != PacketType::kKeepalive) return;
+    Packet echo = pk;
+    echo.dst = client_node;
+    echo.created_at = sched_->now();
+    host_->send(echo);
   });
 
   legs_.push_back(std::move(leg));
@@ -95,7 +106,7 @@ void SfuServer::subscribe(VcaClient* viewer, VcaClient* publisher,
   // Viewer RTCP for this feed arrives on the video flow.
   Subscription* raw = sub.get();
   host_->register_flow(video_flow, [this, raw](Packet pk) {
-    if (pk.type != PacketType::kRtcp) return;
+    if (!online_ || pk.type != PacketType::kRtcp) return;
     const RtcpMeta& fb = pk.rtcp();
     if (!fb.remb.is_zero()) raw->viewer_remb = fb.remb;
     if (!fb.receive_rate.is_zero()) raw->viewer_rx = fb.receive_rate;
@@ -135,6 +146,7 @@ void SfuServer::set_pinned(VcaClient* viewer, VcaClient* publisher, bool pinned)
 
 void SfuServer::on_video_frame(PublisherLeg* leg, int layer,
                                const DecodedFrame& f) {
+  if (!online_) return;
   leg->latest[static_cast<size_t>(layer)] = f;
   leg->has_latest[static_cast<size_t>(layer)] = true;
 
@@ -203,6 +215,7 @@ void SfuServer::forward(Subscription& sub, const DecodedFrame& f,
 }
 
 void SfuServer::on_audio_frame(PublisherLeg* leg, const DecodedFrame& f) {
+  if (!online_) return;
   for (auto& s : subs_) {
     if (s->leg != leg) continue;
     EncodedFrame out;
@@ -217,6 +230,10 @@ void SfuServer::on_audio_frame(PublisherLeg* leg, const DecodedFrame& f) {
 }
 
 void SfuServer::tick() {
+  if (!online_) {  // outage: keep the clock, do no work
+    sched_->schedule(cfg_.tick, [this] { tick(); });
+    return;
+  }
   // Split each viewer's downlink estimate across its feeds, then update
   // per-subscription stream/layer selection.
   std::map<VcaClient*, std::vector<Subscription*>> by_viewer;

@@ -56,6 +56,12 @@ class SfuServer {
 
   void start();
 
+  // Fault injection: while offline the server neither processes inbound
+  // media/feedback nor echoes keepalives, so every client's watchdog
+  // fires. Restart (back online) resumes service with state intact.
+  void set_online(bool v) { online_ = v; }
+  bool online() const { return online_; }
+
   // --- queries used by the Call's signaling loop ---
   // The smallest per-feed downlink budget any viewer has for `publisher`
   // (Teams: relayed to the publisher as its allowed sending rate).
@@ -122,6 +128,7 @@ class SfuServer {
   std::vector<std::unique_ptr<PublisherLeg>> legs_;
   std::vector<std::unique_ptr<Subscription>> subs_;
   int relay_divisor_ = 1;
+  bool online_ = true;
   bool started_ = false;
 };
 

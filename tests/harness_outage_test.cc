@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "harness/network.h"
+#include "harness/scenario.h"
+#include "net/faults.h"
+#include "vca/call.h"
+
+namespace vca {
+namespace {
+
+// The ISSUE's acceptance scenario: a 10 s mid-call uplink outage must
+// yield a finite reconnect time and a finite TTR for all three profiles.
+class OutageRecovery : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OutageRecovery, UplinkOutageReconnectsAndRecovers) {
+  OutageConfig cfg;
+  cfg.profile = GetParam();
+  cfg.seed = 3;
+  cfg.target = OutageTarget::kUplink;
+  cfg.start = Duration::seconds(60);
+  cfg.length = Duration::seconds(10);
+  cfg.total = Duration::seconds(180);
+  OutageResult r = run_outage(cfg);
+
+  const ResilienceSpec& rs = vca_profile(cfg.profile).resilience;
+  // The watchdog noticed, within its configured timeout (+ a tick or two
+  // of slack for the feedback that was already in flight).
+  ASSERT_TRUE(r.detect_delay.has_value()) << cfg.profile;
+  EXPECT_GT(r.detect_delay->seconds(), 0.0) << cfg.profile;
+  EXPECT_LT(r.detect_delay->seconds(), rs.media_timeout.seconds() + 3.0)
+      << cfg.profile;
+
+  // Reconnect happened after service came back, bounded by the probe
+  // backoff ceiling plus queue-drain time.
+  ASSERT_TRUE(r.reconnect_delay.has_value()) << cfg.profile;
+  EXPECT_LT(r.reconnect_delay->seconds(),
+            rs.keepalive_max.seconds() + 5.0)
+      << cfg.profile;
+  EXPECT_GE(r.reconnects, 1) << cfg.profile;
+
+  // The media rate itself recovered to (95% of) nominal.
+  ASSERT_TRUE(r.ttr.ttr.has_value()) << cfg.profile;
+  EXPECT_GT(r.ttr.nominal_mbps, 0.2) << cfg.profile;
+  EXPECT_LT(r.ttr.ttr->seconds(), 100.0) << cfg.profile;
+
+  // And the simulation stayed internally consistent throughout.
+  EXPECT_TRUE(r.invariant_violations.empty())
+      << cfg.profile << ": " << r.invariant_violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, OutageRecovery,
+                         ::testing::Values("zoom", "meet", "teams"));
+
+TEST(OutageScenarioTest, ZoomReconnectsFasterThanTeams) {
+  // The paper's §4 recovery ordering (Zoom most aggressive, Teams most
+  // conservative) extends to outage reconnect: Zoom's watchdog and probe
+  // schedule are tighter than Teams' in the profile data.
+  auto run = [](const char* profile) {
+    OutageConfig cfg;
+    cfg.profile = profile;
+    cfg.seed = 5;
+    OutageResult r = run_outage(cfg);
+    double detect = r.detect_delay ? r.detect_delay->seconds() : 1e9;
+    double reconnect = r.reconnect_delay ? r.reconnect_delay->seconds() : 1e9;
+    return detect + reconnect;
+  };
+  EXPECT_LT(run("zoom"), run("teams"));
+}
+
+TEST(OutageScenarioTest, SfuBlackoutDisconnectsAndRestartRecovers) {
+  OutageConfig cfg;
+  cfg.profile = "meet";
+  cfg.seed = 7;
+  cfg.target = OutageTarget::kSfu;
+  cfg.length = Duration::seconds(8);
+  OutageResult r = run_outage(cfg);
+
+  ASSERT_TRUE(r.detect_delay.has_value());
+  ASSERT_TRUE(r.reconnect_delay.has_value());
+  EXPECT_GE(r.reconnects, 1);
+  EXPECT_TRUE(r.invariant_violations.empty());
+}
+
+TEST(OutageScenarioTest, DownlinkOutageAlsoTripsWatchdog) {
+  // Downlink dark => no echoes and no feedback reach the client, so the
+  // same watchdog fires even though its own uplink still works.
+  OutageConfig cfg;
+  cfg.profile = "meet";
+  cfg.seed = 11;
+  cfg.target = OutageTarget::kDownlink;
+  OutageResult r = run_outage(cfg);
+  ASSERT_TRUE(r.detect_delay.has_value());
+  ASSERT_TRUE(r.reconnect_delay.has_value());
+  EXPECT_TRUE(r.invariant_violations.empty());
+}
+
+TEST(OutageScenarioTest, SustainedBurstLossDegradesToAudioOnly) {
+  // Teams (the most shed-happy profile) under a long Gilbert-Elliott
+  // burst-loss window: video goes away mid-storm, comes back after.
+  Network net;
+  auto sfu_ports = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                                Duration::millis(8), 4 << 20);
+  auto c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1));
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1));
+
+  Call::Config call_cfg;
+  call_cfg.profile = vca_profile("teams");
+  call_cfg.seed = 2;
+  Call call(&net.sched(), sfu_ports.host, call_cfg);
+  VcaClient* cl1 = call.add_client(c1.host);
+  call.add_client(c2.host);
+
+  TimePoint t0 = TimePoint::zero();
+  FaultPlan plan;
+  GilbertElliott ge;
+  ge.p_good_to_bad = 0.08;
+  ge.p_bad_to_good = 0.08;  // half the packets ride inside bursts
+  ge.loss_bad = 0.75;
+  plan.add_burst_loss(c1.up, t0 + Duration::seconds(40),
+                      Duration::seconds(40), ge);
+  plan.schedule(&net.sched());
+
+  bool degraded_mid_storm = false;
+  net.sched().schedule_at(t0 + Duration::seconds(75),
+                          [&] { degraded_mid_storm = cl1->audio_only(); });
+
+  call.start();
+  net.sched().run_until(t0 + Duration::seconds(150));
+  call.stop();
+
+  EXPECT_TRUE(degraded_mid_storm);
+  int degrades = 0, restores = 0;
+  for (const auto& ev : cl1->resilience_events()) {
+    if (ev.kind == ResilienceEventKind::kDegraded) ++degrades;
+    if (ev.kind == ResilienceEventKind::kRestored) ++restores;
+  }
+  EXPECT_GE(degrades, 1);
+  EXPECT_GE(restores, 1);
+  EXPECT_FALSE(cl1->audio_only());  // clean again by the end
+  EXPECT_EQ(net.enforce_invariants(), 0);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "net/faults.h"
+#include "net/invariants.h"
+#include "net/link.h"
+
+namespace vca {
+namespace {
+
+struct Collector : PacketSink {
+  std::vector<std::pair<uint64_t, TimePoint>> got;
+  EventScheduler* sched;
+  explicit Collector(EventScheduler* s) : sched(s) {}
+  void deliver(Packet p) override { got.emplace_back(p.id, sched->now()); }
+};
+
+Packet make_packet(uint64_t id, int bytes) {
+  Packet p;
+  p.id = id;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TimePoint at_s(double s) {
+  return TimePoint::zero() + Duration::seconds_d(s);
+}
+
+// Offer one `bytes`-sized packet every `every` until `until`.
+void offer_stream(EventScheduler* sched, Link* link, Duration every,
+                  TimePoint until, int bytes = 500) {
+  struct Feeder {
+    EventScheduler* sched;
+    Link* link;
+    Duration every;
+    TimePoint until;
+    int bytes;
+    uint64_t next_id = 1;
+    static void step(const std::shared_ptr<Feeder>& self) {
+      if (self->sched->now() > self->until) return;
+      self->link->deliver(make_packet(self->next_id++, self->bytes));
+      self->sched->schedule(self->every, [self] { step(self); });
+    }
+  };
+  // The closure keeps the feeder alive; it dies with its last event.
+  auto f = std::make_shared<Feeder>(Feeder{sched, link, every, until, bytes});
+  sched->schedule_at(TimePoint::zero(), [f] { Feeder::step(f); });
+}
+
+// --- satellite (a): the zero-rate wedge regression, at FaultPlan level ---
+
+TEST(FaultPlanTest, OutageQueuesThenResumesWithoutNewTraffic) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(1);
+  cfg.propagation = Duration::millis(1);
+  cfg.queue_bytes = 1 << 20;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+
+  // All traffic is offered BEFORE the outage ends; anything delivered
+  // after restore can only come from the queue surviving the outage and
+  // the serialization loop restarting by itself.
+  for (int i = 0; i < 20; ++i) link.deliver(make_packet(100 + i, 500));
+
+  FaultPlan plan;
+  plan.add_outage(&link, at_s(0.01), Duration::seconds(2));
+  plan.schedule(&sched);
+
+  sched.run_until(at_s(10));
+  EXPECT_EQ(sink.got.size(), 20u);
+  EXPECT_FALSE(link.is_down());
+  EXPECT_EQ(link.rate().bits_per_sec(), DataRate::mbps(1).bits_per_sec());
+  // Some deliveries must postdate the restore: the loop restarted.
+  int after_restore = 0;
+  for (const auto& [id, t] : sink.got) {
+    if (t >= at_s(2.01)) ++after_restore;
+  }
+  EXPECT_GT(after_restore, 0);
+
+  SimInvariantChecker checker;
+  checker.watch(&sched);
+  checker.watch(&link);
+  EXPECT_TRUE(checker.check().empty());
+}
+
+TEST(FaultPlanTest, NothingCrossesTheWireDuringOutage) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  offer_stream(&sched, &link, Duration::millis(10), at_s(6));
+
+  FaultPlan plan;
+  plan.add_outage(&link, at_s(2), Duration::seconds(2));
+  plan.schedule(&sched);
+  sched.run_all();
+
+  for (const auto& [id, t] : sink.got) {
+    // One in-flight packet may land just after outage onset; beyond that
+    // the window must be silent until restore.
+    EXPECT_FALSE(t > at_s(2.01) && t < at_s(4))
+        << "packet " << id << " crossed a downed link at "
+        << (t - TimePoint::zero()).seconds() << "s";
+  }
+}
+
+TEST(FaultPlanTest, FlapRunsEveryCycleAndEndsUp) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(1);
+  cfg.queue_bytes = 1 << 20;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  offer_stream(&sched, &link, Duration::millis(20), at_s(10));
+
+  FaultPlan plan;
+  plan.add_flap(&link, at_s(1), /*cycles=*/3, Duration::seconds(1),
+                Duration::seconds(1));
+  EXPECT_EQ(plan.size(), 6u);  // 3 x (down + up)
+  plan.schedule(&sched);
+  sched.run_all();
+
+  EXPECT_FALSE(link.is_down());
+  // Deliveries exist in every up-window between flaps.
+  auto delivered_in = [&](double a, double b) {
+    return std::any_of(sink.got.begin(), sink.got.end(), [&](const auto& e) {
+      return e.second >= at_s(a) && e.second < at_s(b);
+    });
+  };
+  EXPECT_TRUE(delivered_in(0.0, 1.0));
+  EXPECT_TRUE(delivered_in(2.0, 3.0));
+  EXPECT_TRUE(delivered_in(4.0, 5.0));
+  EXPECT_TRUE(delivered_in(6.0, 10.0));
+}
+
+// --- Gilbert-Elliott burst loss ---
+
+// Longest run of consecutive losses among ids [1, n] given the set seen.
+int longest_loss_run(const std::vector<std::pair<uint64_t, TimePoint>>& got,
+                     uint64_t n) {
+  std::set<uint64_t> seen;
+  for (const auto& [id, t] : got) seen.insert(id);
+  int run = 0, best = 0;
+  for (uint64_t id = 1; id <= n; ++id) {
+    run = seen.count(id) ? 0 : run + 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+TEST(FaultPlanTest, BurstLossClustersComparedToIid) {
+  // Matched marginal loss: GE with stationary bad-state share 1/6 and
+  // loss_bad 0.6 => ~10%; iid at 10%.
+  const uint64_t kPackets = 4000;
+  auto run = [&](bool burst) {
+    EventScheduler sched;
+    Link::Config cfg;
+    cfg.rate = DataRate::mbps(50);
+    cfg.queue_bytes = 8 << 20;  // hold the whole batch: isolate impairment loss
+    cfg.impairment_seed = 7;
+    if (!burst) cfg.random_loss = 0.10;
+    Link link(&sched, "l", cfg);
+    Collector sink(&sched);
+    link.set_sink(&sink);
+    if (burst) {
+      GilbertElliott ge;
+      ge.p_good_to_bad = 0.02;
+      ge.p_bad_to_good = 0.10;
+      ge.loss_good = 0.0;
+      ge.loss_bad = 0.6;
+      link.set_burst_loss(ge);
+    }
+    for (uint64_t i = 1; i <= kPackets; ++i) link.deliver(make_packet(i, 200));
+    sched.run_all();
+    double loss = static_cast<double>(link.impairment_dropped_packets()) /
+                  static_cast<double>(kPackets);
+    return std::make_pair(loss, longest_loss_run(sink.got, kPackets));
+  };
+
+  auto [burst_loss, burst_run] = run(true);
+  auto [iid_loss, iid_run] = run(false);
+  // Comparable average rates...
+  EXPECT_NEAR(burst_loss, 0.10, 0.04);
+  EXPECT_NEAR(iid_loss, 0.10, 0.02);
+  // ...but the GE losses cluster: its longest run dwarfs iid's.
+  EXPECT_GT(burst_run, iid_run);
+  EXPECT_GE(burst_run, 4);
+}
+
+TEST(FaultPlanTest, BurstLossWindowRevertsToConfiguredLoss) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  offer_stream(&sched, &link, Duration::millis(1), at_s(3), 200);
+
+  FaultPlan plan;
+  GilbertElliott ge;
+  ge.p_good_to_bad = 1.0;
+  ge.p_bad_to_good = 0.0;
+  ge.loss_bad = 1.0;  // total blackout while enabled
+  plan.add_burst_loss(&link, at_s(1), Duration::seconds(1), ge);
+  plan.schedule(&sched);
+  sched.run_all();
+
+  EXPECT_FALSE(link.burst_loss_enabled());
+  int during = 0, after = 0;
+  for (const auto& [id, t] : sink.got) {
+    // Skip the first 10 ms of the window: a packet already past the
+    // impairment point at onset may still land (propagation delay).
+    if (t >= at_s(1.01) && t < at_s(2)) ++during;
+    if (t >= at_s(2)) ++after;
+  }
+  EXPECT_EQ(during, 0);  // everything in the window was eaten
+  EXPECT_GT(after, 500);  // clean again once the window closed
+}
+
+// --- reorder / duplicate ---
+
+TEST(FaultPlanTest, ReorderDetourSwapsArrivalOrder) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(50);
+  cfg.propagation = Duration::millis(1);
+  cfg.impairment_seed = 11;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.set_reorder(0.2, Duration::millis(10));
+  for (uint64_t i = 1; i <= 500; ++i) link.deliver(make_packet(i, 200));
+  sched.run_all();
+
+  ASSERT_EQ(sink.got.size(), 500u);
+  EXPECT_GT(link.reordered_packets(), 0);
+  int inversions = 0;
+  for (size_t i = 1; i < sink.got.size(); ++i) {
+    if (sink.got[i].first < sink.got[i - 1].first) ++inversions;
+  }
+  EXPECT_GT(inversions, 0);
+}
+
+TEST(FaultPlanTest, DuplicationDeliversTwiceAndKeepsAccounting) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  link.set_duplicate(1.0);
+  for (uint64_t i = 1; i <= 50; ++i) link.deliver(make_packet(i, 200));
+  sched.run_all();
+
+  EXPECT_EQ(sink.got.size(), 100u);  // every packet twice
+  EXPECT_EQ(link.duplicated_packets(), 50);
+  EXPECT_EQ(link.delivered_packets(), 50);  // the wire saw each once
+
+  SimInvariantChecker checker;
+  checker.watch(&link);
+  EXPECT_TRUE(checker.check().empty());
+}
+
+// --- satellite (b): impairment seed semantics ---
+
+std::vector<uint64_t> surviving_ids(uint64_t seed, bool reseed_mid,
+                                    uint64_t reseed_to = 0) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  cfg.random_loss = 0.3;
+  cfg.impairment_seed = seed;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  for (uint64_t i = 1; i <= 200; ++i) link.deliver(make_packet(i, 200));
+  sched.run_all();
+  if (reseed_mid) link.set_impairment_seed(reseed_to);
+  for (uint64_t i = 201; i <= 400; ++i) link.deliver(make_packet(i, 200));
+  sched.run_all();
+  std::vector<uint64_t> ids;
+  for (const auto& [id, t] : sink.got) ids.push_back(id);
+  return ids;
+}
+
+TEST(FaultPlanTest, SetImpairmentSeedActuallyReseeds) {
+  // Regression: the seed used to be latched at construction and silently
+  // ignored afterwards. Reseeding mid-run must change subsequent draws...
+  auto baseline = surviving_ids(5, /*reseed_mid=*/false);
+  auto reseeded = surviving_ids(5, /*reseed_mid=*/true, /*reseed_to=*/99);
+  std::vector<uint64_t> base_tail, reseed_tail;
+  for (uint64_t id : baseline) {
+    if (id > 200) base_tail.push_back(id);
+  }
+  for (uint64_t id : reseeded) {
+    if (id > 200) reseed_tail.push_back(id);
+  }
+  EXPECT_NE(base_tail, reseed_tail);
+
+  // ...and reseeding to the same value must restart the stream: the
+  // second half replays the first half's loss pattern, shifted by 200.
+  auto replay = surviving_ids(5, /*reseed_mid=*/true, /*reseed_to=*/5);
+  std::vector<uint64_t> first_half, second_half;
+  for (uint64_t id : replay) {
+    if (id <= 200) first_half.push_back(id);
+    if (id > 200) second_half.push_back(id - 200);
+  }
+  EXPECT_EQ(first_half, second_half);
+}
+
+TEST(FaultPlanTest, IndependentStreamsPerImpairment) {
+  // Enabling duplication must not change which packets the loss stream
+  // drops (each impairment forks its own RNG stream).
+  auto drops = [&](bool with_dup) {
+    EventScheduler sched;
+    Link::Config cfg;
+    cfg.rate = DataRate::mbps(10);
+    cfg.random_loss = 0.2;
+    cfg.impairment_seed = 3;
+    Link link(&sched, "l", cfg);
+    Collector sink(&sched);
+    link.set_sink(&sink);
+    if (with_dup) link.set_duplicate(0.5);
+    for (uint64_t i = 1; i <= 300; ++i) link.deliver(make_packet(i, 200));
+    sched.run_all();
+    std::set<uint64_t> seen;
+    for (const auto& [id, t] : sink.got) seen.insert(id);
+    std::vector<uint64_t> lost;
+    for (uint64_t i = 1; i <= 300; ++i) {
+      if (!seen.count(i)) lost.push_back(i);
+    }
+    return lost;
+  };
+  EXPECT_EQ(drops(false), drops(true));
+}
+
+// --- satellite (f): end-to-end determinism of a faulted run ---
+
+std::string trace_of_faulted_run(uint64_t seed) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(5);
+  cfg.propagation = Duration::millis(2);
+  cfg.jitter_sd = Duration::millis(1);
+  cfg.impairment_seed = seed;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+
+  std::ostringstream trace;
+  link.set_tap([&](const Packet& p, TimePoint t) {
+    trace << p.id << "@" << t.ns() << ";";
+  });
+
+  offer_stream(&sched, &link, Duration::millis(2), at_s(8), 400);
+
+  FaultPlan plan;
+  plan.add_outage(&link, at_s(1), Duration::millis(1500));
+  GilbertElliott ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.2;
+  ge.loss_bad = 0.5;
+  plan.add_burst_loss(&link, at_s(3), Duration::seconds(2), ge);
+  plan.add_reorder(&link, at_s(5), Duration::seconds(1), 0.3,
+                   Duration::millis(8));
+  plan.add_duplicate(&link, at_s(6), Duration::seconds(1), 0.3);
+  plan.schedule(&sched);
+
+  sched.run_all();
+  trace << "|delivered=" << link.delivered_packets()
+        << "|qdrop=" << link.queue_dropped_packets()
+        << "|idrop=" << link.impairment_dropped_packets()
+        << "|dup=" << link.duplicated_packets()
+        << "|reord=" << link.reordered_packets();
+  return trace.str();
+}
+
+TEST(FaultPlanTest, IdenticalSeedAndPlanGiveByteIdenticalTraces) {
+  std::string a = trace_of_faulted_run(42);
+  std::string b = trace_of_faulted_run(42);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), 100u);  // the run actually carried traffic
+
+  std::string c = trace_of_faulted_run(43);
+  EXPECT_NE(a, c);  // and the seed genuinely matters
+}
+
+}  // namespace
+}  // namespace vca

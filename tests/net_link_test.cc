@@ -106,7 +106,9 @@ TEST(LinkTest, TapSeesEveryDeliveredPacket) {
   EXPECT_EQ(link.delivered_bytes(), 2500);
 }
 
-TEST(LinkTest, ZeroRateDropsPackets) {
+// Zero rate models an outage: packets queue (up to the drop-tail limit)
+// instead of vanishing, and nothing is delivered while the link is down.
+TEST(LinkTest, ZeroRateQueuesInsteadOfDropping) {
   EventScheduler sched;
   Link::Config cfg;
   cfg.rate = DataRate::zero();
@@ -115,8 +117,17 @@ TEST(LinkTest, ZeroRateDropsPackets) {
   link.set_sink(&sink);
   link.deliver(make_packet(1, 100));
   sched.run_all();
+  EXPECT_TRUE(link.is_down());
   EXPECT_EQ(sink.got.size(), 0u);
-  EXPECT_EQ(link.dropped_packets(), 1);
+  EXPECT_EQ(link.dropped_packets(), 0);
+  EXPECT_EQ(link.queue_packets(), 1);
+
+  // Restoring the rate restarts the serialization loop: the queued packet
+  // drains without any new deliver() call (the classic wedge regression).
+  link.set_rate(DataRate::mbps(1));
+  sched.run_all();
+  EXPECT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(link.queue_packets(), 0);
 }
 
 TEST(LinkTest, QueueDelayReflectsBacklog) {

@@ -88,5 +88,45 @@ TEST(TtrTest, EmptyPreWindowGivesZeroNominal) {
   EXPECT_FALSE(r.ttr.has_value());
 }
 
+TEST(TtrTest, DisruptionEntirelyPastLastSampleIsCensored) {
+  // The series ends before the disruption even begins: there is no
+  // pre-disruption window to define nominal from and no post-disruption
+  // sample to recover at. Must return the zero/censored result, not read
+  // past the end.
+  TimeSeries ts;
+  for (int t = 1; t <= 100; ++t) ts.push(at_s(t), 1.0);
+  TtrResult r = time_to_recovery(ts, at_s(150), at_s(160));
+  EXPECT_EQ(r.nominal_mbps, 0.0);
+  EXPECT_FALSE(r.ttr.has_value());
+}
+
+TEST(TtrTest, DisruptionEndPastLastSampleIsCensored) {
+  // Nominal is well-defined (the series covers the pre-window) but the
+  // call ended before the disruption did: recovery can never be observed.
+  TimeSeries ts;
+  for (int t = 1; t <= 100; ++t) ts.push(at_s(t), 1.0);
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(120));
+  EXPECT_NEAR(r.nominal_mbps, 1.0, 0.01);
+  EXPECT_FALSE(r.ttr.has_value());
+}
+
+TEST(TtrTest, SingleSampleSeries) {
+  TimeSeries ts;
+  ts.push(at_s(30), 1.0);
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(90));
+  EXPECT_NEAR(r.nominal_mbps, 1.0, 0.01);
+  EXPECT_FALSE(r.ttr.has_value());
+}
+
+TEST(TtrTest, ZeroDuringOutageStillRecovers) {
+  // An outage (rate -> 0, not merely shaped down) produces hard zeros in
+  // the series; the rolling median must climb out of them after restore.
+  TimeSeries ts = make_series(1.0, 0.0, 60, 70, /*ramp_s=*/5, 200);
+  TtrResult r = time_to_recovery(ts, at_s(60), at_s(70),
+                                 Duration::seconds(5), 0.95);
+  ASSERT_TRUE(r.ttr.has_value());
+  EXPECT_LT(r.ttr->seconds(), 15.0);
+}
+
 }  // namespace
 }  // namespace vca
