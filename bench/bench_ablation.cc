@@ -22,58 +22,107 @@ using namespace vca::bench;
 // through the registry used in run_* by registering override names there.
 // (Implemented in profiles.cc as the "zoom-noprobe", "teams-gcc" and
 // "meet-nosimulcast" variants.)
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_ablation", opts);
+
   header("Ablation A1", "Zoom probe cycles (uplink drop to 0.25 Mbps)");
-  for (const std::string profile : {"zoom", "zoom-noprobe"}) {
-    DisruptionConfig cfg;
-    cfg.profile = profile;
-    cfg.seed = 7;
-    DisruptionResult r = run_disruption(cfg);
-    double peak = 0.0;
-    for (const auto& s : r.disrupted_series.samples()) {
-      if (s.at.seconds() > 90.0) peak = std::max(peak, s.value);
+  {
+    const std::vector<std::string> kVariants = {"zoom", "zoom-noprobe"};
+    std::vector<DisruptionConfig> jobs;
+    for (const auto& profile : kVariants) {
+      DisruptionConfig cfg;
+      cfg.profile = profile;
+      cfg.seed = 7;
+      jobs.push_back(cfg);
     }
-    std::cout << profile << ": nominal " << fmt(r.ttr.nominal_mbps)
-              << " Mbps, post-disruption peak " << fmt(peak) << " Mbps, TTR "
-              << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + "s" : "censored")
-              << "\n";
+    auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+    report.begin_section("a1", "Zoom probe cycles ablation");
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const DisruptionResult& r = results[i];
+      double peak = 0.0;
+      for (const auto& s : r.disrupted_series.samples()) {
+        if (s.at.seconds() > 90.0) peak = std::max(peak, s.value);
+      }
+      std::cout << kVariants[i] << ": nominal " << fmt(r.ttr.nominal_mbps)
+                << " Mbps, post-disruption peak " << fmt(peak) << " Mbps, TTR "
+                << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + "s" : "censored")
+                << "\n";
+      report.add_cell(
+          {{"profile", kVariants[i]}},
+          {{"nominal_mbps", BenchReport::scalar(r.ttr.nominal_mbps)},
+           {"post_disruption_peak_mbps", BenchReport::scalar(peak)},
+           {"ttr_sec", BenchReport::scalar(r.ttr.ttr ? r.ttr.ttr->seconds()
+                                                     : -1.0)}});
+    }
+    note("Expect: without probing the peak stays at nominal (no overshoot).");
   }
-  note("Expect: without probing the peak stays at nominal (no overshoot).");
 
   header("Ablation A2", "Teams controller swap vs TCP @ 2 Mbps");
-  for (const std::string profile : {"teams", "teams-gcc"}) {
-    CompetitionConfig cfg;
-    cfg.incumbent = profile;
-    cfg.competitor = CompetitorKind::kIperfUp;
-    cfg.link = DataRate::mbps(2);
-    cfg.seed = 41;
-    CompetitionResult r = run_competition(cfg);
-    std::cout << profile << ": uplink share " << fmt(r.incumbent_up_share)
-              << ", downlink share " << fmt(r.incumbent_down_share) << "\n";
+  {
+    const std::vector<std::string> kVariants = {"teams", "teams-gcc"};
+    std::vector<CompetitionConfig> jobs;
+    for (const auto& profile : kVariants) {
+      CompetitionConfig cfg;
+      cfg.incumbent = profile;
+      cfg.competitor = CompetitorKind::kIperfUp;
+      cfg.link = DataRate::mbps(2);
+      cfg.seed = 41;
+      jobs.push_back(cfg);
+    }
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+    report.begin_section("a2", "Teams controller swap vs TCP");
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const CompetitionResult& r = results[i];
+      std::cout << kVariants[i] << ": uplink share "
+                << fmt(r.incumbent_up_share) << ", downlink share "
+                << fmt(r.incumbent_down_share) << "\n";
+      report.add_cell(
+          {{"profile", kVariants[i]}},
+          {{"up_share", BenchReport::scalar(r.incumbent_up_share)},
+           {"down_share", BenchReport::scalar(r.incumbent_down_share)}});
+    }
+    note("Expect: swapping the controller visibly changes how Teams shares "
+         "with TCP (most dramatically on the downlink, where the "
+         "conservative receiver-driven estimate collapses) — the behavior "
+         "follows the controller, not the brand.");
   }
-  note("Expect: swapping the controller visibly changes how Teams shares "
-       "with TCP (most dramatically on the downlink, where the "
-       "conservative receiver-driven estimate collapses) — the behavior "
-       "follows the controller, not the brand.");
 
   header("Ablation A3",
          "Meet without simulcast: constrained downlink (0.5 Mbps)");
-  for (const std::string profile : {"meet", "meet-nosimulcast"}) {
-    std::vector<double> util, freeze;
-    for (int rep = 0; rep < 3; ++rep) {
-      TwoPartyConfig cfg;
-      cfg.profile = profile;
-      cfg.seed = 60 + static_cast<uint64_t>(rep);
-      cfg.c1_down = DataRate::kbps(500);
-      TwoPartyResult r = run_two_party(cfg);
-      util.push_back(r.c1_down_mbps);
-      freeze.push_back(100.0 * r.c1_received.freeze_ratio);
+  {
+    const std::vector<std::string> kVariants = {"meet", "meet-nosimulcast"};
+    constexpr int kReps = 3;
+    std::vector<TwoPartyConfig> jobs;
+    for (const auto& profile : kVariants) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        TwoPartyConfig cfg;
+        cfg.profile = profile;
+        cfg.seed = 60 + static_cast<uint64_t>(rep);
+        cfg.c1_down = DataRate::kbps(500);
+        jobs.push_back(cfg);
+      }
     }
-    std::cout << profile << ": downlink util "
-              << fmt(mean_of(util)) << " Mbps, freeze "
-              << fmt(mean_of(freeze), 1) << "%\n";
+    auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+    report.begin_section("a3", "Meet simulcast ablation @ 0.5 Mbps downlink");
+    size_t k = 0;
+    for (const auto& profile : kVariants) {
+      size_t cell_start = k;
+      auto util = take(results, k, kReps, [](const TwoPartyResult& r) {
+        return r.c1_down_mbps;
+      });
+      auto freeze = take(results, cell_start, kReps, [](const TwoPartyResult& r) {
+        return 100.0 * r.c1_received.freeze_ratio;
+      });
+      std::cout << profile << ": downlink util " << fmt(mean_of(util))
+                << " Mbps, freeze " << fmt(mean_of(freeze), 1) << "%\n";
+      report.add_cell(
+          {{"profile", profile}},
+          {{"down_mbps", BenchReport::scalar(mean_of(util))},
+           {"freeze_pct", BenchReport::scalar(mean_of(freeze))}});
+    }
+    note("Expect: without the low simulcast copy there is no clean fallback "
+         "tier — the single stream rides the estimate and freezes more.");
   }
-  note("Expect: without the low simulcast copy there is no clean fallback "
-       "tier — the single stream rides the estimate and freezes more.");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

@@ -1,4 +1,11 @@
 // Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary follows the same shape since the sweep migration:
+// enumerate the full (config, seed, rep) job list up front, run it
+// through Sweep::run (--jobs N workers, share-nothing sims), then
+// aggregate sequentially from the submission-ordered results — so the
+// printed tables and the --json file are byte-identical at any job
+// count.
 #pragma once
 
 #include <iostream>
@@ -6,6 +13,7 @@
 #include <vector>
 
 #include "core/stats_math.h"
+#include "harness/sweep.h"
 #include "stats/table.h"
 
 namespace vca::bench {
@@ -20,5 +28,17 @@ inline void header(const std::string& id, const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+// Consume the next `n` submission-ordered sweep results, mapped through
+// `get`. Aggregation loops advance `k` exactly as the job-building loops
+// did, so cell boundaries can never drift.
+template <typename Result, typename Get>
+std::vector<double> take(const std::vector<Result>& results, size_t& k, int n,
+                         Get get) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(get(results[k++]));
+  return out;
+}
 
 }  // namespace vca::bench

@@ -16,35 +16,50 @@ const std::vector<double> kCapsMbps = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
                                        5.0, 10.0};
 constexpr int kReps = 5;
 
-double sweep_point(const std::string& profile, double cap_mbps, bool uplink) {
-  std::vector<double> vals;
-  for (int rep = 0; rep < kReps; ++rep) {
-    TwoPartyConfig cfg;
-    cfg.profile = profile;
-    cfg.seed = 500 + static_cast<uint64_t>(rep);
-    if (uplink) {
-      cfg.c1_up = DataRate::mbps_d(cap_mbps);
-    } else {
-      cfg.c1_down = DataRate::mbps_d(cap_mbps);
-    }
-    TwoPartyResult r = run_two_party(cfg);
-    vals.push_back(uplink ? r.c1_up_mbps : r.c1_down_mbps);
+TwoPartyConfig point_cfg(const std::string& profile, double cap_mbps,
+                         bool uplink, int rep) {
+  TwoPartyConfig cfg;
+  cfg.profile = profile;
+  cfg.seed = 500 + static_cast<uint64_t>(rep);
+  if (uplink) {
+    cfg.c1_up = DataRate::mbps_d(cap_mbps);
+  } else {
+    cfg.c1_down = DataRate::mbps_d(cap_mbps);
   }
-  return mean_of(vals);
+  return cfg;
 }
 
-void sweep(const std::string& title, const std::vector<std::string>& profiles,
-           bool uplink) {
+void sweep(BenchReport& report, const SweepOptions& opts,
+           const std::string& section_id, const std::string& title,
+           const std::vector<std::string>& profiles, bool uplink) {
+  std::vector<TwoPartyConfig> jobs;
+  for (double cap : kCapsMbps) {
+    for (const auto& p : profiles) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        jobs.push_back(point_cfg(p, cap, uplink, rep));
+      }
+    }
+  }
+  auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+
   TextTable table([&] {
     std::vector<std::string> h = {uplink ? "uplink cap (Mbps)"
                                          : "downlink cap (Mbps)"};
     for (const auto& p : profiles) h.push_back(p);
     return h;
   }());
+  report.begin_section(section_id, title);
+  size_t k = 0;
   for (double cap : kCapsMbps) {
     std::vector<std::string> row = {fmt(cap, 1)};
     for (const auto& p : profiles) {
-      row.push_back(fmt(sweep_point(p, cap, uplink)));
+      auto vals = take(results, k, kReps, [&](const TwoPartyResult& r) {
+        return uplink ? r.c1_up_mbps : r.c1_down_mbps;
+      });
+      ConfidenceInterval ci = confidence_interval(vals);
+      row.push_back(fmt(ci.mean));
+      report.add_cell({{"cap_mbps", fmt(cap, 1)}, {"profile", p}},
+                      {{"mbps", ci}});
     }
     table.add_row(row);
   }
@@ -54,22 +69,25 @@ void sweep(const std::string& title, const std::vector<std::string>& profiles,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig1", opts);
+
   header("Figure 1a", "Upstream utilization vs uplink capacity");
-  sweep("median sent bitrate (Mbps), native clients:",
+  sweep(report, opts, "fig1a", "median sent bitrate (Mbps), native clients:",
         {"meet", "teams", "zoom"}, /*uplink=*/true);
 
   header("Figure 1b", "Downstream utilization vs downlink capacity");
-  sweep("median received bitrate (Mbps):", {"meet", "teams", "zoom"},
-        /*uplink=*/false);
+  sweep(report, opts, "fig1b", "median received bitrate (Mbps):",
+        {"meet", "teams", "zoom"}, /*uplink=*/false);
   note("Expect: Meet plateaus near 0.19 Mbps below ~0.7 Mbps (simulcast low "
        "copy, 39-70% utilization); Zoom downstream exceeds its upstream "
        "(server-side FEC).");
 
   header("Figure 1c", "Browser vs native clients, upstream");
-  sweep("median sent bitrate (Mbps):",
+  sweep(report, opts, "fig1c", "median sent bitrate (Mbps):",
         {"teams", "teams-chrome", "zoom", "zoom-chrome"}, /*uplink=*/true);
   note("Expect: Teams-Chrome well below Teams-native (0.61 vs 0.84 at 1 "
        "Mbps); Zoom-Chrome ~= Zoom-native.");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

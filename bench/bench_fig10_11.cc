@@ -10,36 +10,60 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
 constexpr int kReps = 3;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig10_11", opts);
+
   header("Figure 10", "Downlink share under VCA vs VCA competition @ 0.5 Mbps");
-  TextTable table({"incumbent", "competitor", "incumbent down share [CI]",
-                   "competitor down share [CI]"});
-  for (const std::string inc : {"meet", "teams", "zoom"}) {
-    for (const std::string comp : {"meet", "teams", "zoom"}) {
-      std::vector<double> inc_share, comp_share;
-      for (int rep = 0; rep < kReps; ++rep) {
-        CompetitionConfig cfg;
-        cfg.incumbent = inc;
-        cfg.competitor = CompetitorKind::kVca;
-        cfg.competitor_profile = comp;
-        cfg.link = DataRate::kbps(500);
-        cfg.seed = 2300 + static_cast<uint64_t>(rep);
-        CompetitionResult r = run_competition(cfg);
-        inc_share.push_back(r.incumbent_down_share);
-        comp_share.push_back(r.competitor_down_share);
+  {
+    std::vector<CompetitionConfig> jobs;
+    for (const auto& inc : kProfiles) {
+      for (const auto& comp : kProfiles) {
+        for (int rep = 0; rep < kReps; ++rep) {
+          CompetitionConfig cfg;
+          cfg.incumbent = inc;
+          cfg.competitor = CompetitorKind::kVca;
+          cfg.competitor_profile = comp;
+          cfg.link = DataRate::kbps(500);
+          cfg.seed = 2300 + static_cast<uint64_t>(rep);
+          jobs.push_back(cfg);
+        }
       }
-      table.add_row({inc, comp, ci_cell(confidence_interval(inc_share)),
-                     ci_cell(confidence_interval(comp_share))});
     }
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+
+    TextTable table({"incumbent", "competitor", "incumbent down share [CI]",
+                     "competitor down share [CI]"});
+    report.begin_section("fig10", "Downlink share, VCA vs VCA @ 0.5 Mbps");
+    size_t k = 0;
+    for (const auto& inc : kProfiles) {
+      for (const auto& comp : kProfiles) {
+        size_t cell_start = k;
+        auto inc_share = take(results, k, kReps, [](const CompetitionResult& r) {
+          return r.incumbent_down_share;
+        });
+        auto comp_share =
+            take(results, cell_start, kReps, [](const CompetitionResult& r) {
+              return r.competitor_down_share;
+            });
+        ConfidenceInterval inc_ci = confidence_interval(inc_share);
+        ConfidenceInterval comp_ci = confidence_interval(comp_share);
+        table.add_row({inc, comp, ci_cell(inc_ci), ci_cell(comp_ci)});
+        report.add_cell({{"incumbent", inc}, {"competitor", comp}},
+                        {{"incumbent_down_share", inc_ci},
+                         {"competitor_down_share", comp_ci}});
+      }
+    }
+    table.print(std::cout);
+    note("Expect: Teams is passive on the downlink — ~20% against Meet/Zoom "
+         "and backing off even to another Teams; Zoom/Meet behave like the "
+         "uplink case.");
   }
-  table.print(std::cout);
-  note("Expect: Teams is passive on the downlink — ~20% against Meet/Zoom "
-       "and backing off even to another Teams; Zoom/Meet behave like the "
-       "uplink case.");
 
   header("Figure 11", "Teams incumbent vs Zoom on a 1 Mbps symmetric link");
   {
@@ -49,7 +73,8 @@ int main() {
     cfg.competitor_profile = "zoom";
     cfg.link = DataRate::mbps(1);
     cfg.seed = 17;
-    CompetitionResult r = run_competition(cfg);
+    std::vector<CompetitionConfig> jobs = {cfg};
+    CompetitionResult r = Sweep::run(jobs, run_competition, opts.jobs)[0];
     std::cout << "uplink (teams/zoom Mbps):\n  ";
     const auto& au = r.incumbent_up_series.samples();
     const auto& bu = r.competitor_up_series.samples();
@@ -65,8 +90,16 @@ int main() {
                 << fmt(ad[i].value, 2) << "/" << fmt(bd[i].value, 2) << " ";
     }
     std::cout << "\n";
+    report.begin_section("fig11", "Teams incumbent vs Zoom @ 1 Mbps");
+    report.add_cell(
+        {{"incumbent", "teams"}, {"competitor", "zoom"}},
+        {{"incumbent_up_share", BenchReport::scalar(r.incumbent_up_share)},
+         {"competitor_up_share", BenchReport::scalar(r.competitor_up_share)},
+         {"incumbent_down_share", BenchReport::scalar(r.incumbent_down_share)},
+         {"competitor_down_share",
+          BenchReport::scalar(r.competitor_down_share)}});
     note("Expect: near-fair convergence on the uplink; on the downlink the "
          "Teams client collapses to ~0.2 Mbps once Zoom joins.");
   }
-  return 0;
+  return report.finish() ? 0 : 1;
 }

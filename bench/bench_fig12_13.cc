@@ -9,35 +9,64 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
 constexpr int kReps = 3;
+
+// Jobs are laid out as (up, down) pairs per rep: index 2*rep is the
+// kIperfUp run, 2*rep+1 the kIperfDown run with the same seed.
+std::vector<CompetitionConfig> iperf_pairs(DataRate link, uint64_t seed_base) {
+  std::vector<CompetitionConfig> jobs;
+  for (const auto& inc : kProfiles) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      CompetitionConfig cfg;
+      cfg.incumbent = inc;
+      cfg.link = link;
+      cfg.seed = seed_base + static_cast<uint64_t>(rep);
+      cfg.competitor = CompetitorKind::kIperfUp;
+      jobs.push_back(cfg);
+      cfg.competitor = CompetitorKind::kIperfDown;
+      jobs.push_back(cfg);
+    }
+  }
+  return jobs;
+}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig12_13", opts);
+
   header("Figure 12", "iPerf3 link sharing with VCAs on a 2 Mbps link");
   {
+    auto jobs = iperf_pairs(DataRate::mbps(2), 2500);
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+
     TextTable table({"VCA", "VCA up share [CI]", "iperf up share [CI]",
                      "VCA down share [CI]", "iperf down share [CI]"});
-    for (const std::string inc : {"meet", "teams", "zoom"}) {
+    report.begin_section("fig12", "iPerf3 link sharing @ 2 Mbps");
+    size_t k = 0;
+    for (const auto& inc : kProfiles) {
       std::vector<double> vu, iu, vd, id;
       for (int rep = 0; rep < kReps; ++rep) {
-        CompetitionConfig cfg;
-        cfg.incumbent = inc;
-        cfg.link = DataRate::mbps(2);
-        cfg.seed = 2500 + static_cast<uint64_t>(rep);
-        cfg.competitor = CompetitorKind::kIperfUp;      // uplink experiment
-        CompetitionResult up = run_competition(cfg);
-        cfg.competitor = CompetitorKind::kIperfDown;    // downlink experiment
-        CompetitionResult down = run_competition(cfg);
+        const CompetitionResult& up = results[k++];
+        const CompetitionResult& down = results[k++];
         vu.push_back(up.incumbent_up_share);
         iu.push_back(up.competitor_up_share);
         vd.push_back(down.incumbent_down_share);
         id.push_back(down.competitor_down_share);
       }
-      table.add_row({inc, ci_cell(confidence_interval(vu)),
-                     ci_cell(confidence_interval(iu)),
-                     ci_cell(confidence_interval(vd)),
-                     ci_cell(confidence_interval(id))});
+      ConfidenceInterval vu_ci = confidence_interval(vu);
+      ConfidenceInterval iu_ci = confidence_interval(iu);
+      ConfidenceInterval vd_ci = confidence_interval(vd);
+      ConfidenceInterval id_ci = confidence_interval(id);
+      table.add_row({inc, ci_cell(vu_ci), ci_cell(iu_ci), ci_cell(vd_ci),
+                     ci_cell(id_ci)});
+      report.add_cell({{"vca", inc}},
+                      {{"vca_up_share", vu_ci},
+                       {"iperf_up_share", iu_ci},
+                       {"vca_down_share", vd_ci},
+                       {"iperf_down_share", id_ci}});
     }
     table.print(std::cout);
     note("Expect: at 2 Mbps Meet and Zoom reach their nominal rates and "
@@ -47,21 +76,23 @@ int main() {
 
   header("Figure 12 (scarce)", "iPerf3 vs VCAs on a 0.5 Mbps link");
   {
+    auto jobs = iperf_pairs(DataRate::kbps(500), 2600);
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+
     TextTable table({"VCA", "VCA up share [CI]", "VCA down share [CI]"});
-    for (const std::string inc : {"meet", "teams", "zoom"}) {
+    report.begin_section("fig12-scarce", "iPerf3 vs VCAs @ 0.5 Mbps");
+    size_t k = 0;
+    for (const auto& inc : kProfiles) {
       std::vector<double> vu, vd;
       for (int rep = 0; rep < kReps; ++rep) {
-        CompetitionConfig cfg;
-        cfg.incumbent = inc;
-        cfg.link = DataRate::kbps(500);
-        cfg.seed = 2600 + static_cast<uint64_t>(rep);
-        cfg.competitor = CompetitorKind::kIperfUp;
-        vu.push_back(run_competition(cfg).incumbent_up_share);
-        cfg.competitor = CompetitorKind::kIperfDown;
-        vd.push_back(run_competition(cfg).incumbent_down_share);
+        vu.push_back(results[k++].incumbent_up_share);
+        vd.push_back(results[k++].incumbent_down_share);
       }
-      table.add_row({inc, ci_cell(confidence_interval(vu)),
-                     ci_cell(confidence_interval(vd))});
+      ConfidenceInterval vu_ci = confidence_interval(vu);
+      ConfidenceInterval vd_ci = confidence_interval(vd);
+      table.add_row({inc, ci_cell(vu_ci), ci_cell(vd_ci)});
+      report.add_cell({{"vca", inc}},
+                      {{"vca_up_share", vu_ci}, {"vca_down_share", vd_ci}});
     }
     table.print(std::cout);
     note("Expect: Zoom >75% in both directions; Meet TCP-friendly on the "
@@ -75,7 +106,8 @@ int main() {
     cfg.competitor = CompetitorKind::kIperfUp;
     cfg.link = DataRate::kbps(500);
     cfg.seed = 23;
-    CompetitionResult r = run_competition(cfg);
+    std::vector<CompetitionConfig> jobs = {cfg};
+    CompetitionResult r = Sweep::run(jobs, run_competition, opts.jobs)[0];
     std::cout << "uplink (zoom/iperf Mbps):\n  ";
     const auto& a = r.incumbent_up_series.samples();
     const auto& b = r.competitor_up_series.samples();
@@ -84,8 +116,13 @@ int main() {
                 << fmt(a[i].value, 2) << "/" << fmt(b[i].value, 2) << " ";
     }
     std::cout << "\n";
+    report.begin_section("fig13", "Zoom probing vs iPerf3 @ 0.5 Mbps");
+    report.add_cell(
+        {{"vca", "zoom"}},
+        {{"vca_up_share", BenchReport::scalar(r.incumbent_up_share)},
+         {"iperf_up_share", BenchReport::scalar(r.competitor_up_share)}});
     note("Expect: periods where Zoom's stepwise probe bursts drive the "
          "iPerf3 throughput down sharply.");
   }
-  return 0;
+  return report.finish() ? 0 : 1;
 }

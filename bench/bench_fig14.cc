@@ -8,32 +8,54 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
+const std::vector<CompetitorKind> kStreamers = {CompetitorKind::kNetflix,
+                                                CompetitorKind::kYoutube};
 constexpr int kReps = 3;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig14", opts);
+
   header("§5.3", "VCA vs video streaming @ 0.5 Mbps downlink share");
   {
-    TextTable table({"VCA", "vs Netflix: VCA share [CI]",
-                     "vs YouTube: VCA share [CI]"});
-    for (const std::string inc : {"meet", "teams", "zoom"}) {
-      std::vector<std::string> row = {inc};
-      for (CompetitorKind kind :
-           {CompetitorKind::kNetflix, CompetitorKind::kYoutube}) {
-        std::vector<double> shares;
+    std::vector<CompetitionConfig> jobs;
+    for (const auto& inc : kProfiles) {
+      for (CompetitorKind kind : kStreamers) {
         for (int rep = 0; rep < kReps; ++rep) {
           CompetitionConfig cfg;
           cfg.incumbent = inc;
           cfg.competitor = kind;
           cfg.link = DataRate::kbps(500);
           cfg.seed = 2800 + static_cast<uint64_t>(rep);
-          CompetitionResult r = run_competition(cfg);
-          shares.push_back(r.incumbent_down_share);
+          jobs.push_back(cfg);
         }
-        row.push_back(ci_cell(confidence_interval(shares)));
+      }
+    }
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+
+    TextTable table({"VCA", "vs Netflix: VCA share [CI]",
+                     "vs YouTube: VCA share [CI]"});
+    report.begin_section("sec5.3", "VCA vs streaming downlink share @ 0.5");
+    size_t k = 0;
+    for (const auto& inc : kProfiles) {
+      std::vector<std::string> row = {inc};
+      std::vector<ConfidenceInterval> cis;
+      for (CompetitorKind kind : kStreamers) {
+        (void)kind;
+        auto shares = take(results, k, kReps, [](const CompetitionResult& r) {
+          return r.incumbent_down_share;
+        });
+        ConfidenceInterval ci = confidence_interval(shares);
+        row.push_back(ci_cell(ci));
+        cis.push_back(ci);
       }
       table.add_row(row);
+      report.add_cell({{"vca", inc}},
+                      {{"vs_netflix_down_share", cis[0]},
+                       {"vs_youtube_down_share", cis[1]}});
     }
     table.print(std::cout);
     note("Expect: Meet and Zoom >75% against both streaming apps; Teams "
@@ -47,7 +69,8 @@ int main() {
     cfg.competitor = CompetitorKind::kNetflix;
     cfg.link = DataRate::kbps(500);
     cfg.seed = 31;
-    CompetitionResult r = run_competition(cfg);
+    std::vector<CompetitionConfig> jobs = {cfg};
+    CompetitionResult r = Sweep::run(jobs, run_competition, opts.jobs)[0];
     std::cout << "downlink (zoom/netflix Mbps):\n  ";
     const auto& a = r.incumbent_down_series.samples();
     const auto& b = r.competitor_down_series.samples();
@@ -60,9 +83,18 @@ int main() {
     header("Figure 14b", "Netflix connection behavior under competition");
     std::cout << "TCP connections opened: " << r.competitor_connections
               << ", max parallel: " << r.competitor_max_parallel << "\n";
+    report.begin_section("fig14", "Zoom vs Netflix @ 0.5 Mbps");
+    report.add_cell(
+        {{"vca", "zoom"}, {"competitor", "netflix"}},
+        {{"vca_down_share", BenchReport::scalar(r.incumbent_down_share)},
+         {"netflix_down_share", BenchReport::scalar(r.competitor_down_share)},
+         {"netflix_connections",
+          BenchReport::scalar(static_cast<double>(r.competitor_connections))},
+         {"netflix_max_parallel",
+          BenchReport::scalar(static_cast<double>(r.competitor_max_parallel))}});
     note("Expect: Zoom holds ~0.4 Mbps while Netflix struggles near ~0.1; "
          "Netflix opens tens of connections (paper: 28, up to 11 parallel) "
          "without improving its share.");
   }
-  return 0;
+  return report.finish() ? 0 : 1;
 }

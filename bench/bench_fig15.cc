@@ -11,30 +11,42 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
 constexpr int kReps = 5;
 
-ConfidenceInterval sweep(const std::string& profile, int n, ViewMode mode,
-                         bool uplink) {
-  std::vector<double> vals;
-  for (int rep = 0; rep < kReps; ++rep) {
-    MultipartyConfig cfg;
-    cfg.profile = profile;
-    cfg.participants = n;
-    cfg.mode = mode;
-    cfg.seed = 3100 + static_cast<uint64_t>(rep);
-    MultipartyResult r = run_multiparty(cfg);
-    vals.push_back(uplink ? r.c1_up_mbps : r.c1_down_mbps);
+void panel(BenchReport& report, const SweepOptions& opts,
+           const std::string& section_id, const std::string& title,
+           ViewMode mode, bool uplink, int n_min) {
+  std::vector<MultipartyConfig> jobs;
+  for (int n = n_min; n <= 8; ++n) {
+    for (const auto& profile : kProfiles) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        MultipartyConfig cfg;
+        cfg.profile = profile;
+        cfg.participants = n;
+        cfg.mode = mode;
+        cfg.seed = 3100 + static_cast<uint64_t>(rep);
+        jobs.push_back(cfg);
+      }
+    }
   }
-  return confidence_interval(vals);
-}
+  auto results = Sweep::run(jobs, run_multiparty, opts.jobs);
 
-void panel(const std::string& title, ViewMode mode, bool uplink, int n_min) {
   note(title);
   TextTable table({"participants", "meet [CI]", "teams [CI]", "zoom [CI]"});
+  report.begin_section(section_id, title);
+  size_t k = 0;
   for (int n = n_min; n <= 8; ++n) {
     std::vector<std::string> row = {std::to_string(n)};
-    for (const std::string profile : {"meet", "teams", "zoom"}) {
-      row.push_back(ci_cell(sweep(profile, n, mode, uplink)));
+    for (const auto& profile : kProfiles) {
+      auto vals = take(results, k, kReps, [&](const MultipartyResult& r) {
+        return uplink ? r.c1_up_mbps : r.c1_down_mbps;
+      });
+      ConfidenceInterval ci = confidence_interval(vals);
+      row.push_back(ci_cell(ci));
+      report.add_cell({{"participants", std::to_string(n)},
+                       {"profile", profile}},
+                      {{uplink ? "up_mbps" : "down_mbps", ci}});
     }
     table.add_row(row);
   }
@@ -43,24 +55,27 @@ void panel(const std::string& title, ViewMode mode, bool uplink, int n_min) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig15", opts);
+
   header("Figure 15a", "Downlink utilization, gallery mode (Mbps)");
-  panel("C1 received rate vs participant count:", ViewMode::kGallery,
-        /*uplink=*/false, 2);
+  panel(report, opts, "fig15a", "C1 received rate vs participant count:",
+        ViewMode::kGallery, /*uplink=*/false, 2);
   note("Expect: Meet rises to ~2.5 by n=6 then drops at n=7; Zoom drops at "
        "n=5 then grows with feed count; Teams rises to n=5 then drops "
        "(4-tile layout + emulated thinning).");
 
   header("Figure 15b", "Uplink utilization, gallery mode (Mbps)");
-  panel("C1 sent rate vs participant count:", ViewMode::kGallery,
-        /*uplink=*/true, 2);
+  panel(report, opts, "fig15b", "C1 sent rate vs participant count:",
+        ViewMode::kGallery, /*uplink=*/true, 2);
   note("Expect: Zoom's uplink halves at n=5 (grid gains a third row); "
        "Meet's drops at n=7; Teams stays nearly constant (fixed 2x2).");
 
   header("Figure 15c", "Uplink of the pinned client, speaker mode (Mbps)");
-  panel("C1 sent rate when all others pin C1:", ViewMode::kSpeaker,
-        /*uplink=*/true, 3);
+  panel(report, opts, "fig15c", "C1 sent rate when all others pin C1:",
+        ViewMode::kSpeaker, /*uplink=*/true, 3);
   note("Expect: Zoom and Meet hold ~1 Mbps regardless of n; Teams grows "
        "from ~1.25 toward ~2.9 at n=8 (emulated anomaly).");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

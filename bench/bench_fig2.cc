@@ -12,42 +12,54 @@ using namespace vca::bench;
 const std::vector<double> kCaps = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
                                    0.9, 1.0, 1.2, 1.5, 2.0};
 constexpr int kReps = 5;
+const std::vector<std::string> kProfiles = {"meet", "teams-chrome"};
 
-struct Point {
-  ConfidenceInterval fps, qp, width;
-};
-
-Point sweep_point(const std::string& profile, double cap, bool uplink) {
-  std::vector<double> fps, qp, width;
-  for (int rep = 0; rep < kReps; ++rep) {
-    TwoPartyConfig cfg;
-    cfg.profile = profile;
-    cfg.seed = 900 + static_cast<uint64_t>(rep);
-    if (uplink) {
-      cfg.c1_up = DataRate::mbps_d(cap);
-    } else {
-      cfg.c1_down = DataRate::mbps_d(cap);
+void sweep(BenchReport& report, const SweepOptions& opts,
+           const std::string& section_prefix, bool uplink) {
+  std::vector<TwoPartyConfig> jobs;
+  for (const auto& profile : kProfiles) {
+    for (double cap : kCaps) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        TwoPartyConfig cfg;
+        cfg.profile = profile;
+        cfg.seed = 900 + static_cast<uint64_t>(rep);
+        if (uplink) {
+          cfg.c1_up = DataRate::mbps_d(cap);
+        } else {
+          cfg.c1_down = DataRate::mbps_d(cap);
+        }
+        jobs.push_back(cfg);
+      }
     }
-    TwoPartyResult r = run_two_party(cfg);
-    // Downstream constraint: C1's *received* stream degrades (2a-2c).
-    // Upstream constraint: C1's *sent* stream, observed at C2 (2d-2f).
-    const FeedQuality& q = uplink ? r.c2_received : r.c1_received;
-    fps.push_back(q.median_fps);
-    qp.push_back(q.median_qp);
-    width.push_back(q.median_width);
   }
-  return {confidence_interval(fps), confidence_interval(qp),
-          confidence_interval(width)};
-}
+  auto results = Sweep::run(jobs, run_two_party, opts.jobs);
 
-void sweep(bool uplink) {
-  for (const std::string profile : {"meet", "teams-chrome"}) {
+  size_t k = 0;
+  for (const auto& profile : kProfiles) {
     TextTable table({uplink ? "uplink cap (Mbps)" : "downlink cap (Mbps)",
                      "FPS [90% CI]", "QP [90% CI]", "width [90% CI]"});
+    report.begin_section(section_prefix + "-" + profile, profile);
     for (double cap : kCaps) {
-      Point pt = sweep_point(profile, cap, uplink);
-      table.add_row({fmt(cap, 1), ci_cell(pt.fps, 1), ci_cell(pt.qp, 1),
-                     ci_cell(pt.width, 0)});
+      // Downstream constraint: C1's *received* stream degrades (2a-2c).
+      // Upstream constraint: C1's *sent* stream, observed at C2 (2d-2f).
+      auto feed = [&](const TwoPartyResult& r) -> const FeedQuality& {
+        return uplink ? r.c2_received : r.c1_received;
+      };
+      size_t k_qp = k, k_w = k;
+      auto fps = take(results, k, kReps,
+                      [&](const TwoPartyResult& r) { return feed(r).median_fps; });
+      auto qp = take(results, k_qp, kReps,
+                     [&](const TwoPartyResult& r) { return feed(r).median_qp; });
+      auto width = take(results, k_w, kReps, [&](const TwoPartyResult& r) {
+        return feed(r).median_width;
+      });
+      ConfidenceInterval fps_ci = confidence_interval(fps);
+      ConfidenceInterval qp_ci = confidence_interval(qp);
+      ConfidenceInterval width_ci = confidence_interval(width);
+      table.add_row({fmt(cap, 1), ci_cell(fps_ci, 1), ci_cell(qp_ci, 1),
+                     ci_cell(width_ci, 0)});
+      report.add_cell({{"cap_mbps", fmt(cap, 1)}, {"profile", profile}},
+                      {{"fps", fps_ci}, {"qp", qp_ci}, {"width", width_ci}});
     }
     note(profile + ":");
     table.print(std::cout);
@@ -56,17 +68,20 @@ void sweep(bool uplink) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig2", opts);
+
   header("Figure 2a-2c", "Encoding parameters vs downstream capacity");
-  sweep(/*uplink=*/false);
+  sweep(report, opts, "fig2abc", /*uplink=*/false);
   note("Expect (paper): Meet holds width/QP and drops FPS in 0.7-1.0 Mbps "
        "(SFU temporal thinning), switches to the 320-wide copy below ~0.7; "
        "Teams-Chrome degrades all three together with wide CIs.");
 
   header("Figure 2d-2f", "Encoding parameters vs upstream capacity");
-  sweep(/*uplink=*/true);
+  sweep(report, opts, "fig2def", /*uplink=*/true);
   note("Expect (paper): Teams keeps FPS roughly flat, raises QP, lowers "
        "width — EXCEPT at 0.3 Mbps where width jumps back up (emulated "
        "bug); Meet raises QP first, drops width+FPS at ~0.4 Mbps.");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

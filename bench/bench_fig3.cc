@@ -12,27 +12,44 @@ using namespace vca::bench;
 const std::vector<double> kCaps = {0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
                                    0.9, 1.0, 1.2, 1.5, 2.0};
 constexpr int kReps = 5;
+const std::vector<std::string> kProfiles = {"meet", "teams-chrome"};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig3", opts);
+
   header("Figure 3a", "Freeze ratio vs downstream capacity");
   {
-    TextTable table({"downlink cap (Mbps)", "meet freeze% [CI]",
-                     "teams-chrome freeze% [CI]"});
+    std::vector<TwoPartyConfig> jobs;
     for (double cap : kCaps) {
-      std::vector<std::string> row = {fmt(cap, 1)};
-      for (const std::string profile : {"meet", "teams-chrome"}) {
-        std::vector<double> vals;
+      for (const auto& profile : kProfiles) {
         for (int rep = 0; rep < kReps; ++rep) {
           TwoPartyConfig cfg;
           cfg.profile = profile;
           cfg.seed = 1200 + static_cast<uint64_t>(rep);
           cfg.c1_down = DataRate::mbps_d(cap);
-          TwoPartyResult r = run_two_party(cfg);
-          vals.push_back(100.0 * r.c1_received.freeze_ratio);
+          jobs.push_back(cfg);
         }
-        row.push_back(ci_cell(confidence_interval(vals), 1));
+      }
+    }
+    auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+
+    TextTable table({"downlink cap (Mbps)", "meet freeze% [CI]",
+                     "teams-chrome freeze% [CI]"});
+    report.begin_section("fig3a", "Freeze ratio vs downstream capacity");
+    size_t k = 0;
+    for (double cap : kCaps) {
+      std::vector<std::string> row = {fmt(cap, 1)};
+      for (const auto& profile : kProfiles) {
+        auto vals = take(results, k, kReps, [](const TwoPartyResult& r) {
+          return 100.0 * r.c1_received.freeze_ratio;
+        });
+        ConfidenceInterval ci = confidence_interval(vals);
+        row.push_back(ci_cell(ci, 1));
+        report.add_cell({{"cap_mbps", fmt(cap, 1)}, {"profile", profile}},
+                        {{"freeze_pct", ci}});
       }
       table.add_row(row);
     }
@@ -43,21 +60,34 @@ int main() {
 
   header("Figure 3b", "FIR count vs upstream capacity");
   {
-    TextTable table({"uplink cap (Mbps)", "meet FIRs [CI]",
-                     "teams-chrome FIRs [CI]"});
+    std::vector<TwoPartyConfig> jobs;
     for (double cap : kCaps) {
-      std::vector<std::string> row = {fmt(cap, 1)};
-      for (const std::string profile : {"meet", "teams-chrome"}) {
-        std::vector<double> vals;
+      for (const auto& profile : kProfiles) {
         for (int rep = 0; rep < kReps; ++rep) {
           TwoPartyConfig cfg;
           cfg.profile = profile;
           cfg.seed = 1300 + static_cast<uint64_t>(rep);
           cfg.c1_up = DataRate::mbps_d(cap);
-          TwoPartyResult r = run_two_party(cfg);
-          vals.push_back(static_cast<double>(r.c2_received.fir_upstream));
+          jobs.push_back(cfg);
         }
-        row.push_back(ci_cell(confidence_interval(vals), 1));
+      }
+    }
+    auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+
+    TextTable table({"uplink cap (Mbps)", "meet FIRs [CI]",
+                     "teams-chrome FIRs [CI]"});
+    report.begin_section("fig3b", "FIR count vs upstream capacity");
+    size_t k = 0;
+    for (double cap : kCaps) {
+      std::vector<std::string> row = {fmt(cap, 1)};
+      for (const auto& profile : kProfiles) {
+        auto vals = take(results, k, kReps, [](const TwoPartyResult& r) {
+          return static_cast<double>(r.c2_received.fir_upstream);
+        });
+        ConfidenceInterval ci = confidence_interval(vals);
+        row.push_back(ci_cell(ci, 1));
+        report.add_cell({{"cap_mbps", fmt(cap, 1)}, {"profile", profile}},
+                        {{"firs", ci}});
       }
       table.add_row(row);
     }
@@ -66,5 +96,5 @@ int main() {
          "(the high-resolution-at-low-rate bug produces undecodable "
          "frames); Meet stays low.");
   }
-  return 0;
+  return report.finish() ? 0 : 1;
 }

@@ -9,45 +9,75 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
-void timeseries_panel(bool uplink) {
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
+const std::vector<double> kDrops = {0.25, 0.5, 0.75, 1.0};
+constexpr int kReps = 4;
+
+void timeseries_panel(BenchReport& report, const SweepOptions& opts,
+                      bool uplink) {
   // One run per VCA, printed as a 5-second-bucket series around the drop.
-  for (const std::string profile : {"meet", "teams", "zoom"}) {
+  std::vector<DisruptionConfig> jobs;
+  for (const auto& profile : kProfiles) {
     DisruptionConfig cfg;
     cfg.profile = profile;
     cfg.seed = 7;
     cfg.uplink = uplink;
-    DisruptionResult r = run_disruption(cfg);
-    std::cout << profile << " (nominal " << fmt(r.ttr.nominal_mbps)
+    jobs.push_back(cfg);
+  }
+  auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+
+  report.begin_section("fig4a", "Bitrate around a 30 s drop to 0.25 Mbps");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const DisruptionResult& r = results[i];
+    std::cout << kProfiles[i] << " (nominal " << fmt(r.ttr.nominal_mbps)
               << " Mbps, TTR "
               << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + "s" : "censored")
               << "):\n  t(s):rate(Mbps) ";
     const auto& s = r.disrupted_series.samples();
-    for (size_t i = 0; i < s.size(); i += 10) {  // every 5 s (0.5 s buckets)
-      std::cout << static_cast<int>(s[i].at.seconds()) << ":"
-                << fmt(s[i].value, 2) << " ";
+    for (size_t j = 0; j < s.size(); j += 10) {  // every 5 s (0.5 s buckets)
+      std::cout << static_cast<int>(s[j].at.seconds()) << ":"
+                << fmt(s[j].value, 2) << " ";
     }
     std::cout << "\n";
+    report.add_cell(
+        {{"profile", kProfiles[i]}},
+        {{"nominal_mbps", BenchReport::scalar(r.ttr.nominal_mbps)},
+         {"ttr_sec", BenchReport::scalar(r.ttr.ttr ? r.ttr.ttr->seconds()
+                                                   : -1.0)}});
   }
 }
 
-void ttr_panel(bool uplink) {
-  TextTable table({uplink ? "drop to (Mbps), uplink" : "drop to (Mbps), downlink",
-                   "meet TTR s [CI]", "teams TTR s [CI]", "zoom TTR s [CI]"});
-  for (double drop : {0.25, 0.5, 0.75, 1.0}) {
-    std::vector<std::string> row = {fmt(drop, 2)};
-    for (const std::string profile : {"meet", "teams", "zoom"}) {
-      std::vector<double> ttrs;
-      for (int rep = 0; rep < 4; ++rep) {
+void ttr_panel(BenchReport& report, const SweepOptions& opts, bool uplink) {
+  std::vector<DisruptionConfig> jobs;
+  for (double drop : kDrops) {
+    for (const auto& profile : kProfiles) {
+      for (int rep = 0; rep < kReps; ++rep) {
         DisruptionConfig cfg;
         cfg.profile = profile;
         cfg.seed = 1500 + static_cast<uint64_t>(rep);
         cfg.uplink = uplink;
         cfg.drop_to = DataRate::mbps_d(drop);
-        DisruptionResult r = run_disruption(cfg);
-        // Censored runs count as the remaining call time (conservative).
-        ttrs.push_back(r.ttr.ttr ? r.ttr.ttr->seconds() : 210.0);
+        jobs.push_back(cfg);
       }
-      row.push_back(ci_cell(confidence_interval(ttrs), 1));
+    }
+  }
+  auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+
+  TextTable table({uplink ? "drop to (Mbps), uplink" : "drop to (Mbps), downlink",
+                   "meet TTR s [CI]", "teams TTR s [CI]", "zoom TTR s [CI]"});
+  report.begin_section("fig4b", "Time to recovery vs drop severity");
+  size_t k = 0;
+  for (double drop : kDrops) {
+    std::vector<std::string> row = {fmt(drop, 2)};
+    for (const auto& profile : kProfiles) {
+      // Censored runs count as the remaining call time (conservative).
+      auto ttrs = take(results, k, kReps, [](const DisruptionResult& r) {
+        return r.ttr.ttr ? r.ttr.ttr->seconds() : 210.0;
+      });
+      ConfidenceInterval ci = confidence_interval(ttrs);
+      row.push_back(ci_cell(ci, 1));
+      report.add_cell({{"drop_mbps", fmt(drop, 2)}, {"profile", profile}},
+                      {{"ttr_sec", ci}});
     }
     table.add_row(row);
   }
@@ -56,15 +86,18 @@ void ttr_panel(bool uplink) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig4", opts);
+
   header("Figure 4a", "Upstream bitrate around a 30 s uplink drop to 0.25 Mbps");
-  timeseries_panel(/*uplink=*/true);
+  timeseries_panel(report, opts, /*uplink=*/true);
   note("Expect: Teams ramps slowly-then-fast; Zoom climbs linearly, then "
        "steps past its nominal rate (probe overshoot) before settling.");
 
   header("Figure 4b", "Time to recovery vs uplink drop severity");
-  ttr_panel(/*uplink=*/true);
+  ttr_panel(report, opts, /*uplink=*/true);
   note("Expect: all VCAs >= ~20 s at 0.25 Mbps; Zoom slowest at severe "
        "drops; Meet fast at mild drops (nominal below 1 Mbps).");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

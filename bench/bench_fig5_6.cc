@@ -11,46 +11,80 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
+constexpr int kReps = 4;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig5_6", opts);
+
   header("Figure 5a", "Downstream bitrate around a 30 s downlink drop to 0.25");
-  for (const std::string profile : {"meet", "teams", "zoom"}) {
-    DisruptionConfig cfg;
-    cfg.profile = profile;
-    cfg.seed = 7;
-    cfg.uplink = false;
-    DisruptionResult r = run_disruption(cfg);
-    std::cout << profile << " (nominal " << fmt(r.ttr.nominal_mbps)
-              << " Mbps, TTR "
-              << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + "s" : "censored")
-              << "):\n  t(s):rate(Mbps) ";
-    const auto& s = r.disrupted_series.samples();
-    for (size_t i = 0; i < s.size(); i += 10) {
-      std::cout << static_cast<int>(s[i].at.seconds()) << ":"
-                << fmt(s[i].value, 2) << " ";
+  {
+    std::vector<DisruptionConfig> jobs;
+    for (const auto& profile : kProfiles) {
+      DisruptionConfig cfg;
+      cfg.profile = profile;
+      cfg.seed = 7;
+      cfg.uplink = false;
+      jobs.push_back(cfg);
     }
-    std::cout << "\n";
+    auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+    report.begin_section("fig5a",
+                         "Downstream bitrate around a 30 s downlink drop");
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const DisruptionResult& r = results[i];
+      std::cout << kProfiles[i] << " (nominal " << fmt(r.ttr.nominal_mbps)
+                << " Mbps, TTR "
+                << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + "s" : "censored")
+                << "):\n  t(s):rate(Mbps) ";
+      const auto& s = r.disrupted_series.samples();
+      for (size_t j = 0; j < s.size(); j += 10) {
+        std::cout << static_cast<int>(s[j].at.seconds()) << ":"
+                  << fmt(s[j].value, 2) << " ";
+      }
+      std::cout << "\n";
+      report.add_cell(
+          {{"profile", kProfiles[i]}},
+          {{"nominal_mbps", BenchReport::scalar(r.ttr.nominal_mbps)},
+           {"ttr_sec", BenchReport::scalar(r.ttr.ttr ? r.ttr.ttr->seconds()
+                                                     : -1.0)}});
+    }
   }
 
   header("Figure 5b", "Time to recovery vs downlink drop severity");
   {
-    TextTable table({"drop to (Mbps), downlink", "meet TTR s [CI]",
-                     "teams TTR s [CI]", "zoom TTR s [CI]"});
-    for (double drop : {0.25, 0.5, 0.75, 1.0}) {
-      std::vector<std::string> row = {fmt(drop, 2)};
-      for (const std::string profile : {"meet", "teams", "zoom"}) {
-        std::vector<double> ttrs;
-        for (int rep = 0; rep < 4; ++rep) {
+    const std::vector<double> kDrops = {0.25, 0.5, 0.75, 1.0};
+    std::vector<DisruptionConfig> jobs;
+    for (double drop : kDrops) {
+      for (const auto& profile : kProfiles) {
+        for (int rep = 0; rep < kReps; ++rep) {
           DisruptionConfig cfg;
           cfg.profile = profile;
           cfg.seed = 1700 + static_cast<uint64_t>(rep);
           cfg.uplink = false;
           cfg.drop_to = DataRate::mbps_d(drop);
-          DisruptionResult r = run_disruption(cfg);
-          ttrs.push_back(r.ttr.ttr ? r.ttr.ttr->seconds() : 210.0);
+          jobs.push_back(cfg);
         }
-        row.push_back(ci_cell(confidence_interval(ttrs), 1));
+      }
+    }
+    auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+
+    TextTable table({"drop to (Mbps), downlink", "meet TTR s [CI]",
+                     "teams TTR s [CI]", "zoom TTR s [CI]"});
+    report.begin_section("fig5b", "Time to recovery vs downlink drop severity");
+    size_t k = 0;
+    for (double drop : kDrops) {
+      std::vector<std::string> row = {fmt(drop, 2)};
+      for (const auto& profile : kProfiles) {
+        auto ttrs = take(results, k, kReps, [](const DisruptionResult& r) {
+          return r.ttr.ttr ? r.ttr.ttr->seconds() : 210.0;
+        });
+        ConfidenceInterval ci = confidence_interval(ttrs);
+        row.push_back(ci_cell(ci, 1));
+        report.add_cell({{"drop_mbps", fmt(drop, 2)}, {"profile", profile}},
+                        {{"ttr_sec", ci}});
       }
       table.add_row(row);
     }
@@ -61,30 +95,43 @@ int main() {
   }
 
   header("Figure 6", "C2 upstream bitrate while C1's downlink drops to 0.25");
-  for (const std::string profile : {"meet", "teams"}) {
-    DisruptionConfig cfg;
-    cfg.profile = profile;
-    cfg.seed = 7;
-    cfg.uplink = false;
-    DisruptionResult r = run_disruption(cfg);
-    double before =
-        r.c2_up_series.mean_between(TimePoint::zero() + Duration::seconds(30),
-                                    TimePoint::zero() + Duration::seconds(60))
-            .value_or(0.0);
-    double during =
-        r.c2_up_series.mean_between(TimePoint::zero() + Duration::seconds(65),
-                                    TimePoint::zero() + Duration::seconds(90))
-            .value_or(0.0);
-    double after =
-        r.c2_up_series.mean_between(TimePoint::zero() + Duration::seconds(150),
-                                    TimePoint::zero() + Duration::seconds(290))
-            .value_or(0.0);
-    std::cout << profile << ": C2 uplink before=" << fmt(before)
-              << " during=" << fmt(during) << " after=" << fmt(after)
-              << " Mbps\n";
+  {
+    const std::vector<std::string> kFig6Profiles = {"meet", "teams"};
+    std::vector<DisruptionConfig> jobs;
+    for (const auto& profile : kFig6Profiles) {
+      DisruptionConfig cfg;
+      cfg.profile = profile;
+      cfg.seed = 7;
+      cfg.uplink = false;
+      jobs.push_back(cfg);
+    }
+    auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+    report.begin_section("fig6", "C2 uplink while C1's downlink is dropped");
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const DisruptionResult& r = results[i];
+      double before =
+          r.c2_up_series.mean_between(TimePoint::zero() + Duration::seconds(30),
+                                      TimePoint::zero() + Duration::seconds(60))
+              .value_or(0.0);
+      double during =
+          r.c2_up_series.mean_between(TimePoint::zero() + Duration::seconds(65),
+                                      TimePoint::zero() + Duration::seconds(90))
+              .value_or(0.0);
+      double after =
+          r.c2_up_series.mean_between(TimePoint::zero() + Duration::seconds(150),
+                                      TimePoint::zero() + Duration::seconds(290))
+              .value_or(0.0);
+      std::cout << kFig6Profiles[i] << ": C2 uplink before=" << fmt(before)
+                << " during=" << fmt(during) << " after=" << fmt(after)
+                << " Mbps\n";
+      report.add_cell({{"profile", kFig6Profiles[i]}},
+                      {{"before_mbps", BenchReport::scalar(before)},
+                       {"during_mbps", BenchReport::scalar(during)},
+                       {"after_mbps", BenchReport::scalar(after)}});
+    }
   }
   note("Expect: Meet's C2 keeps sending simulcast at full rate during the "
        "drop; Teams' C2 cuts its sending rate to what C1 can receive and "
        "recovers slowly.");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

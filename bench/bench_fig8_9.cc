@@ -10,57 +10,95 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
 constexpr int kReps = 3;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_fig8_9", opts);
+
   header("Figure 8", "Uplink share under VCA vs VCA competition @ 0.5 Mbps");
-  TextTable table({"incumbent", "competitor", "incumbent share [CI]",
-                   "competitor share [CI]"});
-  for (const std::string inc : {"meet", "teams", "zoom"}) {
-    for (const std::string comp : {"meet", "teams", "zoom"}) {
-      std::vector<double> inc_share, comp_share;
-      for (int rep = 0; rep < kReps; ++rep) {
-        CompetitionConfig cfg;
-        cfg.incumbent = inc;
-        cfg.competitor = CompetitorKind::kVca;
-        cfg.competitor_profile = comp;
-        cfg.link = DataRate::kbps(500);
-        cfg.seed = 2100 + static_cast<uint64_t>(rep);
-        CompetitionResult r = run_competition(cfg);
-        inc_share.push_back(r.incumbent_up_share);
-        comp_share.push_back(r.competitor_up_share);
+  {
+    std::vector<CompetitionConfig> jobs;
+    for (const auto& inc : kProfiles) {
+      for (const auto& comp : kProfiles) {
+        for (int rep = 0; rep < kReps; ++rep) {
+          CompetitionConfig cfg;
+          cfg.incumbent = inc;
+          cfg.competitor = CompetitorKind::kVca;
+          cfg.competitor_profile = comp;
+          cfg.link = DataRate::kbps(500);
+          cfg.seed = 2100 + static_cast<uint64_t>(rep);
+          jobs.push_back(cfg);
+        }
       }
-      table.add_row({inc, comp, ci_cell(confidence_interval(inc_share)),
-                     ci_cell(confidence_interval(comp_share))});
     }
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+
+    TextTable table({"incumbent", "competitor", "incumbent share [CI]",
+                     "competitor share [CI]"});
+    report.begin_section("fig8", "Uplink share, VCA vs VCA @ 0.5 Mbps");
+    size_t k = 0;
+    for (const auto& inc : kProfiles) {
+      for (const auto& comp : kProfiles) {
+        size_t cell_start = k;
+        auto inc_share = take(results, k, kReps, [](const CompetitionResult& r) {
+          return r.incumbent_up_share;
+        });
+        auto comp_share =
+            take(results, cell_start, kReps, [](const CompetitionResult& r) {
+              return r.competitor_up_share;
+            });
+        ConfidenceInterval inc_ci = confidence_interval(inc_share);
+        ConfidenceInterval comp_ci = confidence_interval(comp_share);
+        table.add_row({inc, comp, ci_cell(inc_ci), ci_cell(comp_ci)});
+        report.add_cell({{"incumbent", inc}, {"competitor", comp}},
+                        {{"incumbent_up_share", inc_ci},
+                         {"competitor_up_share", comp_ci}});
+      }
+    }
+    table.print(std::cout);
+    note("Expect: Meet/Teams share fairly with each other; both back off to "
+         "Zoom; an incumbent Zoom takes >=75% against anyone — including "
+         "another Zoom (unfair to itself).");
   }
-  table.print(std::cout);
-  note("Expect: Meet/Teams share fairly with each other; both back off to "
-       "Zoom; an incumbent Zoom takes >=75% against anyone — including "
-       "another Zoom (unfair to itself).");
 
   header("Figure 9", "Uplink bitrate timeseries, same-VCA competition @ 0.5");
-  for (const std::string profile : {"zoom", "meet"}) {
-    CompetitionConfig cfg;
-    cfg.incumbent = profile;
-    cfg.competitor = CompetitorKind::kVca;
-    cfg.competitor_profile = profile;
-    cfg.link = DataRate::kbps(500);
-    cfg.seed = 11;
-    CompetitionResult r = run_competition(cfg);
-    std::cout << profile << " vs " << profile
-              << " (incumbent/competitor Mbps):\n  ";
-    const auto& a = r.incumbent_up_series.samples();
-    const auto& b = r.competitor_up_series.samples();
-    for (size_t i = 0; i < a.size() && i < b.size(); i += 10) {
-      std::cout << static_cast<int>(a[i].at.seconds()) << ":"
-                << fmt(a[i].value, 2) << "/" << fmt(b[i].value, 2) << " ";
+  {
+    const std::vector<std::string> kPairs = {"zoom", "meet"};
+    std::vector<CompetitionConfig> jobs;
+    for (const auto& profile : kPairs) {
+      CompetitionConfig cfg;
+      cfg.incumbent = profile;
+      cfg.competitor = CompetitorKind::kVca;
+      cfg.competitor_profile = profile;
+      cfg.link = DataRate::kbps(500);
+      cfg.seed = 11;
+      jobs.push_back(cfg);
     }
-    std::cout << "\n";
+    auto results = Sweep::run(jobs, run_competition, opts.jobs);
+    report.begin_section("fig9", "Same-VCA competition timeseries @ 0.5 Mbps");
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const CompetitionResult& r = results[i];
+      std::cout << kPairs[i] << " vs " << kPairs[i]
+                << " (incumbent/competitor Mbps):\n  ";
+      const auto& a = r.incumbent_up_series.samples();
+      const auto& b = r.competitor_up_series.samples();
+      for (size_t j = 0; j < a.size() && j < b.size(); j += 10) {
+        std::cout << static_cast<int>(a[j].at.seconds()) << ":"
+                  << fmt(a[j].value, 2) << "/" << fmt(b[j].value, 2) << " ";
+      }
+      std::cout << "\n";
+      report.add_cell(
+          {{"profile", kPairs[i]}},
+          {{"incumbent_up_share", BenchReport::scalar(r.incumbent_up_share)},
+           {"competitor_up_share",
+            BenchReport::scalar(r.competitor_up_share)}});
+    }
+    note("Expect: two Meet clients converge to ~0.25/0.25; the incumbent "
+         "Zoom stays high while the joining Zoom is starved.");
   }
-  note("Expect: two Meet clients converge to ~0.25/0.25; the incumbent "
-       "Zoom stays high while the joining Zoom is starved.");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

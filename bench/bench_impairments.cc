@@ -9,39 +9,53 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
 constexpr int kReps = 3;
 
-struct Cell {
-  ConfidenceInterval up, fps, freeze;
-};
-
-template <typename Apply>
-Cell sweep(const std::string& profile, Apply apply) {
-  std::vector<double> up, fps, freeze;
-  for (int rep = 0; rep < kReps; ++rep) {
-    TwoPartyConfig cfg;
-    cfg.profile = profile;
-    cfg.seed = 4000 + static_cast<uint64_t>(rep);
-    apply(cfg);
-    TwoPartyResult r = run_two_party(cfg);
-    up.push_back(r.c1_up_mbps);
-    fps.push_back(r.c1_received.median_fps);
-    freeze.push_back(100.0 * r.c1_received.freeze_ratio);
-  }
-  return {confidence_interval(up), confidence_interval(fps),
-          confidence_interval(freeze)};
-}
-
-void panel(const std::string& title, const std::vector<double>& levels,
+void panel(BenchReport& report, const SweepOptions& opts,
+           const std::string& section_id, const std::string& title,
+           const std::vector<double>& levels,
            void (*apply)(TwoPartyConfig&, double), const char* unit) {
   header("Extension (§8)", title);
-  for (const std::string profile : {"meet", "teams", "zoom"}) {
+  std::vector<TwoPartyConfig> jobs;
+  for (const auto& profile : kProfiles) {
+    for (double level : levels) {
+      for (int rep = 0; rep < kReps; ++rep) {
+        TwoPartyConfig cfg;
+        cfg.profile = profile;
+        cfg.seed = 4000 + static_cast<uint64_t>(rep);
+        apply(cfg, level);
+        jobs.push_back(cfg);
+      }
+    }
+  }
+  auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+
+  size_t k = 0;
+  for (const auto& profile : kProfiles) {
     TextTable table({std::string("level (") + unit + ")", "uplink Mbps [CI]",
                      "recv fps [CI]", "freeze % [CI]"});
+    report.begin_section(section_id + "-" + profile, title + " — " + profile);
     for (double level : levels) {
-      Cell c = sweep(profile, [&](TwoPartyConfig& cfg) { apply(cfg, level); });
-      table.add_row({fmt(level, 1), ci_cell(c.up), ci_cell(c.fps, 1),
-                     ci_cell(c.freeze, 1)});
+      size_t k_fps = k, k_freeze = k;
+      auto up = take(results, k, kReps, [](const TwoPartyResult& r) {
+        return r.c1_up_mbps;
+      });
+      auto fps = take(results, k_fps, kReps, [](const TwoPartyResult& r) {
+        return r.c1_received.median_fps;
+      });
+      auto freeze = take(results, k_freeze, kReps, [](const TwoPartyResult& r) {
+        return 100.0 * r.c1_received.freeze_ratio;
+      });
+      ConfidenceInterval up_ci = confidence_interval(up);
+      ConfidenceInterval fps_ci = confidence_interval(fps);
+      ConfidenceInterval freeze_ci = confidence_interval(freeze);
+      table.add_row({fmt(level, 1), ci_cell(up_ci), ci_cell(fps_ci, 1),
+                     ci_cell(freeze_ci, 1)});
+      report.add_cell({{"level", fmt(level, 1)}, {"profile", profile}},
+                      {{"up_mbps", up_ci},
+                       {"fps", fps_ci},
+                       {"freeze_pct", freeze_ci}});
     }
     note(profile + ":");
     table.print(std::cout);
@@ -50,14 +64,19 @@ void panel(const std::string& title, const std::vector<double>& levels,
 
 }  // namespace
 
-int main() {
-  panel("Random packet loss on C1's access links", {0.0, 1.0, 2.0, 5.0, 10.0},
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_impairments", opts);
+
+  panel(report, opts, "loss", "Random packet loss on C1's access links",
+        {0.0, 1.0, 2.0, 5.0, 10.0},
         [](TwoPartyConfig& cfg, double pct) { cfg.c1_loss = pct / 100.0; },
         "% loss");
   note("Expect: Zoom's FEC keeps its rate nearly flat; Meet's loss-based "
        "controller sheds rate beyond ~2%; freezes rise for all.");
 
-  panel("Added one-way latency", {0.0, 25.0, 50.0, 100.0},
+  panel(report, opts, "latency", "Added one-way latency",
+        {0.0, 25.0, 50.0, 100.0},
         [](TwoPartyConfig& cfg, double ms) {
           cfg.c1_extra_latency = Duration::millis_d(ms);
         },
@@ -65,12 +84,13 @@ int main() {
   note("Expect: utilization roughly flat (rate control is not "
        "latency-bound at these RTTs); recovery loops just get lazier.");
 
-  panel("Path jitter (gaussian, sd)", {0.0, 5.0, 15.0, 30.0},
+  panel(report, opts, "jitter", "Path jitter (gaussian, sd)",
+        {0.0, 5.0, 15.0, 30.0},
         [](TwoPartyConfig& cfg, double ms) {
           cfg.c1_jitter = Duration::millis_d(ms);
         },
         "ms sd");
   note("Expect: heavy jitter pollutes the delay-gradient signal; "
        "delay-based controllers (Meet) get conservative first.");
-  return 0;
+  return report.finish() ? 0 : 1;
 }

@@ -4,7 +4,6 @@
 // connectivity loss: detection latency, reconnect latency after restore,
 // and time-to-recovery of the media rate, per profile and outage target.
 #include "bench_common.h"
-#include "core/stats_math.h"
 #include "harness/scenario.h"
 
 namespace {
@@ -12,23 +11,36 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
+const std::vector<std::string> kProfiles = {"meet", "teams", "zoom"};
+constexpr int kReps = 4;
+
 std::string opt_s(const std::optional<Duration>& d, int prec = 1) {
   return d ? fmt(d->seconds(), prec) : std::string("never");
 }
 
-void uplink_outage_panel() {
+void uplink_outage_panel(BenchReport& report, const SweepOptions& opts) {
   header("outage-a", "10 s uplink outage at t=60 s (4 reps)");
-  TextTable table({"profile", "detect s [CI]", "reconnect s [CI]",
-                   "TTR s [CI]", "degradations", "invariant violations"});
-  for (const std::string profile : {"meet", "teams", "zoom"}) {
-    std::vector<double> detect, reconnect, ttr;
-    int degrades = 0;
-    size_t violations = 0;
-    for (int rep = 0; rep < 4; ++rep) {
+  std::vector<OutageConfig> jobs;
+  for (const auto& profile : kProfiles) {
+    for (int rep = 0; rep < kReps; ++rep) {
       OutageConfig cfg;
       cfg.profile = profile;
       cfg.seed = 900 + static_cast<uint64_t>(rep);
-      OutageResult r = run_outage(cfg);
+      jobs.push_back(cfg);
+    }
+  }
+  auto results = Sweep::run(jobs, run_outage, opts.jobs);
+
+  TextTable table({"profile", "detect s [CI]", "reconnect s [CI]",
+                   "TTR s [CI]", "degradations", "invariant violations"});
+  report.begin_section("outage-a", "10 s uplink outage at t=60 s");
+  size_t k = 0;
+  for (const auto& profile : kProfiles) {
+    std::vector<double> detect, reconnect, ttr;
+    int degrades = 0;
+    size_t violations = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const OutageResult& r = results[k++];
       if (r.detect_delay) detect.push_back(r.detect_delay->seconds());
       if (r.reconnect_delay) reconnect.push_back(r.reconnect_delay->seconds());
       // Censored = remaining call time, conservative (as in bench_fig4).
@@ -36,45 +48,78 @@ void uplink_outage_panel() {
       degrades += r.degrade_events;
       violations += r.invariant_violations.size();
     }
-    table.add_row({profile, ci_cell(confidence_interval(detect), 1),
-                   ci_cell(confidence_interval(reconnect), 1),
-                   ci_cell(confidence_interval(ttr), 1),
-                   std::to_string(degrades), std::to_string(violations)});
+    ConfidenceInterval detect_ci = confidence_interval(detect);
+    ConfidenceInterval reconnect_ci = confidence_interval(reconnect);
+    ConfidenceInterval ttr_ci = confidence_interval(ttr);
+    table.add_row({profile, ci_cell(detect_ci, 1), ci_cell(reconnect_ci, 1),
+                   ci_cell(ttr_ci, 1), std::to_string(degrades),
+                   std::to_string(violations)});
+    report.add_cell(
+        {{"profile", profile}},
+        {{"detect_sec", detect_ci},
+         {"reconnect_sec", reconnect_ci},
+         {"ttr_sec", ttr_ci},
+         {"degradations", BenchReport::scalar(static_cast<double>(degrades))},
+         {"invariant_violations",
+          BenchReport::scalar(static_cast<double>(violations))}});
   }
   table.print(std::cout);
   note("detect = outage onset -> media-timeout watchdog; reconnect = link "
        "restore -> first keepalive echo / live feedback.");
 }
 
-void target_sweep_panel() {
+void target_sweep_panel(BenchReport& report, const SweepOptions& opts) {
   header("outage-b", "outage target sweep, meet profile, single run");
-  TextTable table({"target", "detect (s)", "reconnect (s)", "TTR (s)",
-                   "reconnects"});
   struct Row {
     const char* name;
     OutageTarget target;
   };
-  for (const Row& row : {Row{"uplink", OutageTarget::kUplink},
-                         Row{"downlink", OutageTarget::kDownlink},
-                         Row{"both", OutageTarget::kBoth},
-                         Row{"sfu", OutageTarget::kSfu}}) {
+  const std::vector<Row> kTargets = {Row{"uplink", OutageTarget::kUplink},
+                                     Row{"downlink", OutageTarget::kDownlink},
+                                     Row{"both", OutageTarget::kBoth},
+                                     Row{"sfu", OutageTarget::kSfu}};
+  std::vector<OutageConfig> jobs;
+  for (const Row& row : kTargets) {
     OutageConfig cfg;
     cfg.profile = "meet";
     cfg.seed = 17;
     cfg.target = row.target;
-    OutageResult r = run_outage(cfg);
-    table.add_row({row.name, opt_s(r.detect_delay), opt_s(r.reconnect_delay),
+    jobs.push_back(cfg);
+  }
+  auto results = Sweep::run(jobs, run_outage, opts.jobs);
+
+  TextTable table({"target", "detect (s)", "reconnect (s)", "TTR (s)",
+                   "reconnects"});
+  report.begin_section("outage-b", "Outage target sweep, meet profile");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const OutageResult& r = results[i];
+    table.add_row({kTargets[i].name, opt_s(r.detect_delay),
+                   opt_s(r.reconnect_delay),
                    r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1)
                              : std::string("censored"),
                    std::to_string(r.reconnects)});
+    report.add_cell(
+        {{"target", kTargets[i].name}},
+        {{"detect_sec",
+          BenchReport::scalar(r.detect_delay ? r.detect_delay->seconds()
+                                             : -1.0)},
+         {"reconnect_sec",
+          BenchReport::scalar(r.reconnect_delay ? r.reconnect_delay->seconds()
+                                                : -1.0)},
+         {"ttr_sec",
+          BenchReport::scalar(r.ttr.ttr ? r.ttr.ttr->seconds() : -1.0)},
+         {"reconnects",
+          BenchReport::scalar(static_cast<double>(r.reconnects))}});
   }
   table.print(std::cout);
 }
 
 }  // namespace
 
-int main() {
-  uplink_outage_panel();
-  target_sweep_panel();
-  return 0;
+int main(int argc, char** argv) {
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  BenchReport report("bench_outage", opts);
+  uplink_outage_panel(report, opts);
+  target_sweep_panel(report, opts);
+  return report.finish() ? 0 : 1;
 }

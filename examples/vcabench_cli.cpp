@@ -7,13 +7,21 @@
 //   vcabench_cli competition --profile zoom --vs iperf-up --link 2.0
 //   vcabench_cli multiparty  --profile meet --n 6 --mode speaker
 //
+// Every command also takes --reps N (run seeds seed..seed+N-1 and report
+// mean [90% CI]), --jobs N (parallel workers for the reps) and
+// --json FILE (machine-readable report, same schema as the benches).
+// With --reps 1 (the default) output is a single-run table, and --csv
+// dumps that run's traces.
+//
 // Flags default to the paper's experimental settings.
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "core/stats_math.h"
 #include "harness/scenario.h"
+#include "harness/sweep.h"
 #include "stats/table.h"
 #include "stats/trace_writer.h"
 
@@ -50,6 +58,23 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+SweepOptions sweep_options(const Args& a) {
+  SweepOptions opts;
+  opts.jobs = a.get_i("jobs", 0);
+  opts.json_path = a.get("json", "");
+  return opts;
+}
+
+int reps_of(const Args& a) {
+  int reps = a.get_i("reps", 1);
+  return reps < 1 ? 1 : reps;
+}
+
+std::string ci_str(const ConfidenceInterval& ci, int prec = 2) {
+  return fmt(ci.mean, prec) + " [" + fmt(ci.lo, prec) + "," +
+         fmt(ci.hi, prec) + "]";
+}
+
 void maybe_csv(const Args& a, const std::vector<std::string>& names,
                const std::vector<const TimeSeries*>& series) {
   std::string path = a.get("csv", "");
@@ -60,135 +85,353 @@ void maybe_csv(const Args& a, const std::vector<std::string>& names,
 }
 
 int cmd_two_party(const Args& a) {
-  TwoPartyConfig cfg;
-  cfg.profile = a.get("profile", "meet");
-  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
-  if (a.kv.count("up")) cfg.c1_up = DataRate::mbps_d(a.get_d("up", 0));
-  if (a.kv.count("down")) cfg.c1_down = DataRate::mbps_d(a.get_d("down", 0));
-  cfg.c1_loss = a.get_d("loss", 0.0) / 100.0;
-  cfg.c1_extra_latency = Duration::millis_d(a.get_d("latency", 0.0));
-  cfg.c1_jitter = Duration::millis_d(a.get_d("jitter", 0.0));
-  cfg.duration = Duration::seconds(a.get_i("seconds", 150));
+  SweepOptions opts = sweep_options(a);
+  BenchReport report("vcabench_cli two-party", opts);
+  int reps = reps_of(a);
+  uint64_t seed = static_cast<uint64_t>(a.get_i("seed", 1));
 
-  TwoPartyResult r = run_two_party(cfg);
-  TextTable t({"metric", "value"});
-  t.add_row({"c1 uplink (Mbps)", fmt(r.c1_up_mbps)});
-  t.add_row({"c1 downlink (Mbps)", fmt(r.c1_down_mbps)});
-  t.add_row({"recv fps (median)", fmt(r.c1_received.median_fps, 1)});
-  t.add_row({"recv QP (median)", fmt(r.c1_received.median_qp, 1)});
-  t.add_row({"recv width (median)", fmt(r.c1_received.median_width, 0)});
-  t.add_row({"freeze ratio (%)", fmt(100 * r.c1_received.freeze_ratio, 2)});
-  t.add_row({"upstream FIRs", std::to_string(r.c2_received.fir_upstream)});
-  t.print(std::cout);
-  maybe_csv(a, {"c1_up_mbps", "c1_down_mbps"},
-            {&r.c1_up_series, &r.c1_down_series});
-  return 0;
+  std::vector<TwoPartyConfig> jobs;
+  for (int rep = 0; rep < reps; ++rep) {
+    TwoPartyConfig cfg;
+    cfg.profile = a.get("profile", "meet");
+    cfg.seed = seed + static_cast<uint64_t>(rep);
+    if (a.kv.count("up")) cfg.c1_up = DataRate::mbps_d(a.get_d("up", 0));
+    if (a.kv.count("down")) cfg.c1_down = DataRate::mbps_d(a.get_d("down", 0));
+    cfg.c1_loss = a.get_d("loss", 0.0) / 100.0;
+    cfg.c1_extra_latency = Duration::millis_d(a.get_d("latency", 0.0));
+    cfg.c1_jitter = Duration::millis_d(a.get_d("jitter", 0.0));
+    cfg.duration = Duration::seconds(a.get_i("seconds", 150));
+    jobs.push_back(cfg);
+  }
+  auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+  report.begin_section("two-party", jobs[0].profile);
+
+  if (reps == 1) {
+    const TwoPartyResult& r = results[0];
+    TextTable t({"metric", "value"});
+    t.add_row({"c1 uplink (Mbps)", fmt(r.c1_up_mbps)});
+    t.add_row({"c1 downlink (Mbps)", fmt(r.c1_down_mbps)});
+    t.add_row({"recv fps (median)", fmt(r.c1_received.median_fps, 1)});
+    t.add_row({"recv QP (median)", fmt(r.c1_received.median_qp, 1)});
+    t.add_row({"recv width (median)", fmt(r.c1_received.median_width, 0)});
+    t.add_row({"freeze ratio (%)", fmt(100 * r.c1_received.freeze_ratio, 2)});
+    t.add_row({"upstream FIRs", std::to_string(r.c2_received.fir_upstream)});
+    t.print(std::cout);
+    maybe_csv(a, {"c1_up_mbps", "c1_down_mbps"},
+              {&r.c1_up_series, &r.c1_down_series});
+    report.add_cell(
+        {{"profile", jobs[0].profile}},
+        {{"up_mbps", BenchReport::scalar(r.c1_up_mbps)},
+         {"down_mbps", BenchReport::scalar(r.c1_down_mbps)},
+         {"fps", BenchReport::scalar(r.c1_received.median_fps)},
+         {"qp", BenchReport::scalar(r.c1_received.median_qp)},
+         {"width", BenchReport::scalar(r.c1_received.median_width)},
+         {"freeze_pct",
+          BenchReport::scalar(100 * r.c1_received.freeze_ratio)}});
+  } else {
+    std::vector<double> up, down, fps, qp, width, freeze;
+    for (const TwoPartyResult& r : results) {
+      up.push_back(r.c1_up_mbps);
+      down.push_back(r.c1_down_mbps);
+      fps.push_back(r.c1_received.median_fps);
+      qp.push_back(r.c1_received.median_qp);
+      width.push_back(r.c1_received.median_width);
+      freeze.push_back(100 * r.c1_received.freeze_ratio);
+    }
+    ConfidenceInterval up_ci = confidence_interval(up);
+    ConfidenceInterval down_ci = confidence_interval(down);
+    ConfidenceInterval fps_ci = confidence_interval(fps);
+    ConfidenceInterval qp_ci = confidence_interval(qp);
+    ConfidenceInterval width_ci = confidence_interval(width);
+    ConfidenceInterval freeze_ci = confidence_interval(freeze);
+    TextTable t({"metric", "mean [90% CI] over " + std::to_string(reps) +
+                               " reps"});
+    t.add_row({"c1 uplink (Mbps)", ci_str(up_ci)});
+    t.add_row({"c1 downlink (Mbps)", ci_str(down_ci)});
+    t.add_row({"recv fps (median)", ci_str(fps_ci, 1)});
+    t.add_row({"recv QP (median)", ci_str(qp_ci, 1)});
+    t.add_row({"recv width (median)", ci_str(width_ci, 0)});
+    t.add_row({"freeze ratio (%)", ci_str(freeze_ci)});
+    t.print(std::cout);
+    report.add_cell({{"profile", jobs[0].profile}},
+                    {{"up_mbps", up_ci},
+                     {"down_mbps", down_ci},
+                     {"fps", fps_ci},
+                     {"qp", qp_ci},
+                     {"width", width_ci},
+                     {"freeze_pct", freeze_ci}});
+  }
+  return report.finish() ? 0 : 1;
 }
 
 int cmd_disruption(const Args& a) {
-  DisruptionConfig cfg;
-  cfg.profile = a.get("profile", "meet");
-  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
-  cfg.uplink = a.get("direction", "up") != "down";
-  cfg.drop_to = DataRate::mbps_d(a.get_d("drop", 0.25));
-  DisruptionResult r = run_disruption(cfg);
-  std::cout << "nominal: " << fmt(r.ttr.nominal_mbps) << " Mbps\nTTR: "
-            << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + " s" : "censored")
-            << "\n";
-  maybe_csv(a, {"disrupted_mbps", "c2_up_mbps"},
-            {&r.disrupted_series, &r.c2_up_series});
-  return 0;
+  SweepOptions opts = sweep_options(a);
+  BenchReport report("vcabench_cli disruption", opts);
+  int reps = reps_of(a);
+  uint64_t seed = static_cast<uint64_t>(a.get_i("seed", 1));
+
+  std::vector<DisruptionConfig> jobs;
+  for (int rep = 0; rep < reps; ++rep) {
+    DisruptionConfig cfg;
+    cfg.profile = a.get("profile", "meet");
+    cfg.seed = seed + static_cast<uint64_t>(rep);
+    cfg.uplink = a.get("direction", "up") != "down";
+    cfg.drop_to = DataRate::mbps_d(a.get_d("drop", 0.25));
+    jobs.push_back(cfg);
+  }
+  auto results = Sweep::run(jobs, run_disruption, opts.jobs);
+  report.begin_section("disruption", jobs[0].profile);
+
+  if (reps == 1) {
+    const DisruptionResult& r = results[0];
+    std::cout << "nominal: " << fmt(r.ttr.nominal_mbps) << " Mbps\nTTR: "
+              << (r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + " s" : "censored")
+              << "\n";
+    maybe_csv(a, {"disrupted_mbps", "c2_up_mbps"},
+              {&r.disrupted_series, &r.c2_up_series});
+    report.add_cell(
+        {{"profile", jobs[0].profile}},
+        {{"nominal_mbps", BenchReport::scalar(r.ttr.nominal_mbps)},
+         {"ttr_sec",
+          BenchReport::scalar(r.ttr.ttr ? r.ttr.ttr->seconds() : -1.0)}});
+  } else {
+    std::vector<double> nominal, ttr;
+    for (const DisruptionResult& r : results) {
+      nominal.push_back(r.ttr.nominal_mbps);
+      // Censored runs count as the remaining call time (as in bench_fig4).
+      ttr.push_back(r.ttr.ttr ? r.ttr.ttr->seconds() : 210.0);
+    }
+    ConfidenceInterval nominal_ci = confidence_interval(nominal);
+    ConfidenceInterval ttr_ci = confidence_interval(ttr);
+    std::cout << "nominal: " << ci_str(nominal_ci) << " Mbps\nTTR: "
+              << ci_str(ttr_ci, 1) << " s (censored = 210.0, " << reps
+              << " reps)\n";
+    report.add_cell({{"profile", jobs[0].profile}},
+                    {{"nominal_mbps", nominal_ci}, {"ttr_sec", ttr_ci}});
+  }
+  return report.finish() ? 0 : 1;
 }
 
 int cmd_outage(const Args& a) {
-  OutageConfig cfg;
-  cfg.profile = a.get("profile", "meet");
-  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
-  std::string target = a.get("target", "up");
-  if (target == "down") {
-    cfg.target = OutageTarget::kDownlink;
-  } else if (target == "both") {
-    cfg.target = OutageTarget::kBoth;
-  } else if (target == "sfu") {
-    cfg.target = OutageTarget::kSfu;
-  } else {
-    cfg.target = OutageTarget::kUplink;
+  SweepOptions opts = sweep_options(a);
+  BenchReport report("vcabench_cli outage", opts);
+  int reps = reps_of(a);
+  uint64_t seed = static_cast<uint64_t>(a.get_i("seed", 1));
+
+  std::vector<OutageConfig> jobs;
+  for (int rep = 0; rep < reps; ++rep) {
+    OutageConfig cfg;
+    cfg.profile = a.get("profile", "meet");
+    cfg.seed = seed + static_cast<uint64_t>(rep);
+    std::string target = a.get("target", "up");
+    if (target == "down") {
+      cfg.target = OutageTarget::kDownlink;
+    } else if (target == "both") {
+      cfg.target = OutageTarget::kBoth;
+    } else if (target == "sfu") {
+      cfg.target = OutageTarget::kSfu;
+    } else {
+      cfg.target = OutageTarget::kUplink;
+    }
+    cfg.start = Duration::seconds(a.get_i("start", 60));
+    cfg.length = Duration::seconds(a.get_i("len", 10));
+    cfg.total = Duration::seconds(a.get_i("seconds", 180));
+    jobs.push_back(cfg);
   }
-  cfg.start = Duration::seconds(a.get_i("start", 60));
-  cfg.length = Duration::seconds(a.get_i("len", 10));
-  cfg.total = Duration::seconds(a.get_i("seconds", 180));
-  OutageResult r = run_outage(cfg);
+  auto results = Sweep::run(jobs, run_outage, opts.jobs);
+  report.begin_section("outage", jobs[0].profile);
 
   auto opt_s = [](const std::optional<Duration>& d) {
     return d ? fmt(d->seconds(), 2) + " s" : std::string("never");
   };
-  TextTable t({"metric", "value"});
-  t.add_row({"detect (outage -> watchdog)", opt_s(r.detect_delay)});
-  t.add_row({"reconnect (restore -> alive)", opt_s(r.reconnect_delay)});
-  t.add_row({"reconnects", std::to_string(r.reconnects)});
-  t.add_row({"audio-only degradations", std::to_string(r.degrade_events)});
-  t.add_row({"nominal (Mbps)", fmt(r.ttr.nominal_mbps)});
-  t.add_row({"TTR", r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + " s"
-                              : std::string("censored")});
-  t.add_row({"invariant violations",
-             std::to_string(r.invariant_violations.size())});
-  t.print(std::cout);
-  for (const auto& v : r.invariant_violations) {
-    std::cout << "violation: " << v << "\n";
+  size_t violations = 0;
+  if (reps == 1) {
+    const OutageResult& r = results[0];
+    TextTable t({"metric", "value"});
+    t.add_row({"detect (outage -> watchdog)", opt_s(r.detect_delay)});
+    t.add_row({"reconnect (restore -> alive)", opt_s(r.reconnect_delay)});
+    t.add_row({"reconnects", std::to_string(r.reconnects)});
+    t.add_row({"audio-only degradations", std::to_string(r.degrade_events)});
+    t.add_row({"nominal (Mbps)", fmt(r.ttr.nominal_mbps)});
+    t.add_row({"TTR", r.ttr.ttr ? fmt(r.ttr.ttr->seconds(), 1) + " s"
+                                : std::string("censored")});
+    t.add_row({"invariant violations",
+               std::to_string(r.invariant_violations.size())});
+    t.print(std::cout);
+    for (const auto& v : r.invariant_violations) {
+      std::cout << "violation: " << v << "\n";
+    }
+    maybe_csv(a, {"c1_up_mbps", "c1_down_mbps"},
+              {&r.c1_up_series, &r.c1_down_series});
+    violations = r.invariant_violations.size();
+    report.add_cell(
+        {{"profile", jobs[0].profile}},
+        {{"detect_sec", BenchReport::scalar(
+              r.detect_delay ? r.detect_delay->seconds() : -1.0)},
+         {"reconnect_sec", BenchReport::scalar(
+              r.reconnect_delay ? r.reconnect_delay->seconds() : -1.0)},
+         {"reconnects",
+          BenchReport::scalar(static_cast<double>(r.reconnects))},
+         {"ttr_sec",
+          BenchReport::scalar(r.ttr.ttr ? r.ttr.ttr->seconds() : -1.0)},
+         {"invariant_violations",
+          BenchReport::scalar(static_cast<double>(violations))}});
+  } else {
+    std::vector<double> detect, reconnect, ttr;
+    int reconnects = 0, degrades = 0;
+    for (const OutageResult& r : results) {
+      if (r.detect_delay) detect.push_back(r.detect_delay->seconds());
+      if (r.reconnect_delay) reconnect.push_back(r.reconnect_delay->seconds());
+      ttr.push_back(r.ttr.ttr ? r.ttr.ttr->seconds() : 110.0);
+      reconnects += r.reconnects;
+      degrades += r.degrade_events;
+      violations += r.invariant_violations.size();
+    }
+    ConfidenceInterval detect_ci = confidence_interval(detect);
+    ConfidenceInterval reconnect_ci = confidence_interval(reconnect);
+    ConfidenceInterval ttr_ci = confidence_interval(ttr);
+    TextTable t({"metric", "mean [90% CI] over " + std::to_string(reps) +
+                               " reps"});
+    t.add_row({"detect (s)", ci_str(detect_ci)});
+    t.add_row({"reconnect (s)", ci_str(reconnect_ci)});
+    t.add_row({"TTR (s, censored=110)", ci_str(ttr_ci, 1)});
+    t.add_row({"reconnects (total)", std::to_string(reconnects)});
+    t.add_row({"audio-only degradations (total)", std::to_string(degrades)});
+    t.add_row({"invariant violations (total)", std::to_string(violations)});
+    t.print(std::cout);
+    report.add_cell(
+        {{"profile", jobs[0].profile}},
+        {{"detect_sec", detect_ci},
+         {"reconnect_sec", reconnect_ci},
+         {"ttr_sec", ttr_ci},
+         {"invariant_violations",
+          BenchReport::scalar(static_cast<double>(violations))}});
   }
-  maybe_csv(a, {"c1_up_mbps", "c1_down_mbps"},
-            {&r.c1_up_series, &r.c1_down_series});
-  return r.invariant_violations.empty() ? 0 : 1;
+  bool ok = report.finish();
+  return violations == 0 && ok ? 0 : 1;
 }
 
 int cmd_competition(const Args& a) {
-  CompetitionConfig cfg;
-  cfg.incumbent = a.get("profile", "zoom");
-  cfg.link = DataRate::mbps_d(a.get_d("link", 0.5));
-  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
+  SweepOptions opts = sweep_options(a);
+  BenchReport report("vcabench_cli competition", opts);
+  int reps = reps_of(a);
+  uint64_t seed = static_cast<uint64_t>(a.get_i("seed", 1));
   std::string vs = a.get("vs", "meet");
-  if (vs == "iperf-up") {
-    cfg.competitor = CompetitorKind::kIperfUp;
-  } else if (vs == "iperf-down") {
-    cfg.competitor = CompetitorKind::kIperfDown;
-  } else if (vs == "netflix") {
-    cfg.competitor = CompetitorKind::kNetflix;
-  } else if (vs == "youtube") {
-    cfg.competitor = CompetitorKind::kYoutube;
+
+  std::vector<CompetitionConfig> jobs;
+  for (int rep = 0; rep < reps; ++rep) {
+    CompetitionConfig cfg;
+    cfg.incumbent = a.get("profile", "zoom");
+    cfg.link = DataRate::mbps_d(a.get_d("link", 0.5));
+    cfg.seed = seed + static_cast<uint64_t>(rep);
+    if (vs == "iperf-up") {
+      cfg.competitor = CompetitorKind::kIperfUp;
+    } else if (vs == "iperf-down") {
+      cfg.competitor = CompetitorKind::kIperfDown;
+    } else if (vs == "netflix") {
+      cfg.competitor = CompetitorKind::kNetflix;
+    } else if (vs == "youtube") {
+      cfg.competitor = CompetitorKind::kYoutube;
+    } else {
+      cfg.competitor = CompetitorKind::kVca;
+      cfg.competitor_profile = vs;
+    }
+    jobs.push_back(cfg);
+  }
+  auto results = Sweep::run(jobs, run_competition, opts.jobs);
+  report.begin_section("competition", jobs[0].incumbent + " vs " + vs);
+
+  if (reps == 1) {
+    const CompetitionResult& r = results[0];
+    TextTable t({"", "uplink share", "downlink share"});
+    t.add_row({jobs[0].incumbent + " (incumbent)", fmt(r.incumbent_up_share),
+               fmt(r.incumbent_down_share)});
+    t.add_row({vs + " (competitor)", fmt(r.competitor_up_share),
+               fmt(r.competitor_down_share)});
+    t.print(std::cout);
+    if (r.competitor_connections > 0) {
+      std::cout << "competitor opened " << r.competitor_connections
+                << " TCP connections (max parallel "
+                << r.competitor_max_parallel << ")\n";
+    }
+    maybe_csv(a, {"incumbent_up", "competitor_up", "incumbent_down",
+                  "competitor_down"},
+              {&r.incumbent_up_series, &r.competitor_up_series,
+               &r.incumbent_down_series, &r.competitor_down_series});
+    report.add_cell(
+        {{"incumbent", jobs[0].incumbent}, {"competitor", vs}},
+        {{"incumbent_up_share", BenchReport::scalar(r.incumbent_up_share)},
+         {"competitor_up_share", BenchReport::scalar(r.competitor_up_share)},
+         {"incumbent_down_share",
+          BenchReport::scalar(r.incumbent_down_share)},
+         {"competitor_down_share",
+          BenchReport::scalar(r.competitor_down_share)}});
   } else {
-    cfg.competitor = CompetitorKind::kVca;
-    cfg.competitor_profile = vs;
+    std::vector<double> iu, cu, id, cd;
+    for (const CompetitionResult& r : results) {
+      iu.push_back(r.incumbent_up_share);
+      cu.push_back(r.competitor_up_share);
+      id.push_back(r.incumbent_down_share);
+      cd.push_back(r.competitor_down_share);
+    }
+    ConfidenceInterval iu_ci = confidence_interval(iu);
+    ConfidenceInterval cu_ci = confidence_interval(cu);
+    ConfidenceInterval id_ci = confidence_interval(id);
+    ConfidenceInterval cd_ci = confidence_interval(cd);
+    TextTable t({"", "uplink share [CI]", "downlink share [CI]"});
+    t.add_row({jobs[0].incumbent + " (incumbent)", ci_str(iu_ci),
+               ci_str(id_ci)});
+    t.add_row({vs + " (competitor)", ci_str(cu_ci), ci_str(cd_ci)});
+    t.print(std::cout);
+    report.add_cell({{"incumbent", jobs[0].incumbent}, {"competitor", vs}},
+                    {{"incumbent_up_share", iu_ci},
+                     {"competitor_up_share", cu_ci},
+                     {"incumbent_down_share", id_ci},
+                     {"competitor_down_share", cd_ci}});
   }
-  CompetitionResult r = run_competition(cfg);
-  TextTable t({"", "uplink share", "downlink share"});
-  t.add_row({cfg.incumbent + " (incumbent)", fmt(r.incumbent_up_share),
-             fmt(r.incumbent_down_share)});
-  t.add_row({vs + " (competitor)", fmt(r.competitor_up_share),
-             fmt(r.competitor_down_share)});
-  t.print(std::cout);
-  if (r.competitor_connections > 0) {
-    std::cout << "competitor opened " << r.competitor_connections
-              << " TCP connections (max parallel " << r.competitor_max_parallel
-              << ")\n";
-  }
-  maybe_csv(a, {"incumbent_up", "competitor_up", "incumbent_down",
-                "competitor_down"},
-            {&r.incumbent_up_series, &r.competitor_up_series,
-             &r.incumbent_down_series, &r.competitor_down_series});
-  return 0;
+  return report.finish() ? 0 : 1;
 }
 
 int cmd_multiparty(const Args& a) {
-  MultipartyConfig cfg;
-  cfg.profile = a.get("profile", "meet");
-  cfg.participants = a.get_i("n", 4);
-  cfg.mode = a.get("mode", "gallery") == "speaker" ? ViewMode::kSpeaker
-                                                   : ViewMode::kGallery;
-  cfg.seed = static_cast<uint64_t>(a.get_i("seed", 1));
-  MultipartyResult r = run_multiparty(cfg);
-  std::cout << "C1 uplink: " << fmt(r.c1_up_mbps) << " Mbps\nC1 downlink: "
-            << fmt(r.c1_down_mbps) << " Mbps\n";
-  return 0;
+  SweepOptions opts = sweep_options(a);
+  BenchReport report("vcabench_cli multiparty", opts);
+  int reps = reps_of(a);
+  uint64_t seed = static_cast<uint64_t>(a.get_i("seed", 1));
+
+  std::vector<MultipartyConfig> jobs;
+  for (int rep = 0; rep < reps; ++rep) {
+    MultipartyConfig cfg;
+    cfg.profile = a.get("profile", "meet");
+    cfg.participants = a.get_i("n", 4);
+    cfg.mode = a.get("mode", "gallery") == "speaker" ? ViewMode::kSpeaker
+                                                     : ViewMode::kGallery;
+    cfg.seed = seed + static_cast<uint64_t>(rep);
+    jobs.push_back(cfg);
+  }
+  auto results = Sweep::run(jobs, run_multiparty, opts.jobs);
+  report.begin_section("multiparty", jobs[0].profile);
+
+  if (reps == 1) {
+    const MultipartyResult& r = results[0];
+    std::cout << "C1 uplink: " << fmt(r.c1_up_mbps) << " Mbps\nC1 downlink: "
+              << fmt(r.c1_down_mbps) << " Mbps\n";
+    report.add_cell({{"profile", jobs[0].profile}},
+                    {{"up_mbps", BenchReport::scalar(r.c1_up_mbps)},
+                     {"down_mbps", BenchReport::scalar(r.c1_down_mbps)}});
+  } else {
+    std::vector<double> up, down;
+    for (const MultipartyResult& r : results) {
+      up.push_back(r.c1_up_mbps);
+      down.push_back(r.c1_down_mbps);
+    }
+    ConfidenceInterval up_ci = confidence_interval(up);
+    ConfidenceInterval down_ci = confidence_interval(down);
+    std::cout << "C1 uplink: " << ci_str(up_ci) << " Mbps\nC1 downlink: "
+              << ci_str(down_ci) << " Mbps (" << reps << " reps)\n";
+    report.add_cell({{"profile", jobs[0].profile}},
+                    {{"up_mbps", up_ci}, {"down_mbps", down_ci}});
+  }
+  return report.finish() ? 0 : 1;
 }
 
 int usage() {
@@ -204,6 +447,8 @@ int usage() {
       "  competition: --profile P --vs "
       "meet|teams|zoom|iperf-up|iperf-down|netflix|youtube --link M --csv F\n"
       "  multiparty:  --profile P --n N --mode gallery|speaker --seed S\n"
+      "common flags: --reps N (seeds S..S+N-1, mean [90% CI]; default 1) "
+      "--jobs N (parallel workers) --json FILE (machine-readable report)\n"
       "profiles: meet teams zoom teams-chrome zoom-chrome (+ ablation "
       "variants)\n";
   return 2;

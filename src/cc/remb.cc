@@ -69,12 +69,29 @@ void ReceiveSideEstimator::on_packet(TimePoint arrival, TimePoint send_time,
          rate_window_.front().at < arrival - Duration::millis(500)) {
     rate_window_.pop_front();
   }
-  // Track the propagation-delay baseline; refresh slowly so route changes
-  // (not a thing in-sim, but cheap) do not pin the estimate forever.
-  if (owd_ms < min_owd_ms_ || arrival - min_owd_refreshed_ > Duration::seconds(60)) {
-    min_owd_ms_ = owd_ms;
-    min_owd_refreshed_ = arrival;
+  update_min_owd(arrival, owd_ms);
+}
+
+// Track the propagation-delay baseline as the minimum over the last
+// ~60 s of samples, bucketed so the window costs O(1) per packet. The
+// window forgets slowly enough that a standing queue cannot pollute the
+// baseline before the backoff drains it, yet route changes (not a thing
+// in-sim, but cheap) still age out of the estimate.
+void ReceiveSideEstimator::update_min_owd(TimePoint at, double owd_ms) {
+  constexpr int64_t kBucketNs = 5'000'000'000;  // 5 s
+  constexpr int64_t kBuckets = 12;              // 60 s window
+  int64_t idx = at.ns() / kBucketNs;
+  if (!owd_buckets_.empty() && owd_buckets_.back().idx == idx) {
+    owd_buckets_.back().min_ms = std::min(owd_buckets_.back().min_ms, owd_ms);
+  } else {
+    owd_buckets_.push_back({idx, owd_ms});
   }
+  while (!owd_buckets_.empty() && owd_buckets_.front().idx + kBuckets <= idx) {
+    owd_buckets_.pop_front();
+  }
+  double m = 1e18;
+  for (const OwdBucket& b : owd_buckets_) m = std::min(m, b.min_ms);
+  min_owd_ms_ = m;
 }
 
 void ReceiveSideEstimator::note_loss(double loss_fraction) {

@@ -55,6 +55,7 @@ class ReceiveSideEstimator : public PacketArrivalObserver {
 
  private:
   void update_signals(TimePoint now);
+  void update_min_owd(TimePoint at, double owd_ms);
 
   Config cfg_;
   DataRate estimate_;
@@ -66,8 +67,16 @@ class ReceiveSideEstimator : public PacketArrivalObserver {
   };
   std::deque<Arrival> window_;       // ~1 s of arrivals
   std::deque<Arrival> rate_window_;  // 500 ms for receive-rate measurement
-  double min_owd_ms_ = 1e18;         // baseline propagation delay
-  TimePoint min_owd_refreshed_;
+  // Baseline propagation delay: a sliding-window minimum over bucketed
+  // recent samples. A point-in-time refresh would latch whatever sample
+  // happens to arrive at the refresh instant — under a standing queue
+  // that inflates the baseline and masks overuse.
+  struct OwdBucket {
+    int64_t idx = 0;   // arrival time / bucket length
+    double min_ms = 0.0;
+  };
+  std::deque<OwdBucket> owd_buckets_;
+  double min_owd_ms_ = 1e18;         // min over owd_buckets_
   double queuing_delay_ms_ = 0.0;
   double trend_ms_per_s_ = 0.0;
   double loss_ewma_ = 0.0;

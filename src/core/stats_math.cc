@@ -15,21 +15,30 @@ double mean_of(const std::vector<double>& v) {
 
 double median_of_sorted_copy(std::vector<double> v) {
   if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
   size_t n = v.size();
-  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  double upper = v[n / 2];
+  if (n % 2 == 1) return upper;
+  // Even n: the other middle order statistic is the max of the left half.
+  return (*std::max_element(v.begin(), v.begin() + n / 2) + upper) / 2.0;
 }
 
+// Selection instead of a full sort: this sits on the per-cell JSON
+// aggregation path, where the inputs are per-bucket sample vectors.
 double percentile_of(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  if (p <= 0.0) return v.front();
-  if (p >= 100.0) return v.back();
+  if (p <= 0.0) return *std::min_element(v.begin(), v.end());
+  if (p >= 100.0) return *std::max_element(v.begin(), v.end());
   double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= v.size()) return v.back();
-  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+  std::nth_element(v.begin(), v.begin() + lo, v.end());
+  double at_lo = v[lo];
+  if (frac == 0.0 || lo + 1 >= v.size()) return at_lo;
+  // After nth_element the (lo+1)-th order statistic is the min of the
+  // right partition.
+  double at_hi = *std::min_element(v.begin() + lo + 1, v.end());
+  return at_lo * (1.0 - frac) + at_hi * frac;
 }
 
 double stddev_of(const std::vector<double>& v) {

@@ -31,15 +31,20 @@ class DataRate {
   constexpr double mbps_f() const { return static_cast<double>(bps_) / 1e6; }
   constexpr bool is_zero() const { return bps_ == 0; }
 
-  // Time to serialize `bytes` at this rate.
+  // Time to serialize `bytes` at this rate. The intermediate
+  // bytes * 8e9 passes int64 range at ~1.15e9 bytes (a few seconds of
+  // 1 Gbps traffic), so the product is carried in 128 bits.
   constexpr Duration transmit_time(int64_t bytes) const {
     if (bps_ <= 0) return Duration::infinite();
-    return Duration::nanos(bytes * 8 * 1'000'000'000 / bps_);
+    return Duration::nanos(static_cast<int64_t>(
+        static_cast<__int128>(bytes) * 8 * 1'000'000'000 / bps_));
   }
 
-  // Bytes transferred in `d` at this rate.
+  // Bytes transferred in `d` at this rate. bps_ * d.ns() is ~1e19 at
+  // 1 Gbps over 10 s — past int64 — so the product is carried in 128 bits.
   constexpr int64_t bytes_in(Duration d) const {
-    return bps_ * d.ns() / 8 / 1'000'000'000;
+    return static_cast<int64_t>(static_cast<__int128>(bps_) * d.ns() / 8 /
+                                1'000'000'000);
   }
 
   constexpr DataRate operator+(DataRate o) const { return DataRate(bps_ + o.bps_); }
@@ -61,9 +66,12 @@ inline std::ostream& operator<<(std::ostream& os, DataRate r) {
   return os << r.mbps_f() << "Mbps";
 }
 
+// 128-bit intermediate: bytes * 8e9 overflows int64 for byte counts
+// beyond ~1.15e9 (a 10 s window of 1 Gbps traffic).
 constexpr DataRate rate_from_bytes(int64_t bytes, Duration over) {
   if (over.ns() <= 0) return DataRate::zero();
-  return DataRate::bps(bytes * 8 * 1'000'000'000 / over.ns());
+  return DataRate::bps(static_cast<int64_t>(
+      static_cast<__int128>(bytes) * 8 * 1'000'000'000 / over.ns()));
 }
 
 }  // namespace vca

@@ -5,6 +5,7 @@
 #include "apps/abr_video.h"
 #include "apps/bulk_tcp.h"
 #include "harness/network.h"
+#include "harness/sweep.h"
 #include "net/faults.h"
 #include "vca/call.h"
 
@@ -85,6 +86,7 @@ TwoPartyResult run_two_party(const TwoPartyConfig& cfg) {
   out.c1_down_series = down_cap->rates();
   out.c1_received = feed_quality(call, call.sfu(), cl1, cl2, cfg.duration);
   out.c2_received = feed_quality(call, call.sfu(), cl2, cl1, cfg.duration);
+  note_sim_events(net.sched().events_processed());
   return out;
 }
 
@@ -126,6 +128,7 @@ DisruptionResult run_disruption(const DisruptionConfig& cfg) {
   out.ttr = time_to_recovery(out.disrupted_series, t0 + cfg.start,
                              t0 + cfg.start + cfg.length,
                              Duration::seconds(5), /*recovery_fraction=*/0.95);
+  note_sim_events(net.sched().events_processed());
   return out;
 }
 
@@ -208,6 +211,7 @@ OutageResult run_outage(const OutageConfig& cfg) {
   out.reconnects = cl1->reconnect_count();
   out.invariant_violations = net.check_invariants();
   net.enforce_invariants();
+  note_sim_events(net.sched().events_processed());
   return out;
 }
 
@@ -323,6 +327,7 @@ CompetitionResult run_competition(const CompetitionConfig& cfg) {
     out.competitor_connections = abr->connections_opened();
     out.competitor_max_parallel = abr->max_parallel_seen();
   }
+  note_sim_events(net.sched().events_processed());
   return out;
 }
 
@@ -361,6 +366,7 @@ MultipartyResult run_multiparty(const MultipartyConfig& cfg) {
   TimePoint to = TimePoint::zero() + cfg.duration;
   out.c1_up_mbps = up_cap->mean_rate(from, to).mbps_f();
   out.c1_down_mbps = down_cap->mean_rate(from, to).mbps_f();
+  note_sim_events(net.sched().events_processed());
   return out;
 }
 

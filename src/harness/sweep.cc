@@ -1,0 +1,187 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+namespace vca {
+
+namespace {
+
+std::atomic<uint64_t> g_sim_events{0};
+
+int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// JSON string escaping for the label/metric names we emit (ASCII tables,
+// profile names, paths).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+int default_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+SweepOptions parse_sweep_args(int argc, char** argv) {
+  SweepOptions opts;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      opts.jobs = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opts.json_path = argv[i + 1];
+    }
+  }
+  return opts;
+}
+
+void note_sim_events(uint64_t n) {
+  g_sim_events.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t sim_events_total() {
+  return g_sim_events.load(std::memory_order_relaxed);
+}
+
+void Sweep::run_indexed(size_t n, int n_threads,
+                        const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  size_t workers = static_cast<size_t>(n_threads > 0 ? n_threads
+                                                     : default_jobs());
+  if (workers > n) workers = n;
+  if (workers <= 1) {
+    // The serial path stays thread-free: it is both the --jobs 1 baseline
+    // the determinism tests compare against and the fast path on
+    // single-core machines.
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  // Deterministic error reporting: the first failing submission wins,
+  // independent of which worker hit it.
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+BenchReport::BenchReport(std::string bench, SweepOptions opts)
+    : bench_(std::move(bench)),
+      opts_(std::move(opts)),
+      events_at_start_(sim_events_total()),
+      wall_start_ns_(wall_now_ns()) {}
+
+void BenchReport::begin_section(const std::string& id,
+                                const std::string& title) {
+  sections_.push_back({id, title, {}});
+}
+
+void BenchReport::add_cell(Labels labels, Metrics metrics) {
+  if (sections_.empty()) begin_section("default", "");
+  sections_.back().cells.push_back({std::move(labels), std::move(metrics)});
+}
+
+bool BenchReport::finish() {
+  double wall_sec =
+      static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
+  uint64_t events = sim_events_total() - events_at_start_;
+  double eps = wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0;
+  int jobs = opts_.jobs > 0 ? opts_.jobs : default_jobs();
+  std::cerr << bench_ << ": wall " << json_num(wall_sec) << " s, "
+            << events << " sim events, " << json_num(eps)
+            << " events/s, jobs " << jobs << "\n";
+  if (opts_.json_path.empty()) return true;
+
+  std::ofstream f(opts_.json_path);
+  if (!f) {
+    std::cerr << bench_ << ": cannot write " << opts_.json_path << "\n";
+    return false;
+  }
+  f << "{\n  \"bench\": \"" << json_escape(bench_) << "\",\n";
+  f << "  \"sections\": [\n";
+  for (size_t s = 0; s < sections_.size(); ++s) {
+    const Section& sec = sections_[s];
+    f << "    {\n      \"id\": \"" << json_escape(sec.id)
+      << "\",\n      \"title\": \"" << json_escape(sec.title)
+      << "\",\n      \"cells\": [\n";
+    for (size_t c = 0; c < sec.cells.size(); ++c) {
+      const Cell& cell = sec.cells[c];
+      f << "        {\"labels\": {";
+      for (size_t i = 0; i < cell.labels.size(); ++i) {
+        if (i) f << ", ";
+        f << "\"" << json_escape(cell.labels[i].first) << "\": \""
+          << json_escape(cell.labels[i].second) << "\"";
+      }
+      f << "}, \"metrics\": {";
+      for (size_t i = 0; i < cell.metrics.size(); ++i) {
+        if (i) f << ", ";
+        const ConfidenceInterval& ci = cell.metrics[i].second;
+        f << "\"" << json_escape(cell.metrics[i].first) << "\": {\"mean\": "
+          << json_num(ci.mean) << ", \"lo\": " << json_num(ci.lo)
+          << ", \"hi\": " << json_num(ci.hi) << "}";
+      }
+      f << "}}" << (c + 1 < sec.cells.size() ? "," : "") << "\n";
+    }
+    f << "      ]\n    }" << (s + 1 < sections_.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n";
+  // One line, run-dependent: strip with `grep -v '"timing"'` when diffing.
+  f << "  \"timing\": {\"jobs\": " << jobs << ", \"wall_clock_sec\": "
+    << json_num(wall_sec) << ", \"sim_events\": " << events
+    << ", \"events_per_sec\": " << json_num(eps) << "}\n";
+  f << "}\n";
+  return f.good();
+}
+
+}  // namespace vca

@@ -223,6 +223,13 @@ StreamAllocation VcaProfile::allocate(DataRate total, int max_width,
       return out;
     }
     case VcaKind::kMeet: {
+      if (layers.size() < 2) {
+        // Single-stream variant (meet-nosimulcast ablation): the whole
+        // budget rides one rate-adaptive stream, capped at its nominal.
+        DataRate lo = std::clamp(total, DataRate::kbps(80), layers[0].rate);
+        out.items.push_back({.layer = 0, .target = lo, .ultra_low = false});
+        return out;
+      }
       const DataRate low_full =
           ultra_low ? DataRate::kbps(110) : layers[0].rate;
       // High copy needs a viewer that wants >= 640 and leftover budget.

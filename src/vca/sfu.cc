@@ -235,9 +235,22 @@ void SfuServer::tick() {
     return;
   }
   // Split each viewer's downlink estimate across its feeds, then update
-  // per-subscription stream/layer selection.
-  std::map<VcaClient*, std::vector<Subscription*>> by_viewer;
-  for (auto& s : subs_) by_viewer[s->viewer].push_back(s.get());
+  // per-subscription stream/layer selection. Viewers are grouped in subs_
+  // insertion order: a pointer-keyed std::map here would make per-tick
+  // processing order follow heap layout, which diverges between
+  // identically-seeded runs once sims execute on worker threads.
+  std::vector<std::pair<VcaClient*, std::vector<Subscription*>>> by_viewer;
+  for (auto& s : subs_) {
+    auto it =
+        std::find_if(by_viewer.begin(), by_viewer.end(),
+                     [&](const auto& e) { return e.first == s->viewer; });
+    if (it == by_viewer.end()) {
+      by_viewer.emplace_back(s->viewer,
+                             std::vector<Subscription*>{s.get()});
+    } else {
+      it->second.push_back(s.get());
+    }
+  }
 
   for (auto& [viewer, subs] : by_viewer) {
     DataRate budget = subs.front()->viewer_remb;

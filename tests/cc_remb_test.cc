@@ -128,6 +128,50 @@ TEST(RembTest, AggressivePresetRecoversFast) {
   EXPECT_LT(recovered_at, 10'000);  // under ten seconds (paper: Meet/Zoom)
 }
 
+// Regression for the min-OWD baseline refresh. The old code *overwrote*
+// the baseline with whatever sample arrived once 60 s had passed since
+// the last refresh. Under a standing queue that sample is itself queued,
+// so the measured queuing delay collapsed to ~0 at the refresh boundary
+// and overuse went undetected until the next backoff. The windowed
+// minimum keeps the pre-queue baseline alive across the boundary.
+TEST(RembTest, OveruseDetectedAcrossRefreshBoundaryUnderStandingQueue) {
+  ReceiveSideEstimator est(gcc_cfg());
+  // 55 s of clean link: baseline OWD 10 ms, estimate grows.
+  for (int64_t t = 0; t < 55'000; t += 100) {
+    feed(est, t, t + 100, 1.0, 10.0);
+    est.remb(at_ms(t + 100));
+  }
+  // A standing queue builds and *stays*: +440 ms of queuing delay that
+  // spans the old implementation's t=60 s refresh boundary.
+  DataRate at_onset = est.current_estimate();
+  for (int64_t t = 55'000; t < 70'000; t += 100) {
+    feed(est, t, t + 100, 1.0, 450.0);
+    est.remb(at_ms(t + 100));
+  }
+  // Past the refresh boundary the estimator must still see the queue
+  // (old code: queuing_delay_ms() ~ 0 here, and the estimate regrew).
+  EXPECT_GT(est.queuing_delay_ms(), 350.0);
+  EXPECT_LT(est.current_estimate().bits_per_sec(), at_onset.bits_per_sec());
+}
+
+TEST(RembTest, BaselineStillAgesOutAfterTheQueueDrains) {
+  // The windowed minimum must not pin the baseline forever: once old
+  // samples age out (> 60 s), a higher plateau becomes the new baseline
+  // and steady operation resumes (the route-change case).
+  ReceiveSideEstimator est(gcc_cfg());
+  for (int64_t t = 0; t < 10'000; t += 100) {
+    feed(est, t, t + 100, 1.0, 10.0);
+    est.remb(at_ms(t + 100));
+  }
+  // OWD settles 100 ms higher (route change), for well past the window.
+  for (int64_t t = 10'000; t < 90'000; t += 100) {
+    feed(est, t, t + 100, 1.0, 110.0);
+    est.remb(at_ms(t + 100));
+  }
+  // The 10 ms samples have aged out: 110 ms reads as zero queuing again.
+  EXPECT_LT(est.queuing_delay_ms(), 5.0);
+}
+
 TEST(RembTest, RespectsBounds) {
   auto cfg = gcc_cfg();
   cfg.min_rate = DataRate::kbps(200);

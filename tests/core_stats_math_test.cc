@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "core/stats_math.h"
 
@@ -52,6 +54,60 @@ TEST(StatsMathTest, SingleSampleDegenerate) {
   auto ci = confidence_interval({3.0}, 0.90);
   EXPECT_DOUBLE_EQ(ci.lo, 3.0);
   EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+// Reference implementations: the original full-sort versions that the
+// nth_element-based selection replaced. The selection path must agree
+// bit-for-bit so the bench tables stay byte-identical across the switch.
+double percentile_sort_reference(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double median_sort_reference(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+TEST(StatsMathTest, PercentileSelectionMatchesSortReference) {
+  std::mt19937_64 rng(7);
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 17u, 100u, 1001u}) {
+    std::vector<double> v(n);
+    std::uniform_real_distribution<double> dist(-50.0, 50.0);
+    for (auto& x : v) x = dist(rng);
+    // Inject ties: duplicates are where partial selection usually slips.
+    if (n >= 4) {
+      v[1] = v[0];
+      v[n - 1] = v[n / 2];
+    }
+    for (double p : {-5.0, 0.0, 1.0, 10.0, 25.0, 50.0, 66.7, 75.0, 90.0,
+                     99.0, 100.0, 105.0}) {
+      EXPECT_DOUBLE_EQ(percentile_of(v, p), percentile_sort_reference(v, p))
+          << "n=" << n << " p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(median_of_sorted_copy(v), median_sort_reference(v))
+        << "n=" << n;
+  }
+}
+
+TEST(StatsMathTest, PercentileAllEqualAndTwoValues) {
+  std::vector<double> same(9, 4.25);
+  for (double p : {0.0, 33.0, 50.0, 97.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_of(same, p), 4.25);
+  }
+  std::vector<double> two{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile_of(two, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_of(two, 75), 2.5);
+  EXPECT_DOUBLE_EQ(median_of_sorted_copy(two), 2.0);
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+// Overflow regressions for the rate math in core/units.h. The original
+// implementations multiplied before dividing in plain int64: bits/sec x
+// nanoseconds is ~1e19 at 1 Gbps over 10 s, and bytes x 8e9 passes int64
+// at ~1.15e9 bytes. Both are paper-scale inputs (Gbps-class unshaped
+// access links over 150 s calls). Run under the UBSan preset, the old
+// code trips signed-overflow checks on every case below.
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace vca {
+namespace {
+
+TEST(UnitsOverflowTest, BytesInGbpsOverMultiSecondWindows) {
+  // 1 Gbps x 10 s = 1.25e9 bytes.
+  EXPECT_EQ(DataRate::gbps(1).bytes_in(Duration::seconds(10)), 1'250'000'000);
+  // 2 Gbps (the sim's SFU access links) over a full 150 s call.
+  EXPECT_EQ(DataRate::gbps(2).bytes_in(Duration::seconds(150)),
+            int64_t{37'500'000'000});
+  // 10 Gbps over 5 minutes still fits comfortably in the 128-bit rewrite.
+  EXPECT_EQ(DataRate::gbps(10).bytes_in(Duration::seconds(300)),
+            int64_t{375'000'000'000});
+}
+
+TEST(UnitsOverflowTest, RateFromBytesLargeByteCounts) {
+  // 18.75e9 bytes over 150 s is exactly 1 Gbps.
+  EXPECT_EQ(rate_from_bytes(18'750'000'000, Duration::seconds(150))
+                .bits_per_sec(),
+            1'000'000'000);
+  // Just past the old ~1.15e9-byte overflow threshold.
+  EXPECT_EQ(rate_from_bytes(2'000'000'000, Duration::seconds(16))
+                .bits_per_sec(),
+            1'000'000'000);
+}
+
+TEST(UnitsOverflowTest, TransmitTimeLargeByteCounts) {
+  // 2e9 bytes at 1 Gbps serialize in 16 s.
+  EXPECT_EQ(DataRate::gbps(1).transmit_time(2'000'000'000),
+            Duration::seconds(16));
+  EXPECT_EQ(DataRate::mbps(500).transmit_time(5'000'000'000),
+            Duration::seconds(80));
+}
+
+TEST(UnitsOverflowTest, RoundTripAtHighRates) {
+  // bytes_in and rate_from_bytes stay inverses at Gbps scale.
+  for (int64_t gbps : {1, 2, 5, 10}) {
+    DataRate r = DataRate::gbps(gbps);
+    Duration d = Duration::seconds(30);
+    EXPECT_EQ(rate_from_bytes(r.bytes_in(d), d), r);
+  }
+}
+
+TEST(UnitsOverflowTest, SmallValuesUnchanged) {
+  // The 128-bit rewrite must not perturb kbps-scale arithmetic.
+  EXPECT_EQ(DataRate::kbps(500).bytes_in(Duration::seconds(1)), 62'500);
+  EXPECT_EQ(DataRate::mbps(1).transmit_time(1500), Duration::micros(12'000));
+  EXPECT_EQ(rate_from_bytes(62'500, Duration::seconds(1)),
+            DataRate::kbps(500));
+  EXPECT_EQ(DataRate::zero().transmit_time(1500), Duration::infinite());
+  EXPECT_EQ(rate_from_bytes(1000, Duration::zero()), DataRate::zero());
+}
+
+}  // namespace
+}  // namespace vca

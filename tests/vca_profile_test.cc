@@ -98,6 +98,25 @@ TEST(ProfileTest, TeamsPolicyWidthBugBelow320kbps) {
   EXPECT_EQ(policy(DataRate::kbps(300), 1280).width, 960);
 }
 
+// Regression: the Meet allocator used to read layers[1] unconditionally,
+// which is out of bounds for the single-layer meet-nosimulcast ablation
+// variant (heap-buffer-overflow under ASan; items referencing a layer the
+// client never created). A single-layer Meet profile must only ever emit
+// layer-0 items.
+TEST(ProfileTest, MeetSingleLayerVariantAllocatesOnlyLayerZero) {
+  VcaProfile p = vca_profile("meet-nosimulcast");
+  ASSERT_EQ(p.layers.size(), 1u);
+  for (int kbps : {100, 460, 850, 2000}) {
+    for (int width : {320, 640, 1280}) {
+      StreamAllocation a = p.allocate(DataRate::kbps(kbps), width, false);
+      ASSERT_EQ(a.items.size(), 1u);
+      EXPECT_EQ(a.items[0].layer, 0);
+      EXPECT_LE(a.items[0].target.bits_per_sec(),
+                p.layers[0].rate.bits_per_sec());
+    }
+  }
+}
+
 TEST(ProfileTest, MeetPoliciesMatchFig2Shapes) {
   VcaProfile p = vca_profile("meet");
   EncoderPolicy low = p.policy_for_layer(0);
