@@ -1,0 +1,154 @@
+// Estimator-accuracy validation (the paper's §3.3): how well the blind
+// offline pipeline (src/analysis) recovers FPS and bitrate from packet
+// headers alone, scored against WebRtcStatsCollector ground truth.
+//
+// For every profile x downlink-rate cell we run two-party calls with the
+// simulated tcpdump attached to C1's downlink, feed the recorded trace —
+// bytes and timestamps only — to analyze_records(), and compare:
+//   * blind median FPS of the primary video stream vs the getStats()
+//     median over the same measurement window;
+//   * blind aggregate IP-layer utilization vs the FlowCapture mean.
+//
+// Acceptance (ISSUE 4): on the unconstrained link the blind median FPS
+// must be within +/-10% of ground truth for all three profiles; the
+// binary exits nonzero otherwise, so CI enforces it.
+//
+// --quick trims the grid to the unconstrained rate with one rep and a
+// shorter call (used by the determinism ctest); --reps N overrides the
+// repetition count. --jobs/--json as everywhere else.
+#include <cmath>
+#include <cstring>
+
+#include "analysis/inference.h"
+#include "bench_common.h"
+#include "harness/scenario.h"
+
+namespace {
+
+using namespace vca;
+
+// Ground-truth median FPS over the measurement window, same convention
+// as the blind estimator: median of nonzero per-second frame counts.
+double truth_median_fps(const std::vector<SecondStats>& seconds,
+                        Duration measure_from) {
+  std::vector<double> v;
+  TimePoint from = TimePoint::zero() + measure_from;
+  for (const SecondStats& s : seconds) {
+    if (s.at > from && s.fps > 0.0) v.push_back(s.fps);
+  }
+  return median_of_sorted_copy(std::move(v));
+}
+
+double pct_err(double estimate, double truth) {
+  if (truth <= 0.0) return estimate <= 0.0 ? 0.0 : 100.0;
+  return 100.0 * (estimate - truth) / truth;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vca;
+  using namespace vca::bench;
+
+  SweepOptions opts = parse_sweep_args(argc, argv);
+  bool quick = false;
+  int reps = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[i + 1]);
+    }
+  }
+  if (reps < 1) reps = quick ? 1 : 3;
+
+  BenchReport report("bench_inference", opts);
+  header("Estimator accuracy",
+         "Blind trace inference vs getStats() ground truth");
+
+  const char* profiles[] = {"meet", "teams", "zoom"};
+  // 0 = unconstrained (1 Gbps access link left at its default).
+  std::vector<double> rates_mbps = {0.0, 3.0, 1.5, 0.8};
+  if (quick) rates_mbps = {0.0};
+  Duration duration = Duration::seconds(quick ? 80 : 150);
+  Duration measure_from = Duration::seconds(30);
+
+  std::vector<TwoPartyConfig> jobs;
+  for (const char* profile : profiles) {
+    for (double rate : rates_mbps) {
+      for (int rep = 0; rep < reps; ++rep) {
+        TwoPartyConfig cfg;
+        cfg.profile = profile;
+        cfg.seed = 700 + static_cast<uint64_t>(rep);
+        if (rate > 0.0) cfg.c1_down = DataRate::mbps_d(rate);
+        cfg.duration = duration;
+        cfg.measure_from = measure_from;
+        cfg.capture_traces = true;
+        jobs.push_back(cfg);
+      }
+    }
+  }
+  auto results = Sweep::run(jobs, run_two_party, opts.jobs);
+
+  TextTable table({"VCA", "down", "blind fps", "truth fps", "fps err %",
+                   "blind Mbps", "truth Mbps", "rate err %"});
+  report.begin_section("estimator_accuracy",
+                       "Blind estimators vs ground truth");
+  bool acceptance_ok = true;
+  size_t k = 0;
+  for (const char* profile : profiles) {
+    for (double rate : rates_mbps) {
+      std::vector<double> blind_fps, truth_fps, fps_err, blind_rate,
+          truth_rate, rate_err;
+      for (int rep = 0; rep < reps; ++rep) {
+        const TwoPartyResult& r = results[k++];
+        TraceAnalysis an =
+            analyze_records(r.c1_down_records, measure_from.seconds());
+        const StreamReport* video = an.primary_video();
+        double bf = video != nullptr ? video->median_fps : 0.0;
+        double tf = truth_median_fps(r.c1_recv_seconds, measure_from);
+        blind_fps.push_back(bf);
+        truth_fps.push_back(tf);
+        fps_err.push_back(pct_err(bf, tf));
+        blind_rate.push_back(an.mean_rate_mbps);
+        truth_rate.push_back(r.c1_down_mbps);
+        rate_err.push_back(pct_err(an.mean_rate_mbps, r.c1_down_mbps));
+      }
+      ConfidenceInterval bf_ci = confidence_interval(blind_fps);
+      ConfidenceInterval tf_ci = confidence_interval(truth_fps);
+      ConfidenceInterval fe_ci = confidence_interval(fps_err);
+      ConfidenceInterval br_ci = confidence_interval(blind_rate);
+      ConfidenceInterval tr_ci = confidence_interval(truth_rate);
+      ConfidenceInterval re_ci = confidence_interval(rate_err);
+
+      std::string rate_label = rate > 0.0 ? fmt(rate, 1) : "uncon";
+      table.add_row({profile, rate_label, ci_cell(bf_ci, 1), ci_cell(tf_ci, 1),
+                     ci_cell(fe_ci, 1), ci_cell(br_ci), ci_cell(tr_ci),
+                     ci_cell(re_ci, 1)});
+      report.add_cell({{"vca", profile}, {"down_mbps", rate_label}},
+                      {{"blind_fps", bf_ci},
+                       {"truth_fps", tf_ci},
+                       {"fps_err_pct", fe_ci},
+                       {"blind_rate_mbps", br_ci},
+                       {"truth_rate_mbps", tr_ci},
+                       {"rate_err_pct", re_ci}});
+
+      if (rate == 0.0) {
+        // Acceptance: per-rep blind median FPS within +/-10% of truth on
+        // the unconstrained link.
+        for (int rep = 0; rep < reps; ++rep) {
+          if (std::abs(fps_err[static_cast<size_t>(rep)]) > 10.0) {
+            acceptance_ok = false;
+          }
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  note(acceptance_ok
+           ? "acceptance: blind median FPS within +/-10% of ground truth on "
+             "the unconstrained link (all profiles)"
+           : "ACCEPTANCE FAILED: blind median FPS off by >10% on the "
+             "unconstrained link");
+  bool ok = report.finish();
+  return acceptance_ok && ok ? 0 : 1;
+}

@@ -6,6 +6,11 @@
 //   vcabench_cli outage      --profile meet --target up --start 60 --len 10
 //   vcabench_cli competition --profile zoom --vs iperf-up --link 2.0
 //   vcabench_cli multiparty  --profile meet --n 6 --mode speaker
+//   vcabench_cli analyze     --pcap call.pcap --from 30
+//
+// two-party also takes --pcap FILE: record C1's downlink with the
+// simulated tcpdump and write a real libpcap file, which `analyze` (or
+// actual tcpdump/tshark) can then inspect blind.
 //
 // Every command also takes --reps N (run seeds seed..seed+N-1 and report
 // mean [90% CI]), --jobs N (parallel workers for the reps) and
@@ -19,6 +24,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/inference.h"
 #include "core/stats_math.h"
 #include "harness/scenario.h"
 #include "harness/sweep.h"
@@ -101,10 +107,19 @@ int cmd_two_party(const Args& a) {
     cfg.c1_extra_latency = Duration::millis_d(a.get_d("latency", 0.0));
     cfg.c1_jitter = Duration::millis_d(a.get_d("jitter", 0.0));
     cfg.duration = Duration::seconds(a.get_i("seconds", 150));
+    if (rep == 0 && a.kv.count("pcap")) {
+      // The trace is per-run; with --reps only the first seed is recorded.
+      cfg.capture_traces = true;
+      cfg.pcap_path = a.get("pcap", "");
+    }
     jobs.push_back(cfg);
   }
   auto results = Sweep::run(jobs, run_two_party, opts.jobs);
   report.begin_section("two-party", jobs[0].profile);
+  if (!jobs[0].pcap_path.empty()) {
+    std::cout << "downlink trace written to " << jobs[0].pcap_path << " ("
+              << results[0].c1_down_records.size() << " packets)\n";
+  }
 
   if (reps == 1) {
     const TwoPartyResult& r = results[0];
@@ -434,12 +449,50 @@ int cmd_multiparty(const Args& a) {
   return report.finish() ? 0 : 1;
 }
 
+int cmd_analyze(const Args& a) {
+  std::string path = a.get("pcap", "");
+  if (path.empty()) {
+    std::cerr << "analyze requires --pcap FILE\n";
+    return 2;
+  }
+  bool ok = false;
+  TraceAnalysis an = analyze_pcap_file(path, a.get_d("from", 0.0), &ok);
+  if (!ok) {
+    std::cerr << "cannot read pcap file: " << path << "\n";
+    return 1;
+  }
+
+  std::cout << path << ": " << an.packets << " packets, "
+            << fmt(static_cast<double>(an.ip_bytes) / 1e6) << " MB IP, "
+            << fmt(an.last_ts_sec - an.first_ts_sec, 1) << " s, "
+            << fmt(an.mean_rate_mbps) << " Mbps\n";
+  TextTable t({"stream", "kind", "pkts", "Mbps", "pkt B", "pps", "fps",
+               "frames", "frame B", "repair B"});
+  for (const StreamReport& s : an.streams) {
+    t.add_row({s.describe(), stream_kind_name(s.kind),
+               std::to_string(s.packets), fmt(s.mean_rate_mbps),
+               fmt(s.mean_packet_bytes, 0), fmt(s.packets_per_sec, 1),
+               s.kind == StreamKind::kVideo ? fmt(s.median_fps, 1) : "-",
+               s.frames > 0 ? std::to_string(s.frames) : "-",
+               s.frames > 0 ? fmt(s.mean_frame_bytes, 0) : "-",
+               std::to_string(s.repair_bytes)});
+  }
+  t.print(std::cout);
+  if (const StreamReport* v = an.primary_video()) {
+    std::cout << "primary video: " << v->describe() << " -> "
+              << fmt(v->median_fps, 1) << " fps (median), "
+              << fmt(v->mean_rate_mbps) << " Mbps\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cout <<
-      "usage: vcabench_cli <two-party|disruption|outage|competition|multiparty> "
+      "usage: vcabench_cli "
+      "<two-party|disruption|outage|competition|multiparty|analyze> "
       "[--flag value ...]\n"
       "  two-party:   --profile P --up M --down M --loss PCT --latency MS "
-      "--jitter MS --seconds N --seed S --csv FILE\n"
+      "--jitter MS --seconds N --seed S --csv FILE --pcap FILE\n"
       "  disruption:  --profile P --direction up|down --drop M --seed S "
       "--csv FILE\n"
       "  outage:      --profile P --target up|down|both|sfu --start S --len S "
@@ -447,6 +500,7 @@ int usage() {
       "  competition: --profile P --vs "
       "meet|teams|zoom|iperf-up|iperf-down|netflix|youtube --link M --csv F\n"
       "  multiparty:  --profile P --n N --mode gallery|speaker --seed S\n"
+      "  analyze:     --pcap FILE [--from SEC]   (blind offline inference)\n"
       "common flags: --reps N (seeds S..S+N-1, mean [90% CI]; default 1) "
       "--jobs N (parallel workers) --json FILE (machine-readable report)\n"
       "profiles: meet teams zoom teams-chrome zoom-chrome (+ ablation "
@@ -463,5 +517,6 @@ int main(int argc, char** argv) {
   if (a.command == "outage") return cmd_outage(a);
   if (a.command == "competition") return cmd_competition(a);
   if (a.command == "multiparty") return cmd_multiparty(a);
+  if (a.command == "analyze") return cmd_analyze(a);
   return usage();
 }

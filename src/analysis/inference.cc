@@ -1,0 +1,251 @@
+#include "analysis/inference.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/stats_math.h"
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// FrameSegmenter
+// ---------------------------------------------------------------------------
+
+void FrameSegmenter::on_packet(const ParsedPacket& p) {
+  // Duplication guard: an exact sequence repeat inside the sliding
+  // window is the same packet delivered twice.
+  if (std::find(recent_seqs_.begin(), recent_seqs_.end(), p.seq) !=
+      recent_seqs_.end()) {
+    ++duplicates_;
+    return;
+  }
+  if (recent_seqs_.size() < kSeqWindow) {
+    recent_seqs_.push_back(p.seq);
+  } else {
+    recent_seqs_[seq_cursor_] = p.seq;
+    seq_cursor_ = (seq_cursor_ + 1) % kSeqWindow;
+  }
+
+  // A straggler for a frame that is still open merges into it.
+  for (FrameObservation& f : open_) {
+    if (f.rtp_timestamp == p.rtp_timestamp) {
+      ++f.packets;
+      f.ip_bytes += p.ip_bytes;
+      f.end_ns = std::max(f.end_ns, p.ts_ns);
+      return;
+    }
+  }
+
+  // Repair traffic: a timestamp far behind the newest seen is FEC, a
+  // retransmission after its frame closed, or stale-clock padding.
+  if (have_ts_) {
+    int32_t ahead = static_cast<int32_t>(p.rtp_timestamp - max_ts_);
+    if (ahead < -kStaleTicks) {
+      repair_bytes_ += p.ip_bytes;
+      return;
+    }
+    if (ahead > 0) max_ts_ = p.rtp_timestamp;
+  } else {
+    have_ts_ = true;
+    max_ts_ = p.rtp_timestamp;
+  }
+
+  if (open_.size() >= kMaxOpen) close_oldest();
+  FrameObservation f;
+  f.rtp_timestamp = p.rtp_timestamp;
+  f.start_ns = p.ts_ns;
+  f.end_ns = p.ts_ns;
+  f.packets = 1;
+  f.ip_bytes = p.ip_bytes;
+  open_.push_back(f);
+}
+
+void FrameSegmenter::close_oldest() {
+  closed_.push_back(open_.front());
+  open_.erase(open_.begin());
+}
+
+std::vector<FrameObservation> FrameSegmenter::finish() {
+  while (!open_.empty()) close_oldest();
+  std::vector<FrameObservation> out = std::move(closed_);
+  closed_.clear();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+const char* stream_kind_name(StreamKind k) {
+  switch (k) {
+    case StreamKind::kAudio: return "audio";
+    case StreamKind::kVideo: return "video";
+    case StreamKind::kControl: return "control";
+    case StreamKind::kUnknown: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string ip_str(uint32_t ip) {
+  std::ostringstream ss;
+  ss << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return ss.str();
+}
+
+struct StreamState {
+  StreamReport report;
+  FrameSegmenter segmenter;
+  int64_t first_ns = 0;
+  int64_t last_ns = 0;
+  int64_t rtp_packets = 0;
+  int64_t rtcp_packets = 0;
+  int64_t stun_packets = 0;
+};
+
+// Size/rate heuristics, blind to payload types: audio is a steady
+// trickle of small constant-size packets (tens of pps, ~100-300 B);
+// video is anything RTP with larger packets or real frame structure;
+// STUN/RTCP-dominated flows are control.
+StreamKind classify(const StreamState& s) {
+  const StreamReport& r = s.report;
+  if (s.rtp_packets == 0) {
+    if (s.stun_packets + s.rtcp_packets > 0) return StreamKind::kControl;
+    return StreamKind::kUnknown;
+  }
+  bool small_packets = r.mean_packet_bytes <= 350.0;
+  bool audio_cadence = r.packets_per_sec >= 15.0 && r.packets_per_sec <= 130.0;
+  if (small_packets && audio_cadence && r.frames > 0) {
+    // Distinguish a genuinely small-framed video stream from audio: video
+    // frames span multiple packets or arrive slower than their packets.
+    double packets_per_frame =
+        static_cast<double>(r.packets) / std::max(1, r.frames);
+    if (packets_per_frame < 1.5) return StreamKind::kAudio;
+  }
+  return StreamKind::kVideo;
+}
+
+}  // namespace
+
+std::string StreamReport::describe() const {
+  std::ostringstream ss;
+  ss << ip_str(key.src_ip) << ':' << key.src_port << "->"
+     << ip_str(key.dst_ip) << ':' << key.dst_port;
+  if (key.ssrc != 0) ss << " ssrc " << key.ssrc;
+  return ss.str();
+}
+
+const StreamReport* TraceAnalysis::primary(StreamKind kind) const {
+  const StreamReport* best = nullptr;
+  for (const StreamReport& s : streams) {
+    if (s.kind != kind) continue;
+    if (best == nullptr || s.ip_bytes > best->ip_bytes) best = &s;
+  }
+  return best;
+}
+
+TraceAnalysis analyze_records(const std::vector<PacketRecord>& records,
+                              double from_sec) {
+  TraceAnalysis out;
+  int64_t from_ns = static_cast<int64_t>(from_sec * 1e9);
+
+  std::map<StreamKey, StreamState> streams;
+  int64_t first_ns = -1, last_ns = 0;
+
+  for (const PacketRecord& rec : records) {
+    if (rec.ts_ns < from_ns) continue;
+    std::optional<ParsedPacket> p = parse_frame(rec);
+    if (!p) continue;
+
+    StreamKey key{p->src_ip, p->dst_ip, p->src_port, p->dst_port,
+                  p->is_rtp ? p->ssrc : 0};
+    StreamState& s = streams[key];
+    StreamReport& r = s.report;
+    if (r.packets == 0) {
+      r.key = key;
+      s.first_ns = p->ts_ns;
+    }
+    ++r.packets;
+    r.ip_bytes += p->ip_bytes;
+    s.last_ns = p->ts_ns;
+    if (p->is_rtp) {
+      ++s.rtp_packets;
+      s.segmenter.on_packet(*p);
+    } else if (p->is_rtcp) {
+      ++s.rtcp_packets;
+    } else if (p->is_stun) {
+      ++s.stun_packets;
+    }
+
+    out.packets++;
+    out.ip_bytes += p->ip_bytes;
+    if (first_ns < 0) first_ns = p->ts_ns;
+    last_ns = std::max(last_ns, p->ts_ns);
+  }
+
+  for (auto& [key, s] : streams) {
+    StreamReport& r = s.report;
+    double dur = static_cast<double>(s.last_ns - s.first_ns) * 1e-9;
+    r.first_ts_sec = static_cast<double>(s.first_ns) * 1e-9;
+    r.last_ts_sec = static_cast<double>(s.last_ns) * 1e-9;
+    r.mean_packet_bytes =
+        static_cast<double>(r.ip_bytes) / static_cast<double>(r.packets);
+    if (dur > 0.0) {
+      r.packets_per_sec = static_cast<double>(r.packets) / dur;
+      r.mean_rate_mbps = static_cast<double>(r.ip_bytes) * 8.0 / dur / 1e6;
+    }
+
+    std::vector<FrameObservation> frames = s.segmenter.finish();
+    r.repair_bytes = s.segmenter.repair_bytes();
+    r.duplicate_packets = s.segmenter.duplicate_packets();
+    r.frames = static_cast<int>(frames.size());
+    if (!frames.empty()) {
+      int64_t frame_bytes = 0;
+      r.first_sec = frames.front().start_ns / 1'000'000'000;
+      int64_t last_sec = r.first_sec;
+      for (const FrameObservation& f : frames) {
+        frame_bytes += f.ip_bytes;
+        last_sec = std::max(last_sec, f.start_ns / 1'000'000'000);
+      }
+      r.mean_frame_bytes = static_cast<double>(frame_bytes) /
+                           static_cast<double>(frames.size());
+      r.fps_per_sec.assign(static_cast<size_t>(last_sec - r.first_sec + 1),
+                           0.0);
+      for (const FrameObservation& f : frames) {
+        r.fps_per_sec[static_cast<size_t>(f.start_ns / 1'000'000'000 -
+                                          r.first_sec)] += 1.0;
+      }
+      std::vector<double> nonzero;
+      for (double v : r.fps_per_sec) {
+        if (v > 0.0) nonzero.push_back(v);
+      }
+      r.median_fps = median_of_sorted_copy(std::move(nonzero));
+    }
+
+    r.kind = classify(s);
+    out.streams.push_back(std::move(r));
+  }
+
+  if (first_ns >= 0) {
+    out.first_ts_sec = static_cast<double>(first_ns) * 1e-9;
+    out.last_ts_sec = static_cast<double>(last_ns) * 1e-9;
+    double dur = out.last_ts_sec - out.first_ts_sec;
+    if (dur > 0.0) {
+      out.mean_rate_mbps = static_cast<double>(out.ip_bytes) * 8.0 / dur / 1e6;
+    }
+  }
+  return out;
+}
+
+TraceAnalysis analyze_pcap_file(const std::string& path, double from_sec,
+                                bool* ok) {
+  bool read_ok = false;
+  std::vector<PacketRecord> records = read_pcap_file(path, &read_ok);
+  if (ok != nullptr) *ok = read_ok;
+  return analyze_records(records, from_sec);
+}
+
+}  // namespace vca

@@ -1,0 +1,149 @@
+// Blind offline inference over a packet trace (the paper's §3.3).
+//
+// For Zoom the paper had no getStats() and estimated frame rate and
+// media bitrate purely from packet headers, sizes, and timing in a
+// tcpdump capture, then validated those estimators against
+// webrtc-internals. This module is that pipeline for our traces:
+//
+//   PacketRecord bytes -> parse -> per-flow demux -> stream
+//   classification (audio vs video vs control, by size/rate heuristics)
+//   -> frame segmentation (RTP-timestamp grouping with reorder /
+//   duplication / repair handling) -> per-second FPS, frame-size, and
+//   utilization estimators.
+//
+// Nothing in here reads simulator state; the estimators are calibrated
+// against WebRtcStatsCollector ground truth by bench_inference, which
+// reports the error distributions (EXPERIMENTS.md "Estimator accuracy").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/parse.h"
+#include "trace/pcap.h"
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// Frame segmentation
+// ---------------------------------------------------------------------------
+
+struct FrameObservation {
+  uint32_t rtp_timestamp = 0;
+  int64_t start_ns = 0;   // first packet of the frame on the wire
+  int64_t end_ns = 0;     // last packet seen for the frame
+  int packets = 0;
+  int64_t ip_bytes = 0;
+};
+
+// Groups one RTP stream's packets into frames by RTP timestamp. Robust
+// to the trace impairments src/net/faults can inject:
+//   * duplication: a sliding window of recent sequence numbers drops
+//     exact repeats;
+//   * reordering: a small set of frames stays open, so a straggler with
+//     an already-open timestamp merges instead of founding a new frame;
+//   * repair traffic / padding: packets whose timestamp is far *behind*
+//     the newest seen (FEC bursts, retransmissions after the frame
+//     closed, probe padding with a stale clock) are tallied as repair
+//     bytes, never as frames;
+//   * loss: simply yields smaller frames — never a negative count.
+class FrameSegmenter {
+ public:
+  void on_packet(const ParsedPacket& p);
+
+  // Closes all open frames and returns the stream's frames in wire order.
+  std::vector<FrameObservation> finish();
+
+  int64_t repair_bytes() const { return repair_bytes_; }
+  int duplicate_packets() const { return duplicates_; }
+
+ private:
+  void close_oldest();
+
+  std::vector<FrameObservation> open_;    // at most kMaxOpen, oldest first
+  std::vector<FrameObservation> closed_;
+  std::vector<uint16_t> recent_seqs_;     // ring buffer of seen seqs
+  size_t seq_cursor_ = 0;
+  bool have_ts_ = false;
+  uint32_t max_ts_ = 0;                   // newest timestamp (wrap-aware)
+  int64_t repair_bytes_ = 0;
+  int duplicates_ = 0;
+
+  static constexpr size_t kMaxOpen = 4;
+  static constexpr size_t kSeqWindow = 512;
+  // A timestamp this far behind the newest is repair, not a frame
+  // (0.5 s at the 90 kHz video clock).
+  static constexpr int32_t kStaleTicks = 45'000;
+};
+
+// ---------------------------------------------------------------------------
+// Stream reports
+// ---------------------------------------------------------------------------
+
+enum class StreamKind { kUnknown, kAudio, kVideo, kControl };
+
+const char* stream_kind_name(StreamKind k);
+
+struct StreamKey {
+  uint32_t src_ip = 0, dst_ip = 0;
+  uint16_t src_port = 0, dst_port = 0;
+  uint32_t ssrc = 0;  // 0 for non-RTP flows
+
+  auto tie() const { return std::tie(src_ip, dst_ip, src_port, dst_port, ssrc); }
+  bool operator<(const StreamKey& o) const { return tie() < o.tie(); }
+  bool operator==(const StreamKey& o) const { return tie() == o.tie(); }
+};
+
+struct StreamReport {
+  StreamKey key;
+  StreamKind kind = StreamKind::kUnknown;
+
+  int64_t packets = 0;
+  int64_t ip_bytes = 0;            // sum of IP datagram lengths
+  double first_ts_sec = 0.0;
+  double last_ts_sec = 0.0;
+  double mean_packet_bytes = 0.0;  // IP bytes per packet
+  double packets_per_sec = 0.0;
+  double mean_rate_mbps = 0.0;     // IP-layer rate over the stream's life
+
+  // Video estimates (frame segmentation output).
+  int frames = 0;
+  double median_fps = 0.0;         // median of nonzero per-second counts
+  double mean_frame_bytes = 0.0;
+  int64_t repair_bytes = 0;        // FEC / RTX / padding attributed blind
+  int duplicate_packets = 0;
+  std::vector<double> fps_per_sec;  // indexed from first_sec
+  int64_t first_sec = 0;
+
+  std::string describe() const;  // "10.0.0.2:2024->10.0.0.5:2024 ssrc 130"
+};
+
+struct TraceAnalysis {
+  std::vector<StreamReport> streams;  // deterministic: sorted by key
+  int64_t packets = 0;
+  int64_t ip_bytes = 0;
+  double first_ts_sec = 0.0;
+  double last_ts_sec = 0.0;
+  double mean_rate_mbps = 0.0;  // aggregate IP-layer utilization
+
+  // Highest-byte-count stream of the given kind; nullptr if none.
+  const StreamReport* primary(StreamKind kind) const;
+  const StreamReport* primary_video() const {
+    return primary(StreamKind::kVideo);
+  }
+};
+
+// Runs the full blind pipeline. Packets with timestamps before
+// `from_sec` are ignored (measurement-window trim, like cutting the
+// first 30 s of a capture before computing medians).
+TraceAnalysis analyze_records(const std::vector<PacketRecord>& records,
+                              double from_sec = 0.0);
+
+// Convenience: read a libpcap file and analyze it. Sets *ok (when
+// non-null) to false if the file cannot be opened or parsed.
+TraceAnalysis analyze_pcap_file(const std::string& path, double from_sec = 0.0,
+                                bool* ok = nullptr);
+
+}  // namespace vca

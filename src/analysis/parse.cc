@@ -1,0 +1,81 @@
+#include "analysis/parse.h"
+
+namespace vca {
+
+namespace {
+
+uint16_t rd_u16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+uint32_t rd_u32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+}  // namespace
+
+std::optional<ParsedPacket> parse_frame(const PacketRecord& rec) {
+  const std::vector<uint8_t>& b = rec.bytes;
+  if (b.size() < 14 + 20) return std::nullopt;
+  if (rd_u16(&b[12]) != 0x0800) return std::nullopt;  // not IPv4
+
+  const uint8_t* ip = &b[14];
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  size_t ihl = static_cast<size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < 20 || b.size() < 14 + ihl) return std::nullopt;
+
+  ParsedPacket out;
+  out.ts_ns = rec.ts_ns;
+  out.wire_bytes = rec.wire_bytes;
+  out.ip_bytes = rd_u16(ip + 2);
+  out.ip_proto = ip[9];
+  out.src_ip = rd_u32(ip + 12);
+  out.dst_ip = rd_u32(ip + 16);
+
+  size_t l4 = 14 + ihl;
+  if (out.ip_proto == 6) {  // TCP
+    if (b.size() < l4 + 4) return out;  // ports truncated: still usable sizes
+    out.src_port = rd_u16(&b[l4]);
+    out.dst_port = rd_u16(&b[l4 + 2]);
+    return out;
+  }
+  if (out.ip_proto != 17) return out;
+
+  if (b.size() < l4 + 8) return out;
+  out.src_port = rd_u16(&b[l4]);
+  out.dst_port = rd_u16(&b[l4 + 2]);
+
+  const uint8_t* pay = &b[l4 + 8];
+  size_t pay_len = b.size() - (l4 + 8);
+
+  // STUN: type 0x0001 (binding request) + magic cookie at offset 4.
+  if (pay_len >= 8 && pay[0] == 0x00 && pay[1] == 0x01 &&
+      rd_u32(pay + 4) == 0x2112a442) {
+    out.is_stun = true;
+    return out;
+  }
+
+  // RTP/RTCP: version bits == 2; RFC 5761 splits them on payload type —
+  // 192..223 (i.e. PT with the marker stripped in 64..95 range shifted)
+  // is RTCP, anything else with V=2 is RTP.
+  if (pay_len >= 8 && (pay[0] >> 6) == 2) {
+    uint8_t second = pay[1];
+    if (second >= 192 && second <= 223) {
+      out.is_rtcp = true;
+      return out;
+    }
+    if (pay_len >= 12) {
+      out.is_rtp = true;
+      out.marker = (second & 0x80) != 0;
+      out.payload_type = second & 0x7f;
+      out.seq = rd_u16(pay + 2);
+      out.rtp_timestamp = rd_u32(pay + 4);
+      out.ssrc = rd_u32(pay + 8);
+    }
+  }
+  return out;
+}
+
+}  // namespace vca

@@ -1,0 +1,46 @@
+// Offline header parsing for captured traces.
+//
+// This is the *blind* side of the measurement pipeline: everything here
+// operates on the raw bytes of a PacketRecord — the same view tcpdump
+// gives an external observer — and never on simulator state. The parser
+// understands exactly what a capture of our testbed contains: Ethernet,
+// IPv4, UDP/TCP, and inside UDP the RTP/RTCP/STUN discrimination
+// heuristics every real trace-analysis tool uses (RTP version bits plus
+// the RFC 5761 payload-type split, STUN magic cookie).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "trace/pcap.h"
+
+namespace vca {
+
+struct ParsedPacket {
+  int64_t ts_ns = 0;
+  uint32_t wire_bytes = 0;   // Ethernet frame length on the wire
+  int ip_bytes = 0;          // IP datagram length (header field, not caplen)
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t ip_proto = 0;      // 6 = TCP, 17 = UDP
+
+  // UDP payload classification.
+  bool is_rtp = false;
+  bool is_rtcp = false;
+  bool is_stun = false;
+
+  // RTP fields (valid when is_rtp).
+  uint8_t payload_type = 0;
+  bool marker = false;
+  uint16_t seq = 0;
+  uint32_t rtp_timestamp = 0;
+  uint32_t ssrc = 0;
+};
+
+// Parses one captured Ethernet frame. Returns nullopt for frames the
+// capture truncated below the headers or that are not IPv4.
+std::optional<ParsedPacket> parse_frame(const PacketRecord& rec);
+
+}  // namespace vca

@@ -87,22 +87,31 @@ Network::HostPorts Network::add_host_on_segment(Segment* seg,
   return ports;
 }
 
+TapFanout* Network::fanout_for(Link* link) {
+  for (size_t i = 0; i < tapped_.size(); ++i) {
+    if (tapped_[i] == link) return fanouts_[i].get();
+  }
+  auto fan = std::make_unique<TapFanout>();
+  TapFanout* raw = fan.get();
+  link->set_tap(raw->tap());
+  fanouts_.push_back(std::move(fan));
+  tapped_.push_back(link);
+  return raw;
+}
+
 FlowCapture* Network::capture(Link* link, Duration bucket) {
   auto cap = std::make_unique<FlowCapture>(bucket);
   FlowCapture* raw = cap.get();
   captures_.push_back(std::move(cap));
+  fanout_for(link)->add(raw->tap());
+  return raw;
+}
 
-  for (size_t i = 0; i < tapped_.size(); ++i) {
-    if (tapped_[i] == link) {
-      fanouts_[i]->add(raw->tap());
-      return raw;
-    }
-  }
-  auto fan = std::make_unique<TapFanout>();
-  fan->add(raw->tap());
-  link->set_tap(fan->tap());
-  fanouts_.push_back(std::move(fan));
-  tapped_.push_back(link);
+TraceRecorder* Network::record(Link* link, uint32_t snaplen) {
+  auto rec = std::make_unique<TraceRecorder>(snaplen);
+  TraceRecorder* raw = rec.get();
+  recorders_.push_back(std::move(rec));
+  fanout_for(link)->add(raw->tap());
   return raw;
 }
 

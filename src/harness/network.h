@@ -14,6 +14,7 @@
 #include "net/link.h"
 #include "net/node.h"
 #include "stats/capture.h"
+#include "trace/recorder.h"
 
 namespace vca {
 
@@ -32,6 +33,13 @@ class Network {
   };
 
   Network() { checker_.watch(&sched_); }
+
+  // Captures and recorders hand `this`-capturing taps to links (see the
+  // ownership contract in stats/capture.h). Detach every tap before the
+  // captures, fanouts, and recorders they point into are destroyed.
+  ~Network() {
+    for (Link* l : tapped_) l->set_tap({});
+  }
 
   EventScheduler& sched() { return sched_; }
   ForwardingNode& router() { return router_; }
@@ -52,6 +60,19 @@ class Network {
   // Attach a capture to a link (multiple captures per link are fine).
   FlowCapture* capture(Link* link, Duration bucket = Duration::seconds(1));
 
+  // Attach a packet-trace recorder to a link: the simulated `tcpdump -i
+  // <link> -s <snaplen>`. Coexists with FlowCaptures on the same link
+  // via the shared fanout.
+  TraceRecorder* record(Link* link, uint32_t snaplen = kPcapDefaultSnaplen);
+
+  // True while `link` has a tap installed by capture()/record().
+  bool link_is_tapped(const Link* link) const {
+    for (const Link* l : tapped_) {
+      if (l == link) return true;
+    }
+    return false;
+  }
+
   // Re-shape a link at an absolute simulation time (the tc command).
   void shape_at(Link* link, TimePoint at, DataRate rate) {
     sched_.schedule_at(at, [link, rate] { link->set_rate(rate); });
@@ -65,6 +86,8 @@ class Network {
   int enforce_invariants() const { return checker_.enforce(); }
 
  private:
+  TapFanout* fanout_for(Link* link);
+
   EventScheduler sched_;
   SimInvariantChecker checker_;
   ForwardingNode router_{"router"};
@@ -74,6 +97,7 @@ class Network {
   std::vector<std::unique_ptr<ForwardingNode>> switches_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<FlowCapture>> captures_;
+  std::vector<std::unique_ptr<TraceRecorder>> recorders_;
   std::vector<std::unique_ptr<TapFanout>> fanouts_;
   std::vector<Link*> tapped_;  // parallel to fanouts_
 };

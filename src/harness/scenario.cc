@@ -71,6 +71,12 @@ TwoPartyResult run_two_party(const TwoPartyConfig& cfg) {
 
   FlowCapture* up_cap = net.capture(c1.up, cfg.bucket);
   FlowCapture* down_cap = net.capture(c1.down, cfg.bucket);
+  TraceRecorder* up_rec = nullptr;
+  TraceRecorder* down_rec = nullptr;
+  if (cfg.capture_traces) {
+    up_rec = net.record(c1.up, cfg.trace_snaplen);
+    down_rec = net.record(c1.down, cfg.trace_snaplen);
+  }
 
   call.start();
   net.sched().run_until(TimePoint::zero() + cfg.duration);
@@ -86,6 +92,16 @@ TwoPartyResult run_two_party(const TwoPartyConfig& cfg) {
   out.c1_down_series = down_cap->rates();
   out.c1_received = feed_quality(call, call.sfu(), cl1, cl2, cfg.duration);
   out.c2_received = feed_quality(call, call.sfu(), cl2, cl1, cfg.duration);
+  if (cfg.capture_traces) {
+    out.c1_up_records = up_rec->take_records();
+    out.c1_down_records = down_rec->take_records();
+    if (!cfg.pcap_path.empty()) {
+      write_pcap_file(cfg.pcap_path, out.c1_down_records, cfg.trace_snaplen);
+    }
+    if (!cl1->feeds().empty()) {
+      out.c1_recv_seconds = cl1->feeds().front()->stats->per_second();
+    }
+  }
   note_sim_events(net.sched().events_processed());
   return out;
 }

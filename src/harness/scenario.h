@@ -9,6 +9,8 @@
 #include "core/timeseries.h"
 #include "core/units.h"
 #include "stats/ttr.h"
+#include "stats/webrtc_stats.h"
+#include "trace/pcap.h"
 #include "vca/layout.h"
 
 namespace vca {
@@ -38,6 +40,12 @@ struct TwoPartyConfig {
   double c1_loss = 0.0;
   Duration c1_extra_latency = Duration::zero();
   Duration c1_jitter = Duration::zero();
+  // Packet-trace capture: the simulated `tcpdump` on C1's access links.
+  // Records land in TwoPartyResult; pcap_path (when set) additionally
+  // writes the downlink trace to a libpcap file.
+  bool capture_traces = false;
+  uint32_t trace_snaplen = kPcapDefaultSnaplen;
+  std::string pcap_path;
 };
 
 struct TwoPartyResult {
@@ -47,6 +55,12 @@ struct TwoPartyResult {
   TimeSeries c1_down_series;
   FeedQuality c1_received;    // the stream C1 watches (C2's video)
   FeedQuality c2_received;    // the stream C2 watches (C1's video)
+  // Populated when cfg.capture_traces: header-level traces of C1's
+  // access links plus the getStats()-style ground truth for the stream
+  // C1 watches, so offline estimators can be validated blind.
+  std::vector<PacketRecord> c1_down_records;
+  std::vector<PacketRecord> c1_up_records;
+  std::vector<SecondStats> c1_recv_seconds;
 };
 
 TwoPartyResult run_two_party(const TwoPartyConfig& cfg);

@@ -1,6 +1,17 @@
 // Traffic capture: the simulated tcpdump. A FlowCapture hangs off a Link
 // tap and meters bytes for a chosen set of flows (or everything crossing
 // the link), producing the per-second rate series every figure is built on.
+//
+// Ownership contract — tap() captures `this` into a std::function with
+// no lifetime guard. Whoever installs the returned LinkTap (on a Link or
+// into a TapFanout) must either (a) keep the capture/fanout alive for as
+// long as the tap can fire, or (b) detach first: Link::set_tap({})
+// drops the function, and nothing fires afterwards. Network owns its
+// links, fanouts, and captures together and detaches every tap in its
+// destructor before they die, so scenario code never dangles; hand-wired
+// topologies (tests, examples) must follow the same order. The same
+// contract applies to TapFanout::tap() below and TraceRecorder::tap()
+// (src/trace/recorder.h).
 #pragma once
 
 #include <functional>

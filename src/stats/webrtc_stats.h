@@ -3,10 +3,10 @@
 // frames per second, QP, frame width, freeze time — per received stream.
 #pragma once
 
-#include <algorithm>
 #include <vector>
 
 #include "core/scheduler.h"
+#include "core/stats_math.h"
 #include "core/time.h"
 #include "stats/freeze.h"
 #include "transport/rtp.h"
@@ -52,7 +52,7 @@ class WebRtcStatsCollector {
     for (const auto& s : seconds_) {
       if (s.width > 0) v.push_back(static_cast<double>(s.width));
     }
-    return median(v);
+    return median_of_sorted_copy(std::move(v));
   }
   int64_t total_frames() const { return total_frames_; }
 
@@ -81,14 +81,7 @@ class WebRtcStatsCollector {
     for (const auto& s : seconds_) {
       if (s.fps > 0.0) v.push_back(s.*field);  // skip empty seconds
     }
-    return median(v);
-  }
-
-  static double median(std::vector<double> v) {
-    if (v.empty()) return 0.0;
-    std::sort(v.begin(), v.end());
-    size_t n = v.size();
-    return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+    return median_of_sorted_copy(std::move(v));
   }
 
   EventScheduler* sched_;

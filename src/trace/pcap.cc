@@ -1,0 +1,125 @@
+#include "trace/pcap.h"
+
+#include <array>
+#include <fstream>
+
+namespace vca {
+
+namespace {
+
+void put_u16(std::ostream& os, uint16_t v) {
+  std::array<char, 2> b = {static_cast<char>(v & 0xff),
+                           static_cast<char>((v >> 8) & 0xff)};
+  os.write(b.data(), b.size());
+}
+
+void put_u32(std::ostream& os, uint32_t v) {
+  std::array<char, 4> b = {static_cast<char>(v & 0xff),
+                           static_cast<char>((v >> 8) & 0xff),
+                           static_cast<char>((v >> 16) & 0xff),
+                           static_cast<char>((v >> 24) & 0xff)};
+  os.write(b.data(), b.size());
+}
+
+bool get_u16(std::istream& is, uint16_t* v) {
+  std::array<char, 2> b;
+  if (!is.read(b.data(), b.size())) return false;
+  *v = static_cast<uint16_t>(static_cast<uint8_t>(b[0]) |
+                             (static_cast<uint8_t>(b[1]) << 8));
+  return true;
+}
+
+bool get_u32(std::istream& is, uint32_t* v) {
+  std::array<char, 4> b;
+  if (!is.read(b.data(), b.size())) return false;
+  *v = static_cast<uint32_t>(static_cast<uint8_t>(b[0])) |
+       (static_cast<uint32_t>(static_cast<uint8_t>(b[1])) << 8) |
+       (static_cast<uint32_t>(static_cast<uint8_t>(b[2])) << 16) |
+       (static_cast<uint32_t>(static_cast<uint8_t>(b[3])) << 24);
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& os, uint32_t snaplen)
+    : os_(os), snaplen_(snaplen) {
+  put_u32(os_, kPcapMagicNanos);
+  put_u16(os_, kPcapVersionMajor);
+  put_u16(os_, kPcapVersionMinor);
+  put_u32(os_, 0);  // thiszone
+  put_u32(os_, 0);  // sigfigs
+  put_u32(os_, snaplen_);
+  put_u32(os_, kPcapLinkEthernet);
+}
+
+void PcapWriter::write(const PacketRecord& rec) {
+  uint32_t incl = static_cast<uint32_t>(rec.bytes.size());
+  if (incl > snaplen_) incl = snaplen_;
+  put_u32(os_, static_cast<uint32_t>(rec.ts_ns / 1'000'000'000));
+  put_u32(os_, static_cast<uint32_t>(rec.ts_ns % 1'000'000'000));
+  put_u32(os_, incl);
+  put_u32(os_, rec.wire_bytes);
+  os_.write(reinterpret_cast<const char*>(rec.bytes.data()), incl);
+}
+
+PcapReader::PcapReader(std::istream& is) : is_(is) {
+  uint32_t magic = 0;
+  uint16_t major = 0, minor = 0;
+  uint32_t zone = 0, sigfigs = 0;
+  if (!get_u32(is_, &magic)) return;
+  if (magic == kPcapMagicNanos) {
+    nanosecond_ = true;
+  } else if (magic == kPcapMagicMicros) {
+    nanosecond_ = false;
+  } else {
+    return;  // byte-swapped or foreign capture: not ours
+  }
+  if (!get_u16(is_, &major) || !get_u16(is_, &minor)) return;
+  if (!get_u32(is_, &zone) || !get_u32(is_, &sigfigs)) return;
+  if (!get_u32(is_, &snaplen_) || !get_u32(is_, &link_type_)) return;
+  ok_ = true;
+}
+
+bool PcapReader::next(PacketRecord* out) {
+  if (!ok_) return false;
+  uint32_t sec = 0, frac = 0, incl = 0, orig = 0;
+  if (!get_u32(is_, &sec)) return false;  // clean EOF
+  if (!get_u32(is_, &frac) || !get_u32(is_, &incl) || !get_u32(is_, &orig)) {
+    return false;
+  }
+  out->ts_ns = static_cast<int64_t>(sec) * 1'000'000'000 +
+               (nanosecond_ ? frac : static_cast<int64_t>(frac) * 1000);
+  out->wire_bytes = orig;
+  out->bytes.resize(incl);
+  return static_cast<bool>(
+      is_.read(reinterpret_cast<char*>(out->bytes.data()), incl));
+}
+
+std::vector<PacketRecord> PcapReader::read_all() {
+  std::vector<PacketRecord> out;
+  PacketRecord rec;
+  while (next(&rec)) out.push_back(rec);
+  return out;
+}
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<PacketRecord>& records,
+                     uint32_t snaplen) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  PcapWriter w(f, snaplen);
+  for (const PacketRecord& rec : records) w.write(rec);
+  return f.good();
+}
+
+std::vector<PacketRecord> read_pcap_file(const std::string& path, bool* ok) {
+  std::ifstream f(path, std::ios::binary);
+  if (ok != nullptr) *ok = false;
+  if (!f) return {};
+  PcapReader r(f);
+  if (!r.ok()) return {};
+  if (ok != nullptr) *ok = true;
+  return r.read_all();
+}
+
+}  // namespace vca

@@ -1,0 +1,167 @@
+#include "trace/recorder.h"
+
+#include <algorithm>
+
+namespace vca {
+
+namespace {
+
+constexpr int kEthernetBytes = 14;
+constexpr int kIpv4Bytes = 20;
+constexpr int kUdpBytes = 8;
+constexpr int kTcpBytes = 20;
+
+constexpr uint8_t kProtoTcp = 6;
+constexpr uint8_t kProtoUdp = 17;
+
+constexpr uint8_t kPtVideo = 96;   // FEC/padding share it: header-blind repair
+constexpr uint8_t kPtAudio = 111;
+constexpr uint8_t kPtRtcpRr = 201;
+
+void push_u16(std::vector<uint8_t>& b, uint16_t v) {
+  b.push_back(static_cast<uint8_t>(v >> 8));
+  b.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+void push_u32(std::vector<uint8_t>& b, uint32_t v) {
+  b.push_back(static_cast<uint8_t>(v >> 24));
+  b.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  b.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  b.push_back(static_cast<uint8_t>(v & 0xff));
+}
+
+void push_mac(std::vector<uint8_t>& b, NodeId n) {
+  b.push_back(0x02);
+  b.push_back(0x00);
+  b.push_back(0x00);
+  b.push_back(0x00);
+  b.push_back(static_cast<uint8_t>((n >> 8) & 0xff));
+  b.push_back(static_cast<uint8_t>(n & 0xff));
+}
+
+// RFC 1071 header checksum over the 20-byte IPv4 header.
+uint16_t ipv4_checksum(const uint8_t* hdr) {
+  uint32_t sum = 0;
+  for (int i = 0; i < kIpv4Bytes; i += 2) {
+    sum += (static_cast<uint32_t>(hdr[i]) << 8) | hdr[i + 1];
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+// 90 kHz media clock for video (and its FEC), 48 kHz for audio — the
+// clocks real RTP profiles use, derived from the frame's capture time.
+uint32_t rtp_timestamp(const RtpMeta& m, bool audio) {
+  int64_t hz = audio ? 48'000 : 90'000;
+  return static_cast<uint32_t>(m.capture_time.ns() / (1'000'000'000 / hz));
+}
+
+}  // namespace
+
+PacketRecord synthesize_frame(const Packet& p, TimePoint at,
+                              uint32_t snaplen) {
+  PacketRecord rec;
+  rec.ts_ns = at.ns();
+  // p.size_bytes is the IP datagram length by repo convention (payload +
+  // transport + IP headers); the Ethernet frame adds 14.
+  int ip_total = std::max(p.size_bytes, kIpv4Bytes + kUdpBytes);
+  rec.wire_bytes = static_cast<uint32_t>(kEthernetBytes + ip_total);
+
+  std::vector<uint8_t>& b = rec.bytes;
+  b.reserve(snaplen);
+
+  // Ethernet.
+  push_mac(b, p.dst);
+  push_mac(b, p.src);
+  push_u16(b, 0x0800);  // IPv4
+
+  bool tcp = p.type == PacketType::kTcpData || p.type == PacketType::kTcpAck;
+  if (tcp) ip_total = std::max(ip_total, kIpv4Bytes + kTcpBytes);
+
+  // IPv4.
+  size_t ip_off = b.size();
+  b.push_back(0x45);  // v4, 20-byte header
+  b.push_back(0x00);  // DSCP/ECN
+  push_u16(b, static_cast<uint16_t>(ip_total));
+  push_u16(b, static_cast<uint16_t>(p.id & 0xffff));
+  push_u16(b, 0x4000);  // DF
+  b.push_back(64);      // TTL
+  b.push_back(tcp ? kProtoTcp : kProtoUdp);
+  push_u16(b, 0);  // checksum placeholder
+  push_u32(b, TraceRecorder::ip_of(p.src));
+  push_u32(b, TraceRecorder::ip_of(p.dst));
+  uint16_t csum = ipv4_checksum(b.data() + ip_off);
+  b[ip_off + 10] = static_cast<uint8_t>(csum >> 8);
+  b[ip_off + 11] = static_cast<uint8_t>(csum & 0xff);
+
+  uint16_t port = TraceRecorder::port_of(p.flow);
+  if (tcp) {
+    const TcpMeta& m = p.tcp();
+    push_u16(b, port);
+    push_u16(b, port);
+    push_u32(b, static_cast<uint32_t>(m.seq));
+    push_u32(b, static_cast<uint32_t>(m.ack));
+    b.push_back(0x50);  // 20-byte header
+    uint8_t flags = 0;
+    if (m.syn) flags |= 0x02;
+    if (m.fin) flags |= 0x01;
+    if (m.is_ack || m.ack > 0) flags |= 0x10;
+    b.push_back(flags);
+    push_u16(b, 0xffff);  // window
+    push_u16(b, 0);       // checksum (optional in capture)
+    push_u16(b, 0);       // urgent
+  } else {
+    push_u16(b, port);
+    push_u16(b, port);
+    push_u16(b, static_cast<uint16_t>(ip_total - kIpv4Bytes));
+    push_u16(b, 0);  // UDP checksum 0: legal for IPv4
+
+    switch (p.type) {
+      case PacketType::kRtpVideo:
+      case PacketType::kRtpAudio:
+      case PacketType::kRtpFec: {
+        const RtpMeta& m = p.rtp();
+        bool audio = p.type == PacketType::kRtpAudio;
+        bool last_in_frame =
+            !m.is_fec && m.packet_index + 1 == m.packets_in_frame;
+        b.push_back(0x80);  // V=2
+        b.push_back(static_cast<uint8_t>((last_in_frame ? 0x80 : 0x00) |
+                                         (audio ? kPtAudio : kPtVideo)));
+        push_u16(b, static_cast<uint16_t>(m.seq & 0xffff));
+        push_u32(b, rtp_timestamp(m, audio));
+        push_u32(b, m.ssrc);
+        break;
+      }
+      case PacketType::kRtcp: {
+        const RtcpMeta& m = p.rtcp();
+        b.push_back(0x80);
+        b.push_back(kPtRtcpRr);
+        push_u16(b, static_cast<uint16_t>(p.size_bytes / 4 - 1));
+        push_u32(b, m.ssrc);
+        break;
+      }
+      case PacketType::kKeepalive: {
+        push_u16(b, 0x0001);  // STUN binding request
+        push_u16(b, 0x0000);  // message length
+        push_u32(b, 0x2112a442);  // magic cookie
+        push_u32(b, static_cast<uint32_t>(p.id));
+        push_u32(b, p.src);
+        push_u32(b, p.flow);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // tcpdump -s semantics: captured bytes never exceed min(wire, snaplen);
+  // payload past the synthesized headers is not materialized.
+  size_t cap = std::min<size_t>(snaplen, rec.wire_bytes);
+  if (b.size() > cap) b.resize(cap);
+  return rec;
+}
+
+void TraceRecorder::on_packet(const Packet& p, TimePoint at) {
+  records_.push_back(synthesize_frame(p, at, snaplen_));
+}
+
+}  // namespace vca
