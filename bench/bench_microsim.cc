@@ -1,7 +1,7 @@
 // google-benchmark microbenchmarks for the simulator substrate itself:
 // scheduler throughput, link serialization, TCP transfer, and a full
-// two-party call per simulated minute. These quantify the headroom behind
-// DESIGN.md's "clarity over zero-copy cleverness" decision.
+// two-party call per simulated minute. These back DESIGN.md's "measured
+// hot path" numbers and gate the perf-smoke ctest floor.
 #include <benchmark/benchmark.h>
 
 #include "core/scheduler.h"
@@ -14,13 +14,25 @@ namespace {
 
 using namespace vca;
 
+// Self-rescheduling functor shaped like the simulator's real closures
+// ([this]-style captures, trivially copyable, far under the scheduler's
+// 64-byte inline capture budget). The committed pre-overhaul baseline
+// (BENCH_microsim_pre.json) measured the same chain through
+// std::function, which is what the old scheduler stored.
+struct ChurnChain {
+  EventScheduler* sched;
+  int64_t* count;
+  int64_t limit;
+  void operator()() const {
+    if (++*count < limit) sched->schedule(Duration::micros(10), *this);
+  }
+};
+
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
     EventScheduler sched;
     int64_t count = 0;
-    std::function<void()> chain = [&] {
-      if (++count < state.range(0)) sched.schedule(Duration::micros(10), chain);
-    };
+    ChurnChain chain{&sched, &count, state.range(0)};
     sched.schedule(Duration::micros(10), chain);
     sched.run_all();
     benchmark::DoNotOptimize(count);

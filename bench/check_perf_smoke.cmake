@@ -1,0 +1,53 @@
+# ctest script: scheduler-churn throughput must stay above a floor set at
+# ~50% of the committed post-overhaul baseline (BENCH_microsim.json), so a
+# hot-path regression fails CI well before it halves the sweep suite's
+# wall time. Run as:
+#   cmake -DBENCH=<bench_microsim> -DWORKDIR=<dir> -P check_perf_smoke.cmake
+#
+# Registered only for non-sanitizer presets: sanitizer instrumentation
+# slows the scheduler by an order of magnitude and would make any floor
+# meaningless. Refresh the floor alongside BENCH_microsim.json (see
+# bench/README.md).
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<binary> -DWORKDIR=<dir> -P "
+                      "check_perf_smoke.cmake")
+endif()
+
+# Committed baseline: ~95M events/s for BM_SchedulerChurn/100000
+# (BENCH_microsim.json). The floor leaves 2x headroom for slower CI
+# hosts while still catching any change that reintroduces per-event
+# allocation or copy traffic.
+set(floor_events_per_sec 47000000)
+
+set(json "${WORKDIR}/perf_smoke.json")
+execute_process(
+  COMMAND "${BENCH}" --benchmark_filter=BM_SchedulerChurn/100000
+          --benchmark_format=json --benchmark_out=${json}
+          --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_microsim failed (rc=${rc}):\n${err}")
+endif()
+
+file(READ "${json}" doc)
+string(JSON n_benchmarks LENGTH "${doc}" benchmarks)
+set(best 0)
+math(EXPR last "${n_benchmarks} - 1")
+foreach(i RANGE ${last})
+  string(JSON name GET "${doc}" benchmarks ${i} name)
+  if(name MATCHES "_median$")
+    string(JSON best GET "${doc}" benchmarks ${i} items_per_second)
+  endif()
+endforeach()
+
+if(best EQUAL 0)
+  message(FATAL_ERROR "no BM_SchedulerChurn median in ${json}")
+endif()
+if(best LESS ${floor_events_per_sec})
+  message(FATAL_ERROR
+    "scheduler churn regressed: ${best} events/s is below the "
+    "${floor_events_per_sec} floor (~50% of the committed baseline in "
+    "BENCH_microsim.json). If the slowdown is intentional, refresh the "
+    "baseline and this floor together (bench/README.md).")
+endif()
+message(STATUS "perf-smoke: ${best} events/s >= ${floor_events_per_sec} floor")

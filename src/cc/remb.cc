@@ -46,7 +46,14 @@ ReceiveSideEstimator::Config ReceiveSideEstimator::preset(Preset p,
 }
 
 ReceiveSideEstimator::ReceiveSideEstimator(Config cfg)
-    : cfg_(cfg), estimate_(cfg.start_rate) {}
+    : cfg_(cfg), estimate_(cfg.start_rate) {
+  // Size the sliding windows for a high-rate flow up front (~1 s of
+  // arrivals at a few thousand packets/sec) so steady state never crosses
+  // a doubling boundary mid-measurement.
+  window_.reserve(4096);
+  rate_window_.reserve(2048);
+  owd_buckets_.reserve(64);
+}
 
 void ReceiveSideEstimator::on_packet(TimePoint arrival, TimePoint send_time,
                                      int bytes) {

@@ -14,8 +14,7 @@
 //    almost instantly once capacity returns
 #pragma once
 
-#include <deque>
-
+#include "core/ring.h"
 #include "core/time.h"
 #include "core/units.h"
 #include "transport/rtp.h"
@@ -65,8 +64,10 @@ class ReceiveSideEstimator : public PacketArrivalObserver {
     double owd_ms;
     int bytes;
   };
-  std::deque<Arrival> window_;       // ~1 s of arrivals
-  std::deque<Arrival> rate_window_;  // 500 ms for receive-rate measurement
+  // Ring-backed windows: these cycle once per packet, where a std::deque
+  // would be allocating/freeing node blocks for the whole call.
+  RingDeque<Arrival> window_;       // ~1 s of arrivals
+  RingDeque<Arrival> rate_window_;  // 500 ms for receive-rate measurement
   // Baseline propagation delay: a sliding-window minimum over bucketed
   // recent samples. A point-in-time refresh would latch whatever sample
   // happens to arrive at the refresh instant — under a standing queue
@@ -75,7 +76,7 @@ class ReceiveSideEstimator : public PacketArrivalObserver {
     int64_t idx = 0;   // arrival time / bucket length
     double min_ms = 0.0;
   };
-  std::deque<OwdBucket> owd_buckets_;
+  RingDeque<OwdBucket> owd_buckets_;
   double min_owd_ms_ = 1e18;         // min over owd_buckets_
   double queuing_delay_ms_ = 0.0;
   double trend_ms_per_s_ = 0.0;

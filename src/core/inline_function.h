@@ -1,0 +1,117 @@
+// A small-buffer-only callable for the event hot path.
+//
+// Every simulator event used to ride in a std::function, whose copy/move
+// machinery and (for captures past ~16 bytes) heap allocation dominated
+// scheduler cost at the millions-of-events-per-second the sweeps run at.
+// InlineCallback stores its target in a fixed 64-byte inline buffer and
+// refuses — at compile time — anything that does not fit: the sim's own
+// closures capture a `this` pointer and at most a couple of scalars, and a
+// capture that outgrows the buffer is a hot-path bug, not something to
+// paper over with an allocation (Link parks whole Packets in a transit
+// pool for exactly this reason).
+//
+// Trivially copyable targets (almost every closure in src/) move as a raw
+// byte copy with no manager call, which keeps d-ary-heap sift operations
+// cheap. Non-trivial targets (e.g. std::function handed in by tests) get a
+// generated manager that move-constructs/destroys properly.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vca {
+
+class InlineCallback {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  // Does a callable type fit the inline buffer? Exposed so call sites (and
+  // the compile-fail test) can static_assert on it with a readable message.
+  template <typename F>
+  static constexpr bool fits =
+      sizeof(std::decay_t<F>) <= kCapacity &&
+      alignof(std::decay_t<F>) <= kAlign &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineCallback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&> &&
+             InlineCallback::fits<F>)
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "callable capture exceeds InlineCallback's 64-byte buffer");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    if constexpr (!std::is_trivially_copyable_v<Fn> ||
+                  !std::is_trivially_destructible_v<Fn>) {
+      manage_ = [](Op op, void* dst, void* src) noexcept {
+        switch (op) {
+          case Op::kMoveDestroy:
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+            break;
+          case Op::kDestroy:
+            static_cast<Fn*>(dst)->~Fn();
+            break;
+        }
+      };
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(o); }
+
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  enum class Op { kMoveDestroy, kDestroy };
+
+  void move_from(InlineCallback& o) noexcept {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(Op::kMoveDestroy, buf_, o.buf_);
+      } else {
+        std::memcpy(buf_, o.buf_, kCapacity);
+      }
+    }
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (invoke_ != nullptr && manage_ != nullptr) {
+      manage_(Op::kDestroy, buf_, nullptr);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(kAlign) unsigned char buf_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*manage_)(Op, void*, void*) noexcept = nullptr;
+};
+
+}  // namespace vca

@@ -1,0 +1,175 @@
+// A small vector with inline storage for the first N elements.
+//
+// Built for per-packet metadata that is almost always tiny but must not
+// be artificially capped: RtcpMeta's NACK list holds a handful of
+// sequence numbers in the common case, yet a burst-lossy report can ask
+// for dozens. The first N elements live inside the object (so copying a
+// Packet through the network never touches the heap); growth past N
+// spills to a heap buffer exactly like a std::vector would.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vca {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be nonzero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+
+  InlineVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+
+  InlineVec(const InlineVec& o) { append_from(o); }
+
+  InlineVec(InlineVec&& o) noexcept { steal_from(o); }
+
+  InlineVec& operator=(const InlineVec& o) {
+    if (this != &o) {
+      clear();
+      append_from(o);
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this != &o) {
+      clear();
+      release_heap();
+      steal_from(o);
+    }
+    return *this;
+  }
+
+  ~InlineVec() {
+    clear();
+    release_heap();
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* p = ::new (static_cast<void*>(data_ptr() + size_))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    data_ptr()[size_ - 1].~T();
+    --size_;
+  }
+
+  void clear() {
+    T* d = data_ptr();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  T& operator[](std::size_t i) { return data_ptr()[i]; }
+  const T& operator[](std::size_t i) const { return data_ptr()[i]; }
+  T& back() { return data_ptr()[size_ - 1]; }
+  const T& back() const { return data_ptr()[size_ - 1]; }
+  T& front() { return data_ptr()[0]; }
+  const T& front() const { return data_ptr()[0]; }
+
+  T* data() { return data_ptr(); }
+  const T* data() const { return data_ptr(); }
+  iterator begin() { return data_ptr(); }
+  iterator end() { return data_ptr() + size_; }
+  const_iterator begin() const { return data_ptr(); }
+  const_iterator end() const { return data_ptr() + size_; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+  // True while elements still live in the inline buffer (no heap spill).
+  bool is_inline() const { return heap_ == nullptr; }
+
+  static constexpr std::size_t inline_capacity() { return N; }
+
+ private:
+  T* data_ptr() {
+    return heap_ != nullptr ? heap_
+                            : std::launder(reinterpret_cast<T*>(inline_));
+  }
+  const T* data_ptr() const {
+    return heap_ != nullptr ? heap_
+                            : std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  void grow() {
+    std::size_t new_cap = cap_ * 2;
+    T* buf = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                            std::align_val_t{alignof(T)}));
+    T* d = data_ptr();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(buf + i)) T(std::move(d[i]));
+      d[i].~T();
+    }
+    release_heap();
+    heap_ = buf;
+    cap_ = new_cap;
+  }
+
+  void release_heap() {
+    if (heap_ != nullptr) {
+      ::operator delete(heap_, std::align_val_t{alignof(T)});
+      heap_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  void append_from(const InlineVec& o) {
+    for (const T& v : o) push_back(v);
+  }
+
+  // Precondition: *this is empty with no heap buffer.
+  void steal_from(InlineVec& o) noexcept {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      T* src = o.data_ptr();
+      T* dst = std::launder(reinterpret_cast<T*>(inline_));
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+        src[i].~T();
+      }
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+template <typename T, std::size_t N>
+bool operator==(const InlineVec<T, N>& a, const InlineVec<T, N>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace vca

@@ -1,0 +1,84 @@
+// Zero-cost-when-off performance counters for the simulator core.
+//
+// Two kinds of state live here:
+//
+//  * Hot-loop accumulators (peak event-heap depth, link packet totals):
+//    fed once per *simulation run* by the scenario runners — never from
+//    inside the event loop — and surfaced through BenchReport's timing
+//    line next to the existing events/sec counter. Cost when nobody
+//    reads them: a couple of relaxed atomic ops per run.
+//
+//  * Heap instrumentation (g_alloc_*): bumped by the replacement
+//    operator new/delete in perf_alloc.cc, which is linked ONLY into
+//    targets that opt in (the allocation-gate test). In every other
+//    binary these atomics exist but are never written, so the counters
+//    read zero and the hot path contains no instrumentation at all —
+//    "off" costs nothing because nothing is compiled into it.
+//
+// Reading the counters: see EXPERIMENTS.md ("Perf counters").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace vca::perf {
+
+// --- heap instrumentation (written only by perf_alloc.cc) -----------------
+
+inline std::atomic<uint64_t> g_alloc_calls{0};
+inline std::atomic<uint64_t> g_alloc_bytes{0};
+inline std::atomic<uint64_t> g_free_calls{0};
+// Flipped on by perf_alloc.cc's initializer; lets reports distinguish a
+// genuine zero-allocation window from "not instrumented".
+inline std::atomic<bool> g_alloc_tracking{false};
+
+inline bool alloc_tracking_active() {
+  return g_alloc_tracking.load(std::memory_order_relaxed);
+}
+inline uint64_t alloc_calls() {
+  return g_alloc_calls.load(std::memory_order_relaxed);
+}
+inline uint64_t alloc_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+inline uint64_t free_calls() {
+  return g_free_calls.load(std::memory_order_relaxed);
+}
+
+// Debug aid for hunting stray hot-loop allocations: while armed (and
+// perf_alloc.cc is linked), the very next allocation prints a backtrace
+// to stderr and aborts. Arm it right before a window that must be
+// allocation-free; the trap names the culprit instead of just counting it.
+inline std::atomic<bool> g_alloc_trap{false};
+inline void set_alloc_trap(bool on) {
+  g_alloc_trap.store(on, std::memory_order_relaxed);
+}
+
+// --- per-run accumulators (fed by scenario runners) -----------------------
+
+inline std::atomic<uint64_t> g_peak_heap_events{0};
+inline std::atomic<uint64_t> g_link_packets{0};
+
+// Record a run's event-heap high-water mark; the global keeps the max
+// across every run in the process (sweeps run many in parallel).
+inline void note_peak_heap_events(uint64_t peak) {
+  uint64_t cur = g_peak_heap_events.load(std::memory_order_relaxed);
+  while (peak > cur && !g_peak_heap_events.compare_exchange_weak(
+                           cur, peak, std::memory_order_relaxed)) {
+  }
+}
+
+// Record packets delivered across a run's links (per-Link packets/sec in
+// the timing line = this total over wall time).
+inline void note_link_packets(uint64_t n) {
+  g_link_packets.fetch_add(n, std::memory_order_relaxed);
+}
+
+inline uint64_t peak_heap_events() {
+  return g_peak_heap_events.load(std::memory_order_relaxed);
+}
+inline uint64_t link_packets_total() {
+  return g_link_packets.load(std::memory_order_relaxed);
+}
+
+}  // namespace vca::perf

@@ -1,0 +1,113 @@
+// Global allocation instrumentation. Link this TU (CMake target
+// vca_perf_alloc) into a binary to have every operator new/delete bump
+// the counters in core/perf.h — the allocation-gate test uses it to prove
+// the steady-state hot loop of a call is allocation-free. Ordinary
+// targets never link it, so their allocation path is the stock one.
+//
+// The replacements forward to malloc/free, which the sanitizer runtimes
+// intercept as usual, so instrumented targets stay ASan/TSan-compatible.
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "core/perf.h"
+
+namespace {
+
+struct TrackingArmed {
+  TrackingArmed() {
+    vca::perf::g_alloc_tracking.store(true, std::memory_order_relaxed);
+  }
+};
+TrackingArmed g_armed;
+
+// When the trap is armed, the offending allocation identifies itself with
+// a raw backtrace (feed the addresses to addr2line -e <binary>) and
+// aborts — environments without a debugger still get the culprit.
+void maybe_trap() {
+  if (!vca::perf::g_alloc_trap.load(std::memory_order_relaxed)) return;
+  vca::perf::set_alloc_trap(false);  // don't re-enter from backtrace's allocs
+  void* frames[32];
+  int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  std::abort();
+}
+
+void* counted_alloc(std::size_t n) {
+  maybe_trap();
+  vca::perf::g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  vca::perf::g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  maybe_trap();
+  vca::perf::g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  vca::perf::g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (n == 0) n = align;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t rounded = (n + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded);
+}
+
+void counted_free(void* p) {
+  if (p != nullptr) {
+    vca::perf::g_free_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned_alloc(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned_alloc(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,188 @@
+// A vector-backed ring deque for hot-path FIFO queues.
+//
+// std::deque allocates and frees ~512-byte node blocks continuously while
+// a queue cycles in steady state, which shows up directly in the
+// allocation counter of an instrumented run. RingDeque keeps one
+// power-of-two circular buffer that doubles on overflow and is never
+// shrunk: once a queue has seen its high-water mark, push/pop are
+// allocation-free for the rest of the simulation. Used by Link's drop-tail
+// queue, the RTP pacer, and the REMB estimator's sliding windows.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <new>
+#include <utility>
+
+namespace vca {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+
+  RingDeque(const RingDeque& o) { copy_from(o); }
+
+  RingDeque(RingDeque&& o) noexcept
+      : buf_(o.buf_), cap_(o.cap_), head_(o.head_), size_(o.size_) {
+    o.buf_ = nullptr;
+    o.cap_ = 0;
+    o.head_ = 0;
+    o.size_ = 0;
+  }
+
+  RingDeque& operator=(const RingDeque& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+
+  RingDeque& operator=(RingDeque&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      buf_ = o.buf_;
+      cap_ = o.cap_;
+      head_ = o.head_;
+      size_ = o.size_;
+      o.buf_ = nullptr;
+      o.cap_ = 0;
+      o.head_ = 0;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~RingDeque() { destroy(); }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* p = ::new (static_cast<void*>(slot(size_))) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_front() {
+    slot(0)->~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+  }
+
+  void pop_back() {
+    slot(size_ - 1)->~T();
+    --size_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) slot(i)->~T();
+    head_ = 0;
+    size_ = 0;
+  }
+
+  T& front() { return *slot(0); }
+  const T& front() const { return *slot(0); }
+  T& back() { return *slot(size_ - 1); }
+  const T& back() const { return *slot(size_ - 1); }
+  T& operator[](std::size_t i) { return *slot(i); }
+  const T& operator[](std::size_t i) const { return *slot(i); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  // Pre-size the buffer (rounded up to a power of two) so a queue with a
+  // known high-water mark never reallocates mid-simulation.
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    std::size_t target = cap_ == 0 ? kInitialCap : cap_;
+    while (target < n) target *= 2;
+    grow_to(target);
+  }
+
+  // Minimal random-access iteration (range-for, index arithmetic).
+  template <typename Q, typename Ref>
+  class Iter {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = Ref*;
+    using reference = Ref&;
+
+    Iter(Q* q, std::size_t i) : q_(q), i_(i) {}
+    Ref& operator*() const { return (*q_)[i_]; }
+    Ref* operator->() const { return &(*q_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter t = *this;
+      ++i_;
+      return t;
+    }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+
+   private:
+    Q* q_;
+    std::size_t i_;
+  };
+
+  using iterator = Iter<RingDeque, T>;
+  using const_iterator = Iter<const RingDeque, const T>;
+
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, size_}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  static constexpr std::size_t kInitialCap = 16;
+
+  T* slot(std::size_t i) const {
+    return buf_ + ((head_ + i) & (cap_ - 1));
+  }
+
+  void grow() { grow_to(cap_ == 0 ? kInitialCap : cap_ * 2); }
+
+  void grow_to(std::size_t new_cap) {
+    T* buf = static_cast<T*>(::operator new(new_cap * sizeof(T),
+                                            std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(buf + i)) T(std::move(*slot(i)));
+      slot(i)->~T();
+    }
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t{alignof(T)});
+    }
+    buf_ = buf;
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  void destroy() {
+    clear();
+    if (buf_ != nullptr) {
+      ::operator delete(buf_, std::align_val_t{alignof(T)});
+      buf_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  void copy_from(const RingDeque& o) {
+    for (const T& v : o) push_back(v);
+  }
+
+  T* buf_ = nullptr;
+  std::size_t cap_ = 0;  // always zero or a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vca

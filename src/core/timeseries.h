@@ -21,7 +21,13 @@ struct Sample {
 // An append-only (time, value) series. Times must be non-decreasing.
 class TimeSeries {
  public:
-  void push(TimePoint at, double value) { samples_.push_back({at, value}); }
+  void push(TimePoint at, double value) {
+    // Front-load capacity so steady-state pushes during a measured call
+    // never reallocate mid-window (a minute of 1 Hz samples fits many
+    // doublings over).
+    if (samples_.capacity() == 0) samples_.reserve(kInitialCapacity);
+    samples_.push_back({at, value});
+  }
 
   const std::vector<Sample>& samples() const { return samples_; }
   bool empty() const { return samples_.empty(); }
@@ -43,6 +49,7 @@ class TimeSeries {
   std::optional<double> mean_between(TimePoint from, TimePoint to) const;
 
  private:
+  static constexpr size_t kInitialCapacity = 256;
   std::vector<Sample> samples_;
 };
 
@@ -54,6 +61,7 @@ class RateMeter {
   explicit RateMeter(Duration bucket = Duration::seconds(1)) : bucket_(bucket) {}
 
   void on_bytes(TimePoint at, int64_t bytes) {
+    if (buckets_.capacity() == 0) buckets_.reserve(kInitialBuckets);
     int64_t idx = at.ns() / bucket_.ns();
     if (buckets_.empty() || idx > last_idx_) {
       // Fill any skipped buckets with zero so idle periods show as 0 rate.
@@ -103,6 +111,7 @@ class RateMeter {
   }
 
  private:
+  static constexpr size_t kInitialBuckets = 256;
   Duration bucket_;
   std::vector<int64_t> buckets_;
   int64_t first_idx_ = 0;

@@ -65,6 +65,14 @@ class Network {
   // via the shared fanout.
   TraceRecorder* record(Link* link, uint32_t snaplen = kPcapDefaultSnaplen);
 
+  // Sum of delivered packets over every link in the topology; feeds the
+  // per-run perf counters (perf.h) in BenchReport's timing line.
+  int64_t total_delivered_packets() const {
+    int64_t total = 0;
+    for (const auto& l : links_) total += l->delivered_packets();
+    return total;
+  }
+
   // True while `link` has a tap installed by capture()/record().
   bool link_is_tapped(const Link* link) const {
     for (const Link* l : tapped_) {

@@ -4,6 +4,7 @@
 
 #include "apps/abr_video.h"
 #include "apps/bulk_tcp.h"
+#include "core/perf.h"
 #include "harness/network.h"
 #include "harness/sweep.h"
 #include "net/faults.h"
@@ -12,6 +13,16 @@
 namespace vca {
 
 namespace {
+
+// End-of-run bookkeeping every scenario runner shares: retire the run's
+// events into the process-wide counter and feed the perf-counter layer
+// (scheduler heap high-water mark, link-delivered packets).
+void note_run_perf(Network& net) {
+  note_sim_events(net.sched().events_processed());
+  perf::note_peak_heap_events(net.sched().peak_pending());
+  perf::note_link_packets(
+      static_cast<uint64_t>(net.total_delivered_packets()));
+}
 
 constexpr FlowId kIncumbentFlowBase = 1000;
 constexpr FlowId kCompetitorFlowBase = 4000;
@@ -102,7 +113,7 @@ TwoPartyResult run_two_party(const TwoPartyConfig& cfg) {
       out.c1_recv_seconds = cl1->feeds().front()->stats->per_second();
     }
   }
-  note_sim_events(net.sched().events_processed());
+  note_run_perf(net);
   return out;
 }
 
@@ -144,7 +155,7 @@ DisruptionResult run_disruption(const DisruptionConfig& cfg) {
   out.ttr = time_to_recovery(out.disrupted_series, t0 + cfg.start,
                              t0 + cfg.start + cfg.length,
                              Duration::seconds(5), /*recovery_fraction=*/0.95);
-  note_sim_events(net.sched().events_processed());
+  note_run_perf(net);
   return out;
 }
 
@@ -227,7 +238,7 @@ OutageResult run_outage(const OutageConfig& cfg) {
   out.reconnects = cl1->reconnect_count();
   out.invariant_violations = net.check_invariants();
   net.enforce_invariants();
-  note_sim_events(net.sched().events_processed());
+  note_run_perf(net);
   return out;
 }
 
@@ -343,7 +354,7 @@ CompetitionResult run_competition(const CompetitionConfig& cfg) {
     out.competitor_connections = abr->connections_opened();
     out.competitor_max_parallel = abr->max_parallel_seen();
   }
-  note_sim_events(net.sched().events_processed());
+  note_run_perf(net);
   return out;
 }
 
@@ -382,7 +393,7 @@ MultipartyResult run_multiparty(const MultipartyConfig& cfg) {
   TimePoint to = TimePoint::zero() + cfg.duration;
   out.c1_up_mbps = up_cap->mean_rate(from, to).mbps_f();
   out.c1_down_mbps = down_cap->mean_rate(from, to).mbps_f();
-  note_sim_events(net.sched().events_processed());
+  note_run_perf(net);
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "harness/sweep.h"
 
+#include "core/perf.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -120,6 +122,8 @@ BenchReport::BenchReport(std::string bench, SweepOptions opts)
     : bench_(std::move(bench)),
       opts_(std::move(opts)),
       events_at_start_(sim_events_total()),
+      link_packets_at_start_(perf::link_packets_total()),
+      allocs_at_start_(perf::alloc_calls()),
       wall_start_ns_(wall_now_ns()) {}
 
 void BenchReport::begin_section(const std::string& id,
@@ -177,9 +181,24 @@ bool BenchReport::finish() {
   }
   f << "  ],\n";
   // One line, run-dependent: strip with `grep -v '"timing"'` when diffing.
+  // Perf-counter fields (core/perf.h): peak scheduler heap occupancy and
+  // link-delivered packets across all runs this report covers, plus the
+  // global-new call count — nonzero only when vca_perf_alloc is linked in.
+  uint64_t link_pkts = perf::link_packets_total() - link_packets_at_start_;
+  double pps =
+      wall_sec > 0.0 ? static_cast<double>(link_pkts) / wall_sec : 0.0;
+  uint64_t allocs = perf::alloc_tracking_active()
+                        ? perf::alloc_calls() - allocs_at_start_
+                        : 0;
   f << "  \"timing\": {\"jobs\": " << jobs << ", \"wall_clock_sec\": "
     << json_num(wall_sec) << ", \"sim_events\": " << events
-    << ", \"events_per_sec\": " << json_num(eps) << "}\n";
+    << ", \"events_per_sec\": " << json_num(eps)
+    << ", \"peak_heap_events\": " << perf::peak_heap_events()
+    << ", \"link_packets\": " << link_pkts
+    << ", \"link_packets_per_sec\": " << json_num(pps)
+    << ", \"heap_alloc_calls\": " << allocs
+    << ", \"alloc_tracking\": "
+    << (perf::alloc_tracking_active() ? "true" : "false") << "}\n";
   f << "}\n";
   return f.good();
 }

@@ -114,6 +114,8 @@ class BenchReport {
   SweepOptions opts_;
   std::vector<Section> sections_;
   uint64_t events_at_start_ = 0;
+  uint64_t link_packets_at_start_ = 0;
+  uint64_t allocs_at_start_ = 0;
   int64_t wall_start_ns_ = 0;
 };
 

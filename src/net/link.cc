@@ -87,6 +87,27 @@ bool Link::impairment_drop() {
          loss_jitter_rng_.bernoulli(cfg_.random_loss);
 }
 
+uint32_t Link::park_in_transit(Packet&& p) {
+  if (transit_free_ != kNoSlot) {
+    uint32_t slot = transit_free_;
+    transit_free_ = transit_[slot].next_free;
+    transit_[slot].p = std::move(p);
+    return slot;
+  }
+  transit_.push_back(TransitSlot{std::move(p), kNoSlot});
+  return static_cast<uint32_t>(transit_.size() - 1);
+}
+
+void Link::deliver_from_transit(uint32_t slot) {
+  // Move straight out of the slot into deliver()'s by-value parameter —
+  // the move completes before the sink runs, so a reentrant hop that
+  // parks new packets (possibly reallocating transit_) is safe; the slot
+  // is re-indexed (not held by reference) when it is freed afterwards.
+  if (sink_ != nullptr) sink_->deliver(std::move(transit_[slot].p));
+  transit_[slot].next_free = transit_free_;
+  transit_free_ = slot;
+}
+
 void Link::finish_transmission() {
   delivered_bytes_ += in_flight_.size_bytes;
   ++delivered_packets_;
@@ -112,16 +133,14 @@ void Link::finish_transmission() {
     }
     bool dup = duplicate_prob_ > 0.0 && duplicate_rng_.bernoulli(duplicate_prob_);
     if (dup) {
+      // The only place the forward path copies a packet — and only when a
+      // duplicate is actually emitted.
       ++duplicated_packets_;
-      Packet copy = in_flight_;
-      sched_->schedule(delay, [this, copy = std::move(copy)]() mutable {
-        if (sink_ != nullptr) sink_->deliver(std::move(copy));
-      });
+      uint32_t dslot = park_in_transit(Packet(in_flight_));
+      sched_->schedule(delay, [this, dslot] { deliver_from_transit(dslot); });
     }
-    Packet out = std::move(in_flight_);
-    sched_->schedule(delay, [this, out = std::move(out)]() mutable {
-      if (sink_ != nullptr) sink_->deliver(std::move(out));
-    });
+    uint32_t slot = park_in_transit(std::move(in_flight_));
+    sched_->schedule(delay, [this, slot] { deliver_from_transit(slot); });
   }
   start_transmission();
 }

@@ -20,11 +20,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/ring.h"
 #include "core/rng.h"
 #include "core/scheduler.h"
 #include "core/time.h"
@@ -142,6 +142,8 @@ class Link : public PacketSink {
   void start_transmission();
   void finish_transmission();
   bool impairment_drop();
+  uint32_t park_in_transit(Packet&& p);
+  void deliver_from_transit(uint32_t slot);
 
   EventScheduler* sched_;
   std::string name_;
@@ -163,11 +165,25 @@ class Link : public PacketSink {
   Duration reorder_extra_ = Duration::millis(20);
   double duplicate_prob_ = 0.0;
 
-  std::deque<Packet> queue_;
+  RingDeque<Packet> queue_;
   int64_t queued_bytes_ = 0;
   bool busy_ = false;
   Packet in_flight_;
   TimePoint finish_at_;
+
+  // Propagation-delay transit pool. A Packet (~200 bytes with its metadata
+  // variant) does not fit the scheduler's 64-byte inline closure, so
+  // packets crossing the wire are parked in indexed slots and the
+  // scheduled closure captures only [this, slot]. The free list recycles
+  // slots, so the pool grows to the propagation-window high-water mark
+  // once and then serves the rest of the run allocation-free.
+  struct TransitSlot {
+    Packet p;
+    uint32_t next_free = kNoSlot;
+  };
+  static constexpr uint32_t kNoSlot = 0xffffffff;
+  std::vector<TransitSlot> transit_;
+  uint32_t transit_free_ = kNoSlot;
 
   int64_t offered_packets_ = 0;
   int64_t delivered_bytes_ = 0;

@@ -7,8 +7,8 @@
 
 #include <cstdint>
 #include <variant>
-#include <vector>
 
+#include "core/inline_vec.h"
 #include "core/time.h"
 #include "core/units.h"
 
@@ -53,6 +53,11 @@ struct RtpMeta {
   TimePoint abs_send_time;     // when the packet left the sender (for delay-gradient CC)
 };
 
+// NACK lists are almost always a handful of sequence numbers; the inline
+// capacity keeps copying an RTCP packet heap-free in the common case while
+// burst-loss reports past 16 entries still spill gracefully.
+using NackList = InlineVec<uint32_t, 16>;
+
 // RTCP feedback, sent receiver -> sender (possibly terminated at an SFU).
 struct RtcpMeta {
   uint32_t ssrc = 0;
@@ -62,7 +67,7 @@ struct RtcpMeta {
   double delay_gradient_ms_per_s = 0.0;  // trendline slope seen by the receiver
   double queuing_delay_ms = 0.0;     // smoothed one-way queuing delay estimate
   int fir_count = 0;                 // Full Intra Requests in this report
-  std::vector<uint32_t> nack_seqs;   // sequence numbers requested for RTX
+  NackList nack_seqs;                // sequence numbers requested for RTX
   int64_t highest_seq = -1;
 };
 

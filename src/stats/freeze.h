@@ -4,7 +4,7 @@
 #pragma once
 
 #include <algorithm>
-#include <deque>
+#include <cstddef>
 
 #include "core/time.h"
 
@@ -24,8 +24,15 @@ class FreezeDetector {
           ++freeze_count_;
         }
       }
-      durations_.push_back(gap);
-      if (durations_.size() > 120) durations_.pop_front();
+      // Fixed 120-entry ring with a running sum: O(1) per frame, no heap.
+      if (count_ == kWindow) {
+        sum_ -= ring_[pos_];
+      } else {
+        ++count_;
+      }
+      ring_[pos_] = gap;
+      sum_ += gap;
+      pos_ = (pos_ + 1) % kWindow;
     }
     last_frame_ = at;
     has_last_ = true;
@@ -47,10 +54,8 @@ class FreezeDetector {
   }
 
   Duration average_frame_duration() const {
-    if (durations_.empty()) return Duration::zero();
-    Duration sum = Duration::zero();
-    for (Duration d : durations_) sum += d;
-    return sum / static_cast<int64_t>(durations_.size());
+    if (count_ == 0) return Duration::zero();
+    return sum_ / static_cast<int64_t>(count_);
   }
 
   Duration frozen_time() const { return frozen_; }
@@ -62,7 +67,11 @@ class FreezeDetector {
   }
 
  private:
-  std::deque<Duration> durations_;
+  static constexpr std::size_t kWindow = 120;
+  Duration ring_[kWindow] = {};
+  std::size_t count_ = 0;
+  std::size_t pos_ = 0;
+  Duration sum_ = Duration::zero();
   TimePoint last_frame_;
   bool has_last_ = false;
   Duration frozen_ = Duration::zero();

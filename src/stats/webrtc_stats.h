@@ -24,6 +24,7 @@ struct SecondStats {
 class WebRtcStatsCollector {
  public:
   explicit WebRtcStatsCollector(EventScheduler* sched) : sched_(sched) {
+    seconds_.reserve(128);  // multi-minute call without a mid-run realloc
     schedule_tick();
   }
 

@@ -128,8 +128,11 @@ void RtpSender::drain() {
   } else {
     sent_media_bytes_ += p.size_bytes;
     if (cfg_.enable_rtx) {
-      history_[p.rtp().seq] = p;
-      while (history_.size() > kHistoryLimit) history_.erase(history_.begin());
+      if (history_.empty()) history_.resize(kHistorySlots);
+      HistorySlot& slot = history_[p.rtp().seq & (kHistorySlots - 1)];
+      slot.seq = p.rtp().seq;
+      slot.valid = true;
+      slot.pkt = p;
     }
   }
   Duration gap = cfg_.pacing_rate.transmit_time(p.size_bytes);
@@ -143,11 +146,12 @@ void RtpSender::handle_rtcp(const RtcpMeta& fb) {
   if (feedback_handler_) feedback_handler_(fb);
 }
 
-void RtpSender::retransmit(const std::vector<uint32_t>& seqs) {
+void RtpSender::retransmit(const NackList& seqs) {
+  if (history_.empty()) return;
   for (uint32_t seq : seqs) {
-    auto it = history_.find(seq);
-    if (it == history_.end()) continue;
-    Packet p = it->second;  // copy
+    const HistorySlot& slot = history_[seq & (kHistorySlots - 1)];
+    if (!slot.valid || slot.seq != seq) continue;
+    Packet p = slot.pkt;  // copy: the slot stays available for re-NACKs
     p.id = next_packet_id_++;
     p.created_at = sched_->now();
     p.rtp().abs_send_time = sched_->now();
@@ -166,7 +170,37 @@ bool RtpSender::take_keyframe_request() {
 
 RtpReceiver::RtpReceiver(EventScheduler* sched, Host* host, Config cfg)
     : sched_(sched), host_(host), cfg_(cfg) {
+  // More frames than ever sit inside the loss deadline at once; reserving
+  // up front keeps the reassembly path allocation-free in steady state.
+  pending_.reserve(32);
   schedule_report();
+}
+
+bool RtpReceiver::PendingFrame::mark_media(uint16_t index) {
+  const size_t word = index / 64;
+  const uint64_t bit = uint64_t{1} << (index % 64);
+  while (media_mask.size() <= word) media_mask.push_back(0);
+  if ((media_mask[word] & bit) != 0) return false;
+  media_mask[word] |= bit;
+  ++media_count;
+  return true;
+}
+
+RtpReceiver::PendingFrame* RtpReceiver::find_pending(uint64_t frame_id) {
+  for (PendingFrame& f : pending_) {
+    if (f.frame_id == frame_id) return &f;
+  }
+  return nullptr;
+}
+
+void RtpReceiver::erase_pending(uint64_t frame_id) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].frame_id == frame_id) {
+      if (i + 1 != pending_.size()) pending_[i] = std::move(pending_.back());
+      pending_.pop_back();
+      return;
+    }
+  }
 }
 
 void RtpReceiver::schedule_report() {
@@ -205,18 +239,23 @@ void RtpReceiver::handle_packet(const Packet& p) {
   }
 
   // Frame reassembly.
-  PendingFrame& f = pending_[m.frame_id];
-  if (f.packets_in_frame == 0) {
-    f.packets_in_frame = m.packets_in_frame;
-    f.first_arrival = now;
+  PendingFrame* f = find_pending(m.frame_id);
+  if (f == nullptr) {
+    f = &pending_.emplace_back();
+    f->frame_id = m.frame_id;
+    f->packets_in_frame = m.packets_in_frame;
+    f->first_arrival = now;
   }
   if (m.is_fec) {
-    ++f.fec_received;
+    ++f->fec_received;
   } else {
-    f.media_received.insert(m.packet_index);
-    f.media_bytes += p.size_bytes;
+    f->mark_media(m.packet_index);
+    f->media_bytes += p.size_bytes;
   }
-  if (!f.exemplar) f.exemplar = p;
+  if (!f->has_exemplar) {
+    f->has_exemplar = true;
+    f->exemplar = m;
+  }
 
   try_decode();
 }
@@ -226,30 +265,39 @@ void RtpReceiver::try_decode() {
   // Drop state for frames behind the decode head (e.g. padding packets
   // tagged with old frame ids).
   if (started_) {
-    pending_.erase(pending_.begin(), pending_.lower_bound(next_decode_frame_));
+    for (size_t i = 0; i < pending_.size();) {
+      if (pending_[i].frame_id < next_decode_frame_) {
+        if (i + 1 != pending_.size()) pending_[i] = std::move(pending_.back());
+        pending_.pop_back();
+      } else {
+        ++i;
+      }
+    }
   }
   if (!started_) {
     if (pending_.empty()) return;
-    next_decode_frame_ = pending_.begin()->first;
+    uint64_t min_id = pending_.front().frame_id;
+    for (const PendingFrame& pf : pending_) {
+      if (pf.frame_id < min_id) min_id = pf.frame_id;
+    }
+    next_decode_frame_ = min_id;
     started_ = true;
   }
 
   bool progress = true;
   while (progress) {
     progress = false;
-    auto it = pending_.find(next_decode_frame_);
-    if (it != pending_.end()) {
-      PendingFrame& f = it->second;
-      bool complete =
-          f.media_received.size() >= f.packets_in_frame;
+    PendingFrame* f = find_pending(next_decode_frame_);
+    if (f != nullptr) {
+      bool complete = f->media_count >= f->packets_in_frame;
       // FEC can only repair a frame we saw at least one media packet of;
       // pure-FEC "frames" (probe padding) are never decodable.
       bool recoverable =
-          !f.media_received.empty() &&
-          f.media_received.size() + static_cast<size_t>(f.fec_received) >=
-              f.packets_in_frame;
+          f->media_count > 0 &&
+          static_cast<int>(f->media_count) + f->fec_received >=
+              static_cast<int>(f->packets_in_frame);
       if (complete || recoverable) {
-        const RtpMeta& m = f.exemplar->rtp();
+        const RtpMeta& m = f->exemplar;
         // After a loss we only resume on a keyframe; drop inter frames.
         if (!stalled_ || m.keyframe) {
           DecodedFrame out;
@@ -259,7 +307,7 @@ void RtpReceiver::try_decode() {
           out.qp = m.qp;
           out.keyframe = m.keyframe;
           out.spatial_layer = m.spatial_layer;
-          out.bytes = f.media_bytes;
+          out.bytes = f->media_bytes;
           out.capture_time = m.capture_time;
           out.delivered_at = now;
           out.recovered_by_fec = !complete && recoverable;
@@ -269,19 +317,19 @@ void RtpReceiver::try_decode() {
         } else {
           ++frames_lost_;  // decodable but discarded while waiting for IDR
         }
-        pending_.erase(it);
+        erase_pending(next_decode_frame_);
         ++next_decode_frame_;
         progress = true;
         continue;
       }
       // Incomplete: give up after the deadline and stall until a keyframe.
-      if (now - f.first_arrival > cfg_.frame_loss_deadline) {
+      if (now - f->first_arrival > cfg_.frame_loss_deadline) {
         ++frames_lost_;
         if (!stalled_) {
           stalled_ = true;
           stall_since_ = now;
         }
-        pending_.erase(it);
+        erase_pending(next_decode_frame_);
         ++next_decode_frame_;
         progress = true;
         continue;
@@ -289,10 +337,17 @@ void RtpReceiver::try_decode() {
       break;  // still waiting for packets within the deadline
     }
     // Frame never seen. If any *later* frame has been waiting past the
-    // deadline, declare this one lost and move on.
-    auto later = pending_.upper_bound(next_decode_frame_);
-    if (later != pending_.end() &&
-        now - later->second.first_arrival > cfg_.frame_loss_deadline) {
+    // deadline, declare this one lost and move on. (The earliest later
+    // frame stands in for the map's upper_bound.)
+    const PendingFrame* later = nullptr;
+    for (const PendingFrame& pf : pending_) {
+      if (pf.frame_id > next_decode_frame_ &&
+          (later == nullptr || pf.frame_id < later->frame_id)) {
+        later = &pf;
+      }
+    }
+    if (later != nullptr &&
+        now - later->first_arrival > cfg_.frame_loss_deadline) {
       ++frames_lost_;
       if (!stalled_) {
         stalled_ = true;
@@ -375,7 +430,7 @@ void RtpReceiver::send_report() {
   p.type = PacketType::kRtcp;
   p.size_bytes = 80 + static_cast<int>(fb.nack_seqs.size()) * 4;
   p.created_at = now;
-  p.meta = fb;
+  p.meta = std::move(fb);
   host_->send(std::move(p));
 
   report_base_seq_ = highest_seq_ + 1;

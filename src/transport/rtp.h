@@ -5,13 +5,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
-#include <optional>
 #include <set>
 #include <vector>
 
+#include "core/inline_vec.h"
+#include "core/ring.h"
 #include "core/scheduler.h"
 #include "core/time.h"
 #include "core/units.h"
@@ -75,7 +75,7 @@ class RtpSender {
  private:
   void enqueue_packet(Packet p);
   void drain();
-  void retransmit(const std::vector<uint32_t>& seqs);
+  void retransmit(const NackList& seqs);
 
   EventScheduler* sched_;
   Host* host_;
@@ -85,14 +85,25 @@ class RtpSender {
   uint32_t next_seq_ = 1;
   uint64_t next_packet_id_ = 1;
   double fec_credit_ = 0.0;
-  std::deque<Packet> pacer_;
+  RingDeque<Packet> pacer_;
   int64_t pacer_bytes_ = 0;
   bool draining_ = false;
   bool keyframe_requested_ = false;
 
-  // Recently sent packets retained for retransmission.
-  std::map<uint32_t, Packet> history_;
-  static constexpr size_t kHistoryLimit = 2000;
+  // Recently sent packets retained for retransmission: a direct-mapped
+  // ring keyed by seq & (kHistorySlots - 1). Unlike the old
+  // std::map<seq, Packet> (one node allocation per media packet), inserts
+  // overwrite in place; a NACK only ever targets sequences within ~1000
+  // of the head (see RtpReceiver's missing-seq bound), comfortably inside
+  // the 2048-slot window. Sized lazily on first media packet so
+  // RTX-disabled senders pay nothing.
+  struct HistorySlot {
+    uint32_t seq = 0;
+    bool valid = false;
+    Packet pkt;
+  };
+  static constexpr size_t kHistorySlots = 2048;
+  std::vector<HistorySlot> history_;
 
   int64_t sent_media_bytes_ = 0;
   int64_t sent_fec_bytes_ = 0;
@@ -172,18 +183,33 @@ class RtpReceiver {
   bool stalled() const { return stalled_; }
 
  private:
+  // Reassembly state for one in-flight frame. Received media packets are
+  // tracked in an inline bitmask (one bit per packet index; frames up to
+  // 256 packets stay heap-free, bigger ones spill), and the metadata
+  // exemplar stores just the first packet's RtpMeta instead of a whole
+  // Packet. Lives in an unsorted vector scanned linearly: only the few
+  // frames inside the loss deadline are ever pending, and scanning by
+  // value keeps iteration order independent of heap layout (the
+  // determinism requirement that rules out pointer-keyed maps).
   struct PendingFrame {
+    uint64_t frame_id = 0;
     uint16_t packets_in_frame = 0;
-    std::set<uint16_t> media_received;
+    uint16_t media_count = 0;
     int fec_received = 0;
-    std::optional<Packet> exemplar;  // metadata source
+    bool has_exemplar = false;
+    InlineVec<uint64_t, 4> media_mask;
+    RtpMeta exemplar;
     TimePoint first_arrival;
     int media_bytes = 0;
+
+    bool mark_media(uint16_t index);  // false if already marked (duplicate)
   };
 
   void try_decode();
   void send_report();
   void schedule_report();
+  PendingFrame* find_pending(uint64_t frame_id);
+  void erase_pending(uint64_t frame_id);
 
   EventScheduler* sched_;
   Host* host_;
@@ -191,7 +217,7 @@ class RtpReceiver {
   std::function<void(const DecodedFrame&)> frame_handler_;
   PacketArrivalObserver* observer_ = nullptr;
 
-  std::map<uint64_t, PendingFrame> pending_;
+  std::vector<PendingFrame> pending_;
   uint64_t next_decode_frame_ = 0;
   bool stalled_ = false;       // waiting for a keyframe after loss
   bool started_ = false;

@@ -321,11 +321,13 @@ void VcaClient::tick() {
     alloc.items[0].target = target;
   }
 
-  std::vector<bool> wanted(layers_.size(), false);
+  // Layer ladders are at most 4 deep, so a word of bits replaces the
+  // per-tick std::vector<bool> this loop used to allocate.
+  uint64_t wanted = 0;
   DataRate total_media = DataRate::zero();
   for (const auto& item : alloc.items) {
     auto& l = layers_[static_cast<size_t>(item.layer)];
-    wanted[static_cast<size_t>(item.layer)] = true;
+    wanted |= uint64_t{1} << static_cast<unsigned>(item.layer);
     l.encoder->set_target(item.target, max_width_);
     total_media = total_media + item.target;
     if (!l.active) {
@@ -335,7 +337,7 @@ void VcaClient::tick() {
     }
   }
   for (size_t i = 0; i < layers_.size(); ++i) {
-    if (!wanted[i] && layers_[i].active) {
+    if (!(wanted >> i & 1) && layers_[i].active) {
       layers_[i].encoder->stop();
       layers_[i].active = false;
       layers_[i].last_rx = DataRate::zero();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cc/remb.h"
+#include "core/inline_vec.h"
 #include "core/time.h"
 #include "core/units.h"
 #include "media/encoder.h"
@@ -34,13 +35,15 @@ struct LayerSpec {
 };
 
 // Result of splitting the congestion-controlled budget across layers.
+// Computed every client tick (10x/sec per client); the inline vector keeps
+// that hot path heap-free (no profile has more than 4 layers).
 struct StreamAllocation {
   struct Item {
     int layer = 0;
     DataRate target;
     bool ultra_low = false;  // Meet low-stream quirk variant (§3.2)
   };
-  std::vector<Item> items;
+  InlineVec<Item, 4> items;
 };
 
 // Client resilience parameterization: how an app detects a dead path,

@@ -62,7 +62,8 @@ void SfuServer::add_publisher(VcaClient* client) {
   });
 
   // Keepalive echo: bounce the probe straight back. The echo reaching the
-  // client is its proof the round trip (and this server) is alive.
+  // client is its proof the round trip (and this server) is alive. The
+  // copy is heap-free: keepalives carry no metadata (monostate variant).
   NodeId client_node = client->host()->id();
   host_->register_flow(client->keepalive_flow(), [this, client_node](Packet pk) {
     if (!online_ || pk.type != PacketType::kKeepalive) return;
@@ -194,6 +195,11 @@ void SfuServer::on_video_frame(PublisherLeg* leg, int layer,
   }
 }
 
+// Fanout cost audit: the SFU re-originates every forwarded stream, so the
+// unavoidable per-extra-viewer cost is exactly one EncodedFrame (a flat
+// stack struct) handed to that viewer's RtpSender, which packetizes it
+// into the viewer's own freshly-built packets. No received Packet is ever
+// copied per viewer — reassembled frames fan out, packets do not.
 void SfuServer::forward(Subscription& sub, const DecodedFrame& f,
                         bool thinnable) {
   if (thinnable && sub.temporal_divisor > 1 && !f.keyframe) {
@@ -235,29 +241,36 @@ void SfuServer::tick() {
     return;
   }
   // Split each viewer's downlink estimate across its feeds, then update
-  // per-subscription stream/layer selection. Viewers are grouped in subs_
-  // insertion order: a pointer-keyed std::map here would make per-tick
-  // processing order follow heap layout, which diverges between
-  // identically-seeded runs once sims execute on worker threads.
-  std::vector<std::pair<VcaClient*, std::vector<Subscription*>>> by_viewer;
-  for (auto& s : subs_) {
-    auto it =
-        std::find_if(by_viewer.begin(), by_viewer.end(),
-                     [&](const auto& e) { return e.first == s->viewer; });
-    if (it == by_viewer.end()) {
-      by_viewer.emplace_back(s->viewer,
-                             std::vector<Subscription*>{s.get()});
-    } else {
-      it->second.push_back(s.get());
+  // per-subscription stream/layer selection. Viewers are processed in
+  // first-appearance (subs_ insertion) order: a pointer-keyed std::map
+  // here would make per-tick processing order follow heap layout, which
+  // diverges between identically-seeded runs once sims execute on worker
+  // threads. The grouping runs as nested scans over subs_ rather than
+  // materializing a per-tick vector-of-vectors — this fires 10x/sec in
+  // every simulated call, and the handful of subscriptions per SFU makes
+  // the O(n^2) scan cheaper than the allocations it replaces.
+  for (size_t i = 0; i < subs_.size(); ++i) {
+    VcaClient* viewer = subs_[i]->viewer;
+    bool seen_before = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (subs_[j]->viewer == viewer) {
+        seen_before = true;
+        break;
+      }
     }
-  }
+    if (seen_before) continue;
 
-  for (auto& [viewer, subs] : by_viewer) {
-    DataRate budget = subs.front()->viewer_remb;
+    DataRate budget = subs_[i]->viewer_remb;  // first sub carries the REMB
     bool has_pinned = false;
-    for (auto* s : subs) has_pinned |= s->pinned;
-    int n = static_cast<int>(subs.size());
-    for (auto* s : subs) {
+    int n = 0;
+    for (size_t j = i; j < subs_.size(); ++j) {
+      if (subs_[j]->viewer != viewer) continue;
+      has_pinned |= subs_[j]->pinned;
+      ++n;
+    }
+    for (size_t j = i; j < subs_.size(); ++j) {
+      if (subs_[j]->viewer != viewer) continue;
+      Subscription* s = subs_[j].get();
       if (has_pinned) {
         s->share = s->pinned ? budget * 0.75
                              : budget * (0.25 / std::max(1, n - 1));

@@ -118,22 +118,27 @@ TEST(InferencePropertyTest, SurvivesFaultMutatedTraffic) {
     for (int frame = 0; frame < 600; ++frame) {
       TimePoint at = t0 + Duration::millis(frame * 33);
       for (int k = 0; k < 3; ++k) {
-        Packet p;
-        p.id = id++;
-        p.flow = 1000;
-        p.src = 2;
-        p.dst = 1;
-        p.size_bytes = 1100;
-        p.type = PacketType::kRtpVideo;
-        RtpMeta m;
-        m.ssrc = 7;
-        m.seq = seq++;
-        m.frame_id = static_cast<uint64_t>(frame);
-        m.packets_in_frame = 3;
-        m.packet_index = static_cast<uint16_t>(k);
-        m.capture_time = at;
-        p.meta = m;
-        sched.schedule_at(at, [&access, p] { access.deliver(p); });
+        // A whole Packet exceeds the scheduler's 64-byte inline capture;
+        // capture the varying scalars and build it at delivery time.
+        sched.schedule_at(
+            at, [&access, pid = id++, pseq = seq++, frame, k, at] {
+              Packet p;
+              p.id = pid;
+              p.flow = 1000;
+              p.src = 2;
+              p.dst = 1;
+              p.size_bytes = 1100;
+              p.type = PacketType::kRtpVideo;
+              RtpMeta m;
+              m.ssrc = 7;
+              m.seq = pseq;
+              m.frame_id = static_cast<uint64_t>(frame);
+              m.packets_in_frame = 3;
+              m.packet_index = static_cast<uint16_t>(k);
+              m.capture_time = at;
+              p.meta = m;
+              access.deliver(std::move(p));
+            });
       }
     }
     sched.run_all();

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/inline_vec.h"
+#include "harness/network.h"
+#include "net/packet.h"
+#include "vca/call.h"
+
+namespace vca {
+namespace {
+
+using namespace vca::literals;
+
+TEST(InlineVecTest, StaysInlineUpToCapacity) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(InlineVecTest, SpillsPastCapacityAndKeepsContents) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  // clear() keeps the spilled buffer for reuse: refill without realloc.
+  for (int i = 0; i < 50; ++i) v.push_back(-i);
+  EXPECT_EQ(v.size(), 50u);
+  EXPECT_EQ(v[49], -49);
+}
+
+TEST(InlineVecTest, CopySemanticsInlineAndSpilled) {
+  InlineVec<std::string, 2> small;
+  small.push_back("a");
+  InlineVec<std::string, 2> small_copy(small);
+  EXPECT_EQ(small_copy.size(), 1u);
+  EXPECT_EQ(small_copy[0], "a");
+  small_copy[0] = "changed";
+  EXPECT_EQ(small[0], "a");  // deep copy
+
+  InlineVec<std::string, 2> big;
+  for (int i = 0; i < 10; ++i) big.push_back(std::to_string(i));
+  InlineVec<std::string, 2> big_copy;
+  big_copy = big;
+  EXPECT_EQ(big_copy.size(), 10u);
+  EXPECT_EQ(big_copy[9], "9");
+  EXPECT_EQ(big.size(), 10u);
+  EXPECT_TRUE(big == big_copy);
+}
+
+TEST(InlineVecTest, MoveStealsSpilledBufferAndMovesInlineElements) {
+  InlineVec<std::string, 2> big;
+  for (int i = 0; i < 10; ++i) big.push_back(std::to_string(i));
+  const std::string* heap_data = big.data();
+  InlineVec<std::string, 2> stolen(std::move(big));
+  // Spilled storage transfers by pointer steal, not element copies.
+  EXPECT_EQ(stolen.data(), heap_data);
+  EXPECT_EQ(stolen.size(), 10u);
+  EXPECT_TRUE(big.empty());  // NOLINT(bugprone-use-after-move)
+
+  InlineVec<std::string, 4> small;
+  small.push_back("x");
+  small.push_back("y");
+  InlineVec<std::string, 4> moved(std::move(small));
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_TRUE(moved.is_inline());
+  EXPECT_EQ(moved[0], "x");
+  EXPECT_EQ(moved[1], "y");
+
+  // Move-assign over an existing spilled vector frees/replaces cleanly.
+  InlineVec<std::string, 2> target;
+  for (int i = 0; i < 8; ++i) target.push_back("old");
+  target = std::move(stolen);
+  EXPECT_EQ(target.size(), 10u);
+  EXPECT_EQ(target[0], "0");
+}
+
+TEST(InlineVecTest, NackListInlineForTypicalBurst) {
+  // RtcpMeta::nack_seqs is an InlineVec<uint32_t, 16>: a typical loss
+  // burst rides inline in the packet's metadata variant; a pathological
+  // one spills but stays correct.
+  NackList nacks;
+  for (uint32_t s = 100; s < 112; ++s) nacks.push_back(s);
+  EXPECT_TRUE(nacks.is_inline());
+  for (uint32_t s = 112; s < 140; ++s) nacks.push_back(s);
+  EXPECT_FALSE(nacks.is_inline());
+  EXPECT_EQ(nacks.size(), 40u);
+  EXPECT_EQ(nacks[0], 100u);
+  EXPECT_EQ(nacks.back(), 139u);
+
+  // The list survives the copy into a Packet's metadata variant.
+  RtcpMeta fb;
+  fb.ssrc = 7;
+  fb.nack_seqs = nacks;
+  Packet p;
+  p.meta = fb;
+  ASSERT_EQ(p.rtcp().nack_seqs.size(), 40u);
+  EXPECT_EQ(p.rtcp().nack_seqs[39], 139u);
+}
+
+TEST(InlineVecTest, NackRoundTripThroughSfuHop) {
+  // End-to-end: viewer-side downlink loss makes the viewer NACK the SFU's
+  // re-originating sender, which retransmits from its history ring. The
+  // NACK list crosses the wire inside RtcpMeta both on the SFU hop and on
+  // the publisher leg.
+  Network net;
+  auto sfu = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
+                          Duration::millis(8), 4 << 20);
+  auto c1 = net.add_host("c1", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+  auto c2 = net.add_host("c2", DataRate::gbps(1), DataRate::gbps(1),
+                         Duration::millis(2), 1 << 20);
+  c1.down->set_random_loss(0.05);
+
+  Call::Config cfg;
+  cfg.profile = vca_profile("meet");
+  cfg.seed = 3;
+  Call call(&net.sched(), sfu.host, cfg);
+  VcaClient* viewer = call.add_client(c1.host);
+  call.add_client(c2.host);
+
+  call.start();
+  net.sched().run_until(TimePoint::zero() + 30_s);
+  call.stop();
+
+  ASSERT_FALSE(viewer->feeds().empty());
+  const auto& feed = *viewer->feeds().front();
+  // Lossy downlink forced NACKs, and retransmissions kept video flowing.
+  EXPECT_GT(feed.receiver->nacks_sent(), 0);
+  EXPECT_GT(feed.stats->total_frames(), 200);
+  EXPECT_EQ(net.enforce_invariants(), 0);
+}
+
+}  // namespace
+}  // namespace vca

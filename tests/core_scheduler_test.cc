@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/scheduler.h"
@@ -87,6 +91,113 @@ TEST(SchedulerTest, CountsProcessedEvents) {
   sched.run_all();
   EXPECT_EQ(sched.events_processed(), 10u);
   EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerTest, ScheduleAtInThePastRunsAtNowInFifoOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.schedule(20_ms, [&] {
+    // An absolute time already behind the clock clamps to now...
+    sched.schedule_at(TimePoint::zero() + 5_ms, [&] { order.push_back(1); });
+    // ...and keeps FIFO order against a same-instant successor.
+    sched.schedule(Duration::zero(), [&] { order.push_back(2); });
+  });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.now().ns(), Duration::millis(20).ns());
+}
+
+TEST(SchedulerTest, InterleavedRunUntilRunForDrainsInOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sched.schedule(Duration::millis(10 * (i + 1)), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  // Ties dropped at the boundaries plus events scheduled mid-drain.
+  sched.schedule(40_ms, [&] { order.push_back(100); });
+  sched.run_until(TimePoint::zero() + 25_ms);     // fires 0, 1
+  sched.run_for(15_ms);                           // to 40 ms: 2, 3, 100
+  sched.schedule(5_ms, [&] { order.push_back(200); });  // at 45 ms
+  sched.run_for(40_ms);                           // to 80 ms: 200, 4..7
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 100, 200, 4, 5, 6, 7}));
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(SchedulerTest, TracksPeakPendingHighWaterMark) {
+  EventScheduler sched;
+  for (int i = 0; i < 100; ++i) sched.schedule(Duration::millis(i), [] {});
+  EXPECT_EQ(sched.peak_pending(), 100u);
+  sched.run_all();
+  // The mark is a high-water mark: draining does not lower it.
+  EXPECT_EQ(sched.peak_pending(), 100u);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, HeapStaysOrderedUnderChurn) {
+  // Interleaved pushes and pops with many duplicate timestamps exercise
+  // the 4-ary heap's sift paths harder than the happy-path tests above.
+  EventScheduler sched;
+  std::vector<std::pair<int64_t, int>> fired;
+  int label = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      int64_t ms = 100 + 10 * ((i * 7) % 13);
+      sched.schedule(Duration::millis(ms), [&fired, &sched, label] {
+        fired.push_back({sched.now().ns(), label});
+      });
+      ++label;
+    }
+    sched.run_for(30_ms);
+  }
+  sched.run_all();
+  // Time never goes backwards; same-time events keep submission order.
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1].first, fired[i].first) << "at " << i;
+    if (fired[i - 1].first == fired[i].first) {
+      ASSERT_LT(fired[i - 1].second, fired[i].second) << "at " << i;
+    }
+  }
+  EXPECT_EQ(fired.size(), 250u);
+}
+
+// --- inline-callback capture budget ---------------------------------------
+
+// Small captures are storable; a capture larger than the scheduler's
+// 64-byte inline buffer must be rejected at compile time (the fits<F>
+// constraint), not silently heap-allocated.
+struct SmallCapture {
+  char bytes[48];
+  void operator()() const {}
+};
+struct OversizeCapture {
+  char bytes[65];
+  void operator()() const {}
+};
+static_assert(std::is_constructible_v<EventScheduler::Callback, SmallCapture>,
+              "a 48-byte callable must fit the inline buffer");
+static_assert(
+    !std::is_constructible_v<EventScheduler::Callback, OversizeCapture>,
+    "a 65-byte callable must fail to convert (no silent heap fallback)");
+static_assert(EventScheduler::Callback::fits<SmallCapture>);
+static_assert(!EventScheduler::Callback::fits<OversizeCapture>);
+
+TEST(SchedulerTest, CallbackMoveTransfersNonTrivialCapture) {
+  // A move-only capture (unique_ptr) exercises the manage_ path of the
+  // inline callable: moving the callback must move the capture with it.
+  auto value = std::make_unique<int>(42);
+  EventScheduler::Callback cb;
+  {
+    int out = 0;
+    EventScheduler::Callback first(
+        [v = std::move(value), &out] { out = *v; });
+    cb = std::move(first);
+    EXPECT_FALSE(static_cast<bool>(first));
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb();
+    EXPECT_EQ(out, 42);
+  }
 }
 
 }  // namespace
