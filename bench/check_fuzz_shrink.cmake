@@ -1,0 +1,49 @@
+# ctest script: the oracle layer must catch an injected liveness wedge,
+# the shrinker must minimize it, and the printed repro command must
+# replay to the same failure. Run as:
+#   cmake -DBENCH=<vcabench_fuzz> -P this_script
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<binary> -P "
+                      "check_fuzz_shrink.cmake")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --seeds 2 --inject-wedge --shrink
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "vcabench_fuzz --inject-wedge exited 0; the liveness "
+                      "oracle missed the injected wedge:\n${out}")
+endif()
+
+if(NOT out MATCHES "\\[liveness-wedge\\]")
+  message(FATAL_ERROR "expected a [liveness-wedge] failure in:\n${out}")
+endif()
+
+# Pull the first minimized spec out of the shrinker's repro line:
+#   repro:   vcabench_fuzz --replay '<spec>'
+if(NOT out MATCHES "repro:   vcabench_fuzz --replay '([^']+)'")
+  message(FATAL_ERROR "no shrinker repro line in:\n${out}")
+endif()
+set(minimal_spec "${CMAKE_MATCH_1}")
+
+# The minimal scenario must have shed the randomized fault load: the
+# injected wedge alone explains the failure.
+if(minimal_spec MATCHES "fl=")
+  message(FATAL_ERROR "shrinker left faults in the minimal spec: "
+                      "${minimal_spec}")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --replay "${minimal_spec}"
+  OUTPUT_VARIABLE replay_out RESULT_VARIABLE replay_rc)
+if(replay_rc EQUAL 0)
+  message(FATAL_ERROR "minimized repro replayed clean; shrinking lost the "
+                      "failure: ${minimal_spec}\n${replay_out}")
+endif()
+if(NOT replay_out MATCHES "\\[liveness-wedge\\]")
+  message(FATAL_ERROR "minimized repro failed with a different category:\n"
+                      "${replay_out}")
+endif()
+
+message(STATUS "vcabench_fuzz: wedge caught, minimized, and replayed from "
+               "the printed command")

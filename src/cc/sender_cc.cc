@@ -34,6 +34,11 @@ DataRate GccSenderController::target_rate(TimePoint) {
   return std::clamp(r, bounds_.min_rate, bounds_.max_rate);
 }
 
+void GccSenderController::set_max_rate(DataRate cap) {
+  bounds_.max_rate = cap;
+  loss_rate_ = std::min(loss_rate_, cap);
+}
+
 // ---------------------------------------------------------------------------
 // Teams
 // ---------------------------------------------------------------------------
@@ -79,6 +84,15 @@ void TeamsSenderController::on_feedback(const RtcpMeta& fb, TimePoint now) {
 }
 
 DataRate TeamsSenderController::target_rate(TimePoint) { return rate_; }
+
+void TeamsSenderController::set_max_rate(DataRate cap) {
+  bounds_.max_rate = cap;
+  rate_ = std::min(rate_, cap);
+  // Mirror construction: the recovery knee sits at the ceiling, so a raised
+  // ceiling is reachable through the fast multiplicative phase instead of
+  // the 40 kbps/s near-nominal crawl.
+  last_good_rate_ = cap;
+}
 
 // ---------------------------------------------------------------------------
 // Zoom
@@ -169,6 +183,11 @@ void ZoomSenderController::on_feedback(const RtcpMeta& fb, TimePoint now) {
 }
 
 DataRate ZoomSenderController::target_rate(TimePoint) { return rate_; }
+
+void ZoomSenderController::set_max_rate(DataRate cap) {
+  bounds_.max_rate = cap;
+  rate_ = std::min(rate_, cap * tuning_.probe_ceiling_factor);
+}
 
 // ---------------------------------------------------------------------------
 

@@ -23,6 +23,10 @@ class SenderCongestionController {
   virtual ~SenderCongestionController() = default;
   virtual void on_feedback(const RtcpMeta& fb, TimePoint now) = 0;
   virtual DataRate target_rate(TimePoint now) = 0;
+  // Retarget the ceiling mid-call (the Teams speaker boost grows with the
+  // participant count). Raising it lets the normal ramp logic climb toward
+  // the new ceiling; lowering it clamps the current rate immediately.
+  virtual void set_max_rate(DataRate cap) = 0;
   virtual std::string name() const = 0;
 };
 
@@ -36,6 +40,7 @@ class GccSenderController : public SenderCongestionController {
   explicit GccSenderController(Bounds b);
   void on_feedback(const RtcpMeta& fb, TimePoint now) override;
   DataRate target_rate(TimePoint now) override;
+  void set_max_rate(DataRate cap) override;
   std::string name() const override { return "gcc"; }
   DataRate loss_component() const { return loss_rate_; }
   DataRate remb_component() const { return remb_; }
@@ -59,6 +64,7 @@ class TeamsSenderController : public SenderCongestionController {
   explicit TeamsSenderController(Bounds b);
   void on_feedback(const RtcpMeta& fb, TimePoint now) override;
   DataRate target_rate(TimePoint now) override;
+  void set_max_rate(DataRate cap) override;
   std::string name() const override { return "teams"; }
 
  private:
@@ -99,6 +105,7 @@ class ZoomSenderController : public SenderCongestionController {
   ZoomSenderController(Bounds b, Tuning t);
   void on_feedback(const RtcpMeta& fb, TimePoint now) override;
   DataRate target_rate(TimePoint now) override;
+  void set_max_rate(DataRate cap) override;
   std::string name() const override { return "zoom"; }
 
   enum class State { kSteady, kRamp, kProbe };

@@ -62,6 +62,26 @@ class EventScheduler {
 
   void run_for(Duration d) { run_until(now_ + d); }
 
+  // run_until with an event budget: stops early (returning false) once
+  // `max_events` events have been dispatched. The fuzzer's virtual-time
+  // watchdog uses this to bound runaway scenarios — including zero-delay
+  // self-rescheduling loops that never advance the clock, which a plain
+  // run_until would spin on forever.
+  bool run_until_capped(TimePoint end, uint64_t max_events) {
+    uint64_t dispatched = 0;
+    while (!heap_.empty() && heap_.front().at <= end) {
+      if (dispatched >= max_events) return false;
+      Event ev = pop_top();
+      if (ev.at < now_) time_monotonic_ = false;
+      now_ = ev.at;
+      ++events_processed_;
+      ++dispatched;
+      ev.fn();
+    }
+    if (now_ < end) now_ = end;
+    return true;
+  }
+
   // Drain every event regardless of timestamp; the clock stops at the
   // last event rather than jumping to infinity.
   void run_all() {
@@ -85,6 +105,8 @@ class EventScheduler {
   bool time_monotonic() const { return time_monotonic_; }
 
  private:
+  friend struct SchedulerTestPeer;  // invariant tests corrupt state directly
+
   struct Event {
     TimePoint at;
     uint64_t seq;

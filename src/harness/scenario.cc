@@ -14,14 +14,20 @@ namespace vca {
 
 namespace {
 
-// End-of-run bookkeeping every scenario runner shares: retire the run's
-// events into the process-wide counter and feed the perf-counter layer
-// (scheduler heap high-water mark, link-delivered packets).
-void note_run_perf(Network& net) {
+// End-of-run bookkeeping every scenario runner shares: enforce the sim
+// invariants (propagating any violation count into the process-wide
+// counter BenchReport surfaces, so release builds fail loudly too),
+// retire the run's events into the process-wide counter and feed the
+// perf-counter layer (scheduler heap high-water mark, link-delivered
+// packets). Returns the violation count for runners that also report it.
+int finish_run(Network& net) {
+  int violations = net.enforce_invariants();
+  note_invariant_violations(static_cast<uint64_t>(violations));
   note_sim_events(net.sched().events_processed());
   perf::note_peak_heap_events(net.sched().peak_pending());
   perf::note_link_packets(
       static_cast<uint64_t>(net.total_delivered_packets()));
+  return violations;
 }
 
 constexpr FlowId kIncumbentFlowBase = 1000;
@@ -113,7 +119,7 @@ TwoPartyResult run_two_party(const TwoPartyConfig& cfg) {
       out.c1_recv_seconds = cl1->feeds().front()->stats->per_second();
     }
   }
-  note_run_perf(net);
+  finish_run(net);
   return out;
 }
 
@@ -155,7 +161,7 @@ DisruptionResult run_disruption(const DisruptionConfig& cfg) {
   out.ttr = time_to_recovery(out.disrupted_series, t0 + cfg.start,
                              t0 + cfg.start + cfg.length,
                              Duration::seconds(5), /*recovery_fraction=*/0.95);
-  note_run_perf(net);
+  finish_run(net);
   return out;
 }
 
@@ -238,7 +244,7 @@ OutageResult run_outage(const OutageConfig& cfg) {
   out.reconnects = cl1->reconnect_count();
   out.invariant_violations = net.check_invariants();
   net.enforce_invariants();
-  note_run_perf(net);
+  finish_run(net);
   return out;
 }
 
@@ -354,7 +360,7 @@ CompetitionResult run_competition(const CompetitionConfig& cfg) {
     out.competitor_connections = abr->connections_opened();
     out.competitor_max_parallel = abr->max_parallel_seen();
   }
-  note_run_perf(net);
+  finish_run(net);
   return out;
 }
 
@@ -393,7 +399,7 @@ MultipartyResult run_multiparty(const MultipartyConfig& cfg) {
   TimePoint to = TimePoint::zero() + cfg.duration;
   out.c1_up_mbps = up_cap->mean_rate(from, to).mbps_f();
   out.c1_down_mbps = down_cap->mean_rate(from, to).mbps_f();
-  note_run_perf(net);
+  finish_run(net);
   return out;
 }
 

@@ -16,6 +16,7 @@ namespace vca {
 namespace {
 
 std::atomic<uint64_t> g_sim_events{0};
+std::atomic<uint64_t> g_invariant_violations{0};
 
 int64_t wall_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -81,6 +82,14 @@ uint64_t sim_events_total() {
   return g_sim_events.load(std::memory_order_relaxed);
 }
 
+void note_invariant_violations(uint64_t n) {
+  if (n) g_invariant_violations.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t invariant_violations_total() {
+  return g_invariant_violations.load(std::memory_order_relaxed);
+}
+
 void Sweep::run_indexed(size_t n, int n_threads,
                         const std::function<void(size_t)>& body) {
   if (n == 0) return;
@@ -122,6 +131,7 @@ BenchReport::BenchReport(std::string bench, SweepOptions opts)
     : bench_(std::move(bench)),
       opts_(std::move(opts)),
       events_at_start_(sim_events_total()),
+      violations_at_start_(invariant_violations_total()),
       link_packets_at_start_(perf::link_packets_total()),
       allocs_at_start_(perf::alloc_calls()),
       wall_start_ns_(wall_now_ns()) {}
@@ -140,12 +150,17 @@ bool BenchReport::finish() {
   double wall_sec =
       static_cast<double>(wall_now_ns() - wall_start_ns_) * 1e-9;
   uint64_t events = sim_events_total() - events_at_start_;
+  uint64_t violations = invariant_violations_total() - violations_at_start_;
   double eps = wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0;
   int jobs = opts_.jobs > 0 ? opts_.jobs : default_jobs();
   std::cerr << bench_ << ": wall " << json_num(wall_sec) << " s, "
             << events << " sim events, " << json_num(eps)
             << " events/s, jobs " << jobs << "\n";
-  if (opts_.json_path.empty()) return true;
+  if (violations) {
+    std::cerr << bench_ << ": " << violations
+              << " invariant violation(s) — failing the report\n";
+  }
+  if (opts_.json_path.empty()) return violations == 0;
 
   std::ofstream f(opts_.json_path);
   if (!f) {
@@ -180,6 +195,9 @@ bool BenchReport::finish() {
     f << "      ]\n    }" << (s + 1 < sections_.size() ? "," : "") << "\n";
   }
   f << "  ],\n";
+  // Deterministic for a deterministic sim (it counts sim-level facts, not
+  // wall-clock), so it sits OUTSIDE the strippable timing line.
+  f << "  \"invariant_violations\": " << violations << ",\n";
   // One line, run-dependent: strip with `grep -v '"timing"'` when diffing.
   // Perf-counter fields (core/perf.h): peak scheduler heap occupancy and
   // link-delivered packets across all runs this report covers, plus the
@@ -200,7 +218,7 @@ bool BenchReport::finish() {
     << ", \"alloc_tracking\": "
     << (perf::alloc_tracking_active() ? "true" : "false") << "}\n";
   f << "}\n";
-  return f.good();
+  return f.good() && violations == 0;
 }
 
 }  // namespace vca

@@ -55,6 +55,14 @@ int default_jobs();  // hardware_concurrency, at least 1
 void note_sim_events(uint64_t n);
 uint64_t sim_events_total();
 
+// Invariant violations observed by SimInvariantChecker::enforce() across
+// scenario runs in this process (atomic). BenchReport::finish() surfaces
+// the window-delta in JSON and returns false when it is nonzero, so
+// release builds (NDEBUG: assert is a no-op) still fail loudly instead of
+// silently dropping the count.
+void note_invariant_violations(uint64_t n);
+uint64_t invariant_violations_total();
+
 class Sweep {
  public:
   // Run fn(job) for every job on `n_threads` workers (<= 0 means
@@ -96,7 +104,10 @@ class BenchReport {
   static ConfidenceInterval scalar(double v) { return {v, v, v}; }
 
   // Write the JSON file (if --json was given) and a timing note to
-  // stderr. Returns false if the file could not be written.
+  // stderr. Returns false if the file could not be written OR if any
+  // invariant violation was recorded since this report was constructed —
+  // callers' existing `return report.finish() ? 0 : 1;` pattern turns
+  // that into a nonzero process exit.
   bool finish();
 
  private:
@@ -114,6 +125,7 @@ class BenchReport {
   SweepOptions opts_;
   std::vector<Section> sections_;
   uint64_t events_at_start_ = 0;
+  uint64_t violations_at_start_ = 0;
   uint64_t link_packets_at_start_ = 0;
   uint64_t allocs_at_start_ = 0;
   int64_t wall_start_ns_ = 0;

@@ -12,14 +12,35 @@ void FaultPlan::at(TimePoint when, std::string label,
 
 void FaultPlan::add_outage(Link* link, TimePoint start, Duration length) {
   at(start, link->name() + " down", [this, link] {
-    // Capture the live rate at outage time, not plan-build time: shaping
-    // may have changed it since.
-    if (!link->is_down()) saved_rate_[link] = link->rate();
+    LinkFaultState& st = state_of(link);
+    if (st.depth++ == 0) {
+      // Capture the live rate at outage time, not plan-build time: shaping
+      // may have changed it since. Deeper windows must NOT re-capture —
+      // the link is already at rate 0 and saving that would "restore" to a
+      // dead link and wedge it forever.
+      st.healthy = link->rate();
+    }
     link->set_rate(DataRate::zero());
   });
   at(start + length, link->name() + " up", [this, link] {
-    auto it = saved_rate_.find(link);
-    if (it != saved_rate_.end()) link->set_rate(it->second);
+    LinkFaultState& st = state_of(link);
+    if (st.depth == 0) return;  // unmatched restore (defensive)
+    if (--st.depth == 0) link->set_rate(st.healthy);
+    // depth > 0: another overlapping outage still holds the link down;
+    // its own restore will wake it.
+  });
+}
+
+void FaultPlan::add_shape(Link* link, TimePoint at_time, DataRate rate) {
+  at(at_time, link->name() + " shape", [this, link, rate] {
+    LinkFaultState& st = state_of(link);
+    if (st.depth > 0) {
+      // Mid-outage shape: retarget what the final restore applies; waking
+      // a downed link early would break outage-silence guarantees.
+      st.healthy = rate;
+    } else {
+      link->set_rate(rate);
+    }
   });
 }
 

@@ -31,9 +31,16 @@ class FaultPlan {
     std::function<void()> action;
   };
 
-  // Link outage: rate -> 0 at `start`, restored to the rate the link had
-  // when the outage began at `start + length`. Packets queue through the
-  // outage (drop-tail); serialization resumes on restore.
+  // Link outage: rate -> 0 at `start`, restored to the link's healthy rate
+  // at `start + length`. Packets queue through the outage (drop-tail);
+  // serialization resumes on restore.
+  //
+  // Overlapping windows compose: the link stays dark until the *last*
+  // overlapping outage ends, and then restores to the rate it had when the
+  // first of them began (the pre-fault healthy rate). Without this
+  // depth-counting an inner window's restore would wake the link in the
+  // middle of an outer outage — the hazard the fuzzer's outage-silence
+  // oracle flags (see tests/net_faults_test.cc).
   void add_outage(Link* link, TimePoint start, Duration length);
 
   // Link flap: `cycles` outages of `down_for` each, separated by `up_for`
@@ -53,6 +60,12 @@ class FaultPlan {
   // Probabilistic duplication on [start, start+length).
   void add_duplicate(Link* link, TimePoint start, Duration length, double prob);
 
+  // Re-shape the link at `at` (the tc command), composed with outages:
+  // while an outage holds the link at rate 0, the shape updates the
+  // *healthy* rate the final restore will apply instead of waking the
+  // downed link early.
+  void add_shape(Link* link, TimePoint at, DataRate rate);
+
   // Arbitrary timed action — infrastructure faults beyond single links
   // (e.g. an SFU process outage/restart) hook in here so the net layer
   // stays ignorant of what runs on top of it.
@@ -66,10 +79,19 @@ class FaultPlan {
   const std::vector<Entry>& entries() const { return entries_; }
 
  private:
+  // Per-link composition state for overlapping outage windows: `depth`
+  // counts the outages currently holding the link down, `healthy` is the
+  // rate captured when depth went 0 -> 1 (and updated by add_shape actions
+  // firing mid-outage). Keyed by pointer but only ever looked up, never
+  // iterated, so it cannot introduce pointer-order nondeterminism.
+  struct LinkFaultState {
+    int depth = 0;
+    DataRate healthy;
+  };
+  LinkFaultState& state_of(Link* link) { return fault_state_[link]; }
+
   std::vector<Entry> entries_;
-  // Rate each downed link had when its current outage began, so nested
-  // flap cycles restore the right thing.
-  std::map<Link*, DataRate> saved_rate_;
+  std::map<Link*, LinkFaultState> fault_state_;
   bool armed_ = false;
 };
 

@@ -138,6 +138,8 @@ class Link : public PacketSink {
                                    TimePoint now) const;
 
  private:
+  friend struct LinkTestPeer;  // invariant tests corrupt state directly
+
   void reseed_impairments();
   void start_transmission();
   void finish_transmission();

@@ -141,6 +141,10 @@ void VcaClient::start() {
 }
 
 void VcaClient::stop() {
+  // Idempotent: churn scenarios (fuzzer join/leave) can race a scheduled
+  // leave against the end-of-run Call::stop(); finalizing stats twice
+  // would double-count the tail freeze window.
+  if (!running_) return;
   running_ = false;
   for (auto& l : layers_) {
     if (l.encoder) l.encoder->stop();
@@ -149,6 +153,20 @@ void VcaClient::stop() {
   for (auto& f : feeds_) {
     if (f->stats) f->stats->finalize();
   }
+}
+
+void VcaClient::set_speaker_boost(double b) {
+  if (b == speaker_boost_) return;
+  speaker_boost_ = b;
+  // The anomalous speaker traffic is extra *demand*, not a license to
+  // bypass congestion control: raise the controller's ceiling to the
+  // boosted nominal and let its own ramp climb there. An unconstrained
+  // uplink still reproduces the Fig 15c growth; a narrow one converges
+  // near capacity instead of oscillating through degrade/restore
+  // (fuzzer seeds 320/406: pinned client stuck audio-only forever).
+  cc_bounds_.max_rate =
+      cfg_.profile.nominal_video * nominal_scale_ * std::max(1.0, b);
+  cc_->set_max_rate(cc_bounds_.max_rate);
 }
 
 void VcaClient::request_keyframe(int layer) {
@@ -307,7 +325,12 @@ void VcaClient::tick() {
   bool boosted = speaker_boost_ > 1.0 && p.speaker_uplink_anomaly;
   if (boosted) {
     // Teams §6.2 anomaly: pinned client's uplink scales with participants.
-    target = p.nominal_video * nominal_scale_ * speaker_boost_;
+    // set_speaker_boost raised the CC ceiling to the boosted nominal, so
+    // the controller itself carries the anomalous demand — free of the
+    // per-receiver allowed_rate_ clamp (receivers cannot use the extra
+    // traffic; that is what makes it an anomaly) but still backing off
+    // when the uplink genuinely cannot carry it.
+    target = cc_->target_rate(now);
   }
   current_target_ = target;
 

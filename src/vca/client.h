@@ -76,7 +76,7 @@ class VcaClient {
   void set_encode_max_width(int w) { max_width_ = w; }
   void set_allowed_rate(DataRate r) { allowed_rate_ = r; }  // Teams relay cap
   void set_ultra_low(bool v) { ultra_low_ = v; }
-  void set_speaker_boost(double b) { speaker_boost_ = b; }
+  void set_speaker_boost(double b);  // raises the CC ceiling, see client.cc
   void request_keyframe(int layer);
 
   DataRate current_target() const { return current_target_; }

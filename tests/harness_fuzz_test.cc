@@ -1,0 +1,174 @@
+// ScenarioFuzzer unit + property tests: the seed -> scenario expansion is
+// deterministic and round-trips through its spec string, the oracle layer
+// catches a deliberately injected wedge, the shrinker minimizes it while
+// preserving the failure category, and randomized flap timing around the
+// media-timeout watchdog's detect/backoff boundaries never produces a
+// wedge, a reconnect storm, or a stuck audio-only ending.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rng.h"
+#include "harness/fuzz.h"
+
+namespace vca {
+namespace {
+
+FuzzRunOptions quiet_opts() {
+  FuzzRunOptions opt;
+  opt.count_invariants_globally = false;  // keep BenchReport counters clean
+  return opt;
+}
+
+TEST(HarnessFuzz, SpecRoundTripsExactly) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    FuzzScenario sc = fuzz_scenario_from_seed(seed);
+    std::string spec = sc.to_spec();
+    auto back = FuzzScenario::from_spec(spec);
+    ASSERT_TRUE(back.has_value()) << spec;
+    EXPECT_EQ(back->to_spec(), spec) << "seed " << seed;
+  }
+}
+
+TEST(HarnessFuzz, SameSeedSameScenario) {
+  for (uint64_t seed : {1ull, 7ull, 99ull, 12345ull}) {
+    EXPECT_EQ(fuzz_scenario_from_seed(seed).to_spec(),
+              fuzz_scenario_from_seed(seed).to_spec());
+  }
+  EXPECT_NE(fuzz_scenario_from_seed(1).to_spec(),
+            fuzz_scenario_from_seed(2).to_spec());
+}
+
+TEST(HarnessFuzz, GeneratorRespectsBounds) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    FuzzScenario sc = fuzz_scenario_from_seed(seed);
+    EXPECT_GE(sc.clients.size(), 2u);
+    EXPECT_LE(sc.clients.size(), 5u);
+    EXPECT_GE(sc.duration_ms, 45000);
+    for (const FuzzFault& f : sc.faults) {
+      EXPECT_GE(f.target_client, -1);
+      EXPECT_LT(f.target_client, static_cast<int>(sc.clients.size()));
+      EXPECT_GE(f.start_ms, 0);
+    }
+  }
+}
+
+TEST(HarnessFuzz, MalformedSpecsRejected) {
+  EXPECT_FALSE(FuzzScenario::from_spec("").has_value());
+  EXPECT_FALSE(FuzzScenario::from_spec("v2;seed=1").has_value());
+  EXPECT_FALSE(FuzzScenario::from_spec("v1;seed=1;profile=meet;mode=g;"
+                                       "dur=60000;wedge=0")
+                   .has_value());  // fewer than two clients
+  // Fault targeting a client index that does not exist.
+  EXPECT_FALSE(FuzzScenario::from_spec(
+                   "v1;seed=1;profile=meet;mode=g;dur=60000;wedge=0;"
+                   "cl=5000,5000,5,100,0,0;cl=5000,5000,5,100,0,0;"
+                   "fl=out,7,u,1000,1000,0,0,0")
+                   .has_value());
+}
+
+TEST(HarnessFuzz, CleanTwoPartyScenarioPassesOracles) {
+  FuzzScenario sc;
+  sc.seed = 424242;
+  sc.profile = "meet";
+  sc.duration_ms = 45000;
+  sc.clients = {{8000, 8000, 5, 100, 0, 0}, {20000, 20000, 5, 100, 0, 0}};
+  FuzzResult r = run_fuzz_scenario(sc, quiet_opts());
+  EXPECT_TRUE(r.ok()) << r.failures.front().category << ": "
+                      << r.failures.front().detail;
+  EXPECT_GT(r.sim_events, 0u);
+}
+
+TEST(HarnessFuzz, OracleCatchesInjectedWedge) {
+  FuzzScenario sc;
+  sc.seed = 77;
+  sc.profile = "meet";
+  sc.duration_ms = 45000;
+  sc.clients = {{8000, 8000, 5, 100, 0, 0}, {20000, 20000, 5, 100, 0, 0}};
+  sc.inject_wedge = true;
+  FuzzResult r = run_fuzz_scenario(sc, quiet_opts());
+  ASSERT_FALSE(r.ok());
+  bool wedge = false;
+  for (const FuzzFailure& f : r.failures) {
+    if (f.category == "liveness-wedge") wedge = true;
+  }
+  EXPECT_TRUE(wedge) << "expected a liveness-wedge failure";
+}
+
+TEST(HarnessFuzz, ShrinkerMinimizesInjectedWedge) {
+  // Start from a deliberately noisy scenario: extra participants, churn,
+  // a competitor, and irrelevant faults. Everything but the wedge itself
+  // must shrink away.
+  FuzzScenario sc = fuzz_scenario_from_seed(5);
+  sc.inject_wedge = true;
+  auto shrunk = shrink_failure(sc, quiet_opts());
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_EQ(shrunk->category, "liveness-wedge");
+  EXPECT_EQ(shrunk->minimal.faults.size(), 0u);
+  EXPECT_EQ(shrunk->minimal.clients.size(), 2u);
+  EXPECT_EQ(shrunk->minimal.competitor, FuzzCompetitor::kNone);
+  EXPECT_LE(shrunk->minimal.duration_ms, sc.duration_ms);
+  // The minimal spec must replay to the same failure category.
+  auto replay = FuzzScenario::from_spec(shrunk->minimal.to_spec());
+  ASSERT_TRUE(replay.has_value());
+  FuzzResult r = run_fuzz_scenario(*replay, quiet_opts());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failures.front().category, "liveness-wedge");
+}
+
+TEST(HarnessFuzz, ShrinkerReturnsNulloptForPassingScenario) {
+  FuzzScenario sc;
+  sc.seed = 9;
+  sc.profile = "zoom";
+  sc.duration_ms = 45000;
+  sc.clients = {{8000, 8000, 5, 100, 0, 0}, {20000, 20000, 5, 100, 0, 0}};
+  EXPECT_FALSE(shrink_failure(sc, quiet_opts()).has_value());
+}
+
+TEST(HarnessFuzz, EventStormBudgetTripsOracle) {
+  FuzzScenario sc;
+  sc.seed = 31337;
+  sc.profile = "meet";
+  sc.duration_ms = 45000;
+  sc.clients = {{8000, 8000, 5, 100, 0, 0}, {20000, 20000, 5, 100, 0, 0}};
+  FuzzRunOptions opt = quiet_opts();
+  opt.event_budget_per_virtual_sec = 50;  // absurdly tight: must trip
+  FuzzResult r = run_fuzz_scenario(sc, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.failures.front().category, "event-storm");
+}
+
+// Satellite property test: flap timing randomized across the watchdog's
+// detect (media_timeout = 2.5 s) and keepalive-backoff (0.25 s .. 4 s)
+// boundaries. Whatever the phase relationship, the run must end with the
+// client either reconnected or explicitly degraded — never silently
+// wedged, never storming reconnects, never parked audio-only (the oracles
+// encode exactly these properties, so "no failures" is the assertion).
+TEST(HarnessFuzz, WatchdogFlapTimingProperty) {
+  Rng rng(0xF1A9C0DE);
+  for (int i = 0; i < 14; ++i) {
+    FuzzScenario sc;
+    sc.seed = 100000 + static_cast<uint64_t>(i);
+    sc.profile = (i % 2) != 0 ? "meet" : "teams";
+    sc.duration_ms = 60000;
+    sc.clients = {{6000, 6000, 5, 100, 0, 0}, {20000, 20000, 5, 100, 0, 0}};
+    FuzzFault fl;
+    fl.kind = FuzzFaultKind::kFlap;
+    fl.target_client = 0;
+    fl.uplink = rng.bernoulli(0.5);
+    fl.start_ms = rng.uniform_int(6000, 12000);
+    // Down windows straddle the 2.5 s detect boundary; up windows straddle
+    // the keepalive backoff range, including gaps too short to probe.
+    fl.a = rng.uniform_int(2, 4);                // cycles
+    fl.b = rng.uniform_int(1800, 3500);          // down_ms
+    fl.c = rng.uniform_int(200, 4500);           // up_ms
+    sc.faults = {fl};
+    FuzzResult r = run_fuzz_scenario(sc, quiet_opts());
+    EXPECT_TRUE(r.ok()) << "iteration " << i << " spec " << sc.to_spec()
+                        << " failed [" << r.failures.front().category << "] "
+                        << r.failures.front().detail;
+  }
+}
+
+}  // namespace
+}  // namespace vca

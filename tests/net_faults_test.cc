@@ -144,6 +144,115 @@ TEST(FaultPlanTest, FlapRunsEveryCycleAndEndsUp) {
   EXPECT_TRUE(delivered_in(6.0, 10.0));
 }
 
+// --- overlapping-window composition (the fuzzer-surfaced hazard) ---
+
+TEST(FaultPlanTest, OverlappingOutagesStayDarkUntilLastWindowEnds) {
+  // Windows A=[1,3) and B=[2,4) overlap. Before depth counting, A's
+  // restore at t=3 woke the link in the middle of B; B's restore then
+  // applied a healthy rate captured while the link was already down (0),
+  // wedging it forever. The composed semantics: dark across [1,4), then
+  // back to the pre-fault rate.
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  cfg.queue_bytes = 1 << 20;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  offer_stream(&sched, &link, Duration::millis(10), at_s(6));
+
+  FaultPlan plan;
+  plan.add_outage(&link, at_s(1), Duration::seconds(2));  // [1, 3)
+  plan.add_outage(&link, at_s(2), Duration::seconds(2));  // [2, 4)
+  plan.schedule(&sched);
+  sched.run_all();
+
+  // Restored, to the original healthy rate — not 0, not a mid-outage value.
+  EXPECT_FALSE(link.is_down());
+  EXPECT_EQ(link.rate().bits_per_sec(), DataRate::mbps(10).bits_per_sec());
+
+  bool during = false, after = false;
+  for (const auto& [id, t] : sink.got) {
+    // Allow one in-flight delivery just past onset (propagation).
+    if (t > at_s(1.01) && t < at_s(4)) during = true;
+    if (t >= at_s(4)) after = true;
+  }
+  EXPECT_FALSE(during) << "packet crossed the wire inside the composed "
+                          "outage window [1s, 4s)";
+  EXPECT_TRUE(after);  // traffic resumed once the last window closed
+
+  SimInvariantChecker checker;
+  checker.watch(&sched);
+  checker.watch(&link);
+  EXPECT_TRUE(checker.check().empty());
+}
+
+TEST(FaultPlanTest, FlapOverlappingOutageDoesNotWakeOrWedgeTheLink) {
+  // A flap whose cycles land inside a long outage: every flap down/up
+  // pair nests within the outer window, so the link must stay dark until
+  // the outer restore, and come back at the pre-fault rate.
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(5);
+  cfg.queue_bytes = 1 << 20;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+  offer_stream(&sched, &link, Duration::millis(10), at_s(8));
+
+  FaultPlan plan;
+  plan.add_outage(&link, at_s(1), Duration::seconds(4));  // [1, 5)
+  plan.add_flap(&link, at_s(2), /*cycles=*/3, Duration::millis(400),
+                Duration::millis(200));  // all inside [1, 5)
+  plan.schedule(&sched);
+  sched.run_all();
+
+  EXPECT_FALSE(link.is_down());
+  EXPECT_EQ(link.rate().bits_per_sec(), DataRate::mbps(5).bits_per_sec());
+  for (const auto& [id, t] : sink.got) {
+    EXPECT_FALSE(t > at_s(1.01) && t < at_s(5))
+        << "flap restore woke a link an outer outage still holds down (t="
+        << (t - TimePoint::zero()).seconds() << "s)";
+  }
+}
+
+TEST(FaultPlanTest, ShapeDuringOutageRetargetsTheRestoreRate) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  cfg.queue_bytes = 1 << 20;
+  Link link(&sched, "l", cfg);
+  Collector sink(&sched);
+  link.set_sink(&sink);
+
+  FaultPlan plan;
+  plan.add_outage(&link, at_s(1), Duration::seconds(2));   // [1, 3)
+  plan.add_shape(&link, at_s(2), DataRate::mbps(2));       // mid-outage
+  plan.schedule(&sched);
+  sched.run_until(at_s(2.5));
+
+  // The shape must not wake the downed link early...
+  EXPECT_TRUE(link.is_down());
+
+  sched.run_until(at_s(10));
+  // ...but the restore applies the re-shaped rate, not the stale one.
+  EXPECT_FALSE(link.is_down());
+  EXPECT_EQ(link.rate().bits_per_sec(), DataRate::mbps(2).bits_per_sec());
+}
+
+TEST(FaultPlanTest, ShapeOutsideOutageAppliesImmediately) {
+  EventScheduler sched;
+  Link::Config cfg;
+  cfg.rate = DataRate::mbps(10);
+  Link link(&sched, "l", cfg);
+
+  FaultPlan plan;
+  plan.add_shape(&link, at_s(1), DataRate::kbps(750));
+  plan.schedule(&sched);
+  sched.run_until(at_s(2));
+  EXPECT_EQ(link.rate().bits_per_sec(), DataRate::kbps(750).bits_per_sec());
+}
+
 // --- Gilbert-Elliott burst loss ---
 
 // Longest run of consecutive losses among ids [1, n] given the set seen.
