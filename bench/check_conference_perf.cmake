@@ -1,0 +1,34 @@
+# ctest script: the cascaded-conference hot path must sustain a floor of
+# forwarded-packets per wall second (the SFU fleet's CPU proxy) on a
+# fixed 16-party 2-region run. Baseline on the dev container: ~475k
+# pps; the floor leaves >2x headroom for slower CI hosts while catching
+# any change that makes per-forward work superlinear (e.g. reintroducing
+# a per-packet allocation or an O(n^2) scan per forward). Run as:
+#   cmake -DBENCH=<bench_conference> -P check_conference_perf.cmake
+if(NOT DEFINED BENCH)
+  message(FATAL_ERROR
+      "usage: cmake -DBENCH=<binary> -P check_conference_perf.cmake")
+endif()
+
+set(floor_pps 200000)
+
+execute_process(
+  COMMAND "${BENCH}" --perf
+  OUTPUT_VARIABLE out RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_conference --perf failed (rc=${rc}):\n${err}")
+endif()
+
+if(NOT out MATCHES "pps=([0-9]+)")
+  message(FATAL_ERROR "no pps= figure in bench_conference --perf output:\n${out}")
+endif()
+set(pps ${CMAKE_MATCH_1})
+
+if(pps LESS ${floor_pps})
+  message(FATAL_ERROR
+    "conference forwarding regressed: ${pps} forwarded-packets/s is below "
+    "the ${floor_pps} floor (~40% of the committed baseline). If the "
+    "slowdown is intentional, refresh the floor in "
+    "check_conference_perf.cmake.")
+endif()
+message(STATUS "conference-perf: ${pps} forwarded-packets/s >= ${floor_pps} floor")

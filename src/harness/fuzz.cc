@@ -14,6 +14,7 @@
 #include "harness/sweep.h"
 #include "net/faults.h"
 #include "vca/call.h"
+#include "vca/conference.h"
 
 namespace vca {
 
@@ -50,6 +51,7 @@ bool is_connectivity_fault(const FuzzFault& f) {
     case FuzzFaultKind::kOutage:
     case FuzzFaultKind::kFlap:
     case FuzzFaultKind::kSfuBlackout:
+    case FuzzFaultKind::kRelayOutage:
       return true;
     case FuzzFaultKind::kBurstLoss:
       return f.c >= 500;  // loss_bad >= 50% can starve the path
@@ -67,6 +69,7 @@ const char* fault_kind_token(FuzzFaultKind k) {
     case FuzzFaultKind::kDuplicate: return "dup";
     case FuzzFaultKind::kShape: return "shape";
     case FuzzFaultKind::kSfuBlackout: return "sfu";
+    case FuzzFaultKind::kRelayOutage: return "relay";
   }
   return "out";
 }
@@ -79,6 +82,7 @@ bool fault_kind_from_token(const std::string& t, FuzzFaultKind* out) {
   else if (t == "dup") *out = FuzzFaultKind::kDuplicate;
   else if (t == "shape") *out = FuzzFaultKind::kShape;
   else if (t == "sfu") *out = FuzzFaultKind::kSfuBlackout;
+  else if (t == "relay") *out = FuzzFaultKind::kRelayOutage;
   else return false;
   return true;
 }
@@ -142,6 +146,42 @@ std::string fmt_ms(int64_t v) {
   return ss.str();
 }
 
+// Cross-field topology validation shared by from_spec and the runner.
+// Returns nullptr when consistent, else a static description. On a
+// cascaded fleet the only infrastructure targets (-1) are the sfu/relay
+// kinds — the other kinds read `a` as a fault parameter, so "which
+// region's SFU" would be ambiguous for them.
+const char* topology_error(const FuzzScenario& sc) {
+  if (sc.regions < 1) return "regions must be >= 1";
+  if (sc.clients.size() < 2) return "scenario needs >= 2 clients";
+  for (const FuzzClient& c : sc.clients) {
+    if (c.region < 0 || c.region >= sc.regions) {
+      return "client region outside [0, regions)";
+    }
+  }
+  for (const FuzzFault& f : sc.faults) {
+    if (f.target_client < -1 ||
+        f.target_client >= static_cast<int>(sc.clients.size())) {
+      return "fault targets a missing client";
+    }
+    bool infra_kind = f.kind == FuzzFaultKind::kSfuBlackout ||
+                      f.kind == FuzzFaultKind::kRelayOutage;
+    if (f.kind == FuzzFaultKind::kRelayOutage &&
+        (sc.regions < 2 || f.target_client != -1)) {
+      return "relay outage needs a cascaded fleet and target -1";
+    }
+    if (sc.regions > 1 && f.target_client == -1) {
+      if (!infra_kind) {
+        return "cascaded fleets take -1 targets only for sfu/relay faults";
+      }
+      if (f.a < 0 || f.a >= sc.regions) {
+        return "infrastructure fault region (a) outside [0, regions)";
+      }
+    }
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -153,9 +193,13 @@ std::string FuzzScenario::to_spec() const {
   ss << "v1;seed=" << seed << ";profile=" << profile
      << ";mode=" << (speaker ? "s" : "g") << ";dur=" << duration_ms
      << ";wedge=" << (inject_wedge ? 1 : 0);
+  // Cascaded-fleet fields only appear when in play, so every pre-fleet
+  // spec (the committed corpus) re-serializes byte-identically.
+  if (regions > 1) ss << ";reg=" << regions;
   for (const FuzzClient& c : clients) {
     ss << ";cl=" << c.up_kbps << "," << c.down_kbps << "," << c.prop_ms << ","
        << c.queue_kb << "," << c.join_ms << "," << c.leave_ms;
+    if (regions > 1) ss << "," << c.region;
   }
   for (const FuzzFault& f : faults) {
     ss << ";fl=" << fault_kind_token(f.kind) << "," << f.target_client << ","
@@ -195,15 +239,26 @@ std::optional<FuzzScenario> FuzzScenario::from_spec(const std::string& spec) {
       int64_t w;
       if (!parse_i64(val, &w) || (w != 0 && w != 1)) return std::nullopt;
       sc.inject_wedge = w == 1;
+    } else if (key == "reg") {
+      int64_t r;
+      if (!parse_i64(val, &r) || r < 1) return std::nullopt;
+      sc.regions = static_cast<int>(r);
     } else if (key == "cl") {
       std::vector<std::string> p = split(val, ',');
-      if (p.size() != 6) return std::nullopt;
+      // 7th field (region) is optional; absent means region 0, so the
+      // pre-fleet 6-field corpus entries keep parsing.
+      if (p.size() != 6 && p.size() != 7) return std::nullopt;
       FuzzClient c;
       int64_t prop, queue;
       if (!parse_i64(p[0], &c.up_kbps) || !parse_i64(p[1], &c.down_kbps) ||
           !parse_i64(p[2], &prop) || !parse_i64(p[3], &queue) ||
           !parse_i64(p[4], &c.join_ms) || !parse_i64(p[5], &c.leave_ms)) {
         return std::nullopt;
+      }
+      if (p.size() == 7) {
+        int64_t region;
+        if (!parse_i64(p[6], &region)) return std::nullopt;
+        c.region = static_cast<int>(region);
       }
       c.prop_ms = static_cast<int>(prop);
       c.queue_kb = static_cast<int>(queue);
@@ -235,13 +290,7 @@ std::optional<FuzzScenario> FuzzScenario::from_spec(const std::string& spec) {
       return std::nullopt;
     }
   }
-  if (sc.clients.size() < 2) return std::nullopt;
-  for (const FuzzFault& f : sc.faults) {
-    if (f.target_client < -1 ||
-        f.target_client >= static_cast<int>(sc.clients.size())) {
-      return std::nullopt;
-    }
-  }
+  if (topology_error(sc) != nullptr) return std::nullopt;
   return sc;
 }
 
@@ -257,16 +306,49 @@ FuzzScenario fuzz_scenario_from_seed(uint64_t seed) {
   Rng fr = root.fork("fuzz-faults");
   Rng cr = root.fork("fuzz-competitor");
 
-  std::vector<std::string> names = all_profile_names();
-  sc.profile = names[static_cast<size_t>(
-      topo.uniform_int(0, static_cast<int64_t>(names.size()) - 1))];
-  int parts = static_cast<int>(topo.uniform_int(2, 5));
-  sc.speaker = parts > 2 && topo.bernoulli(0.25);
-  int64_t base_dur = topo.uniform_int(45, 75) * 1000;
+  // ~1 seed in 5 exercises the cascaded geo-sharded fleet with a
+  // city-scale roster; the rest keep the classic single-SFU call.
+  bool conference = topo.bernoulli(0.2);
+  int parts;
+  int64_t base_dur;
+  if (conference) {
+    sc.regions = static_cast<int>(topo.uniform_int(2, 4));
+    std::vector<std::string> names = conference_profile_names();
+    sc.profile = names[static_cast<size_t>(
+        topo.uniform_int(0, static_cast<int64_t>(names.size()) - 1))];
+    // Quadratic bias toward the small end: most rosters land at 10-25
+    // parties, the tail reaches 50 (wall time per scenario grows with
+    // roster x visible tiles, so big ones must stay rare).
+    double u = topo.uniform();
+    parts = 10 + static_cast<int>(40.0 * u * u);
+    sc.speaker = topo.bernoulli(0.2);
+    base_dur = topo.uniform_int(18, 28) * 1000;
+  } else {
+    std::vector<std::string> names = all_profile_names();
+    sc.profile = names[static_cast<size_t>(
+        topo.uniform_int(0, static_cast<int64_t>(names.size()) - 1))];
+    parts = static_cast<int>(topo.uniform_int(2, 5));
+    sc.speaker = parts > 2 && topo.bernoulli(0.25);
+    base_dur = topo.uniform_int(45, 75) * 1000;
+  }
 
   for (int i = 0; i < parts; ++i) {
     FuzzClient c;
-    if (i == 0) {
+    if (conference) {
+      // One client pinned per region (no empty shards), rest scatter.
+      c.region = i < sc.regions
+                     ? i
+                     : static_cast<int>(topo.uniform_int(0, sc.regions - 1));
+      if (i == 0) {
+        // Shaped but roomy enough that a full gallery page of base-rung
+        // tiles fits: a starved downlink would read as stuck-degraded.
+        c.up_kbps = topo.uniform_int(500, 8000);
+        c.down_kbps = topo.uniform_int(3000, 20000);
+      } else {
+        c.up_kbps = topo.uniform_int(2000, 20000);
+        c.down_kbps = topo.uniform_int(3000, 50000);
+      }
+    } else if (i == 0) {
       // The observed client gets the paper's shaped access link.
       c.up_kbps = topo.uniform_int(300, 8000);
       c.down_kbps = topo.uniform_int(300, 8000);
@@ -298,46 +380,53 @@ FuzzScenario fuzz_scenario_from_seed(uint64_t seed) {
   }
 
   // Faults: bounded windows inside [5 s, 45 s], so duration = last fault
-  // end + 30 s of quiet tail stays under ~90 s of virtual time.
-  int n_faults = static_cast<int>(fr.uniform_int(0, 6));
+  // end + 30 s of quiet tail stays under ~90 s of virtual time. The
+  // cascaded fleet gets tighter windows ([5 s, 10 s] starts, shorter
+  // impairments) because its per-virtual-second cost is much higher.
+  int n_faults = static_cast<int>(fr.uniform_int(0, conference ? 4 : 6));
   int64_t last_end = 0;
   for (int i = 0; i < n_faults; ++i) {
     FuzzFault f;
-    int k = static_cast<int>(fr.uniform_int(0, 6));
+    int k = static_cast<int>(fr.uniform_int(0, conference ? 7 : 6));
     f.kind = static_cast<FuzzFaultKind>(k);
-    if (f.kind == FuzzFaultKind::kSfuBlackout) {
+    if (f.kind == FuzzFaultKind::kSfuBlackout ||
+        f.kind == FuzzFaultKind::kRelayOutage) {
       f.target_client = -1;
+      if (conference) f.a = fr.uniform_int(0, sc.regions - 1);
     } else {
       f.target_client = static_cast<int>(fr.uniform_int(0, parts - 1));
       f.uplink = fr.bernoulli(0.5);
     }
-    f.start_ms = fr.uniform_int(5000, 45000);
+    f.start_ms = fr.uniform_int(5000, conference ? 10000 : 45000);
     switch (f.kind) {
       case FuzzFaultKind::kOutage:
-        f.length_ms = fr.uniform_int(500, 10000);
+        f.length_ms = fr.uniform_int(500, conference ? 4000 : 10000);
         break;
       case FuzzFaultKind::kSfuBlackout:
-        f.length_ms = fr.uniform_int(500, 8000);
+        f.length_ms = fr.uniform_int(500, conference ? 4000 : 8000);
+        break;
+      case FuzzFaultKind::kRelayOutage:
+        f.length_ms = fr.uniform_int(500, 5000);
         break;
       case FuzzFaultKind::kFlap:
-        f.a = fr.uniform_int(1, 4);           // cycles
-        f.b = fr.uniform_int(200, 3000);      // down_for
-        f.c = fr.uniform_int(200, 3000);      // up_for
+        f.a = fr.uniform_int(1, conference ? 2 : 4);             // cycles
+        f.b = fr.uniform_int(200, conference ? 1500 : 3000);     // down_for
+        f.c = fr.uniform_int(200, conference ? 1500 : 3000);     // up_for
         f.length_ms = f.a * (f.b + f.c);
         break;
       case FuzzFaultKind::kBurstLoss:
-        f.length_ms = fr.uniform_int(1000, 15000);
+        f.length_ms = fr.uniform_int(1000, conference ? 6000 : 15000);
         f.a = fr.uniform_int(10, 100);        // p_good_to_bad (per-mille)
         f.b = fr.uniform_int(50, 300);        // p_bad_to_good (per-mille)
         f.c = fr.uniform_int(300, 1000);      // loss_bad (per-mille)
         break;
       case FuzzFaultKind::kReorder:
-        f.length_ms = fr.uniform_int(1000, 15000);
+        f.length_ms = fr.uniform_int(1000, conference ? 6000 : 15000);
         f.a = fr.uniform_int(50, 300);        // prob (per-mille)
         f.b = fr.uniform_int(2, 20);          // detour ms
         break;
       case FuzzFaultKind::kDuplicate:
-        f.length_ms = fr.uniform_int(1000, 15000);
+        f.length_ms = fr.uniform_int(1000, conference ? 6000 : 15000);
         f.a = fr.uniform_int(50, 300);        // prob (per-mille)
         break;
       case FuzzFaultKind::kShape:
@@ -351,8 +440,10 @@ FuzzScenario fuzz_scenario_from_seed(uint64_t seed) {
   sc.duration_ms = std::max(base_dur, last_end + kTailMs);
 
   // Competing flow on client 0's host: ends >= 15 s before the scenario
-  // does, so the liveness tail is judged on a drained network.
-  if (cr.bernoulli(0.4)) {
+  // does, so the liveness tail is judged on a drained network. The
+  // cascaded fleet skips it — cross-traffic on one access link adds
+  // nothing a client shape fault doesn't, at a large wall-time cost.
+  if (!conference && cr.bernoulli(0.4)) {
     sc.competitor =
         static_cast<FuzzCompetitor>(cr.uniform_int(1, 4));
     sc.competitor_start_ms = cr.uniform_int(5000, sc.duration_ms / 2);
@@ -377,45 +468,89 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
   FuzzResult res;
   res.seed = sc.seed;
   res.spec = sc.to_spec();
-  if (sc.clients.size() < 2) {
-    res.failures.push_back({"spec", "scenario needs >= 2 clients"});
+  if (const char* err = topology_error(sc)) {
+    res.failures.push_back({"spec", err});
     return res;
   }
-  for (const FuzzFault& f : sc.faults) {
-    if (f.target_client < -1 ||
-        f.target_client >= static_cast<int>(sc.clients.size())) {
-      res.failures.push_back({"spec", "fault targets a missing client"});
-      return res;
-    }
-  }
+  const bool cascaded = sc.regions > 1;
 
   Network net;
-  auto sfu_ports = net.add_host("sfu", DataRate::gbps(2), DataRate::gbps(2),
-                                Duration::millis(8), 4 << 20);
+  // Infrastructure: one SFU per region on a cascaded fleet (the region's
+  // relay link pair carries inter-SFU traffic and its faults), else the
+  // classic single mid-path SFU.
+  std::vector<Network::Region*> regions;
+  std::vector<Network::HostPorts> sfu_ports;
+  if (cascaded) {
+    for (int r = 0; r < sc.regions; ++r) {
+      std::string name = "r" + std::to_string(r);
+      regions.push_back(net.add_region(name, DataRate::gbps(2),
+                                       Duration::millis(20), 8 << 20));
+      sfu_ports.push_back(net.add_host_in_region(
+          regions.back(), "sfu-" + name, DataRate::gbps(4),
+          DataRate::gbps(4), Duration::millis(1), 8 << 20));
+    }
+  } else {
+    sfu_ports.push_back(net.add_host("sfu", DataRate::gbps(2),
+                                     DataRate::gbps(2), Duration::millis(8),
+                                     4 << 20));
+  }
   std::vector<Network::HostPorts> ports;
   for (size_t i = 0; i < sc.clients.size(); ++i) {
     const FuzzClient& c = sc.clients[i];
-    ports.push_back(net.add_host(
-        "c" + std::to_string(i + 1), DataRate::kbps(c.up_kbps),
-        DataRate::kbps(c.down_kbps), Duration::millis(c.prop_ms),
-        static_cast<int64_t>(c.queue_kb) * 1024));
+    std::string name = "c" + std::to_string(i + 1);
+    DataRate up = DataRate::kbps(c.up_kbps);
+    DataRate down = DataRate::kbps(c.down_kbps);
+    Duration prop = Duration::millis(c.prop_ms);
+    int64_t queue = static_cast<int64_t>(c.queue_kb) * 1024;
+    ports.push_back(
+        cascaded ? net.add_host_in_region(
+                       regions[static_cast<size_t>(c.region)], name, up,
+                       down, prop, queue)
+                 : net.add_host(name, up, down, prop, queue));
   }
 
-  Call::Config cc;
-  cc.profile = vca_profile(sc.profile);
-  cc.seed = sc.seed;
-  cc.flow_base = kCallFlowBase;
-  cc.mode = sc.speaker ? ViewMode::kSpeaker : ViewMode::kGallery;
-  cc.pinned_client = 0;
-  Call call(&net.sched(), sfu_ports.host, cc);
+  std::unique_ptr<Call> call;
+  std::unique_ptr<Conference> conf;
   std::vector<VcaClient*> cls;
-  for (auto& p : ports) cls.push_back(call.add_client(p.host));
+  if (cascaded) {
+    Conference::Config cc;
+    cc.profile = vca_profile(sc.profile);
+    cc.seed = sc.seed;
+    cc.flow_base = kCallFlowBase;
+    cc.mode = sc.speaker ? ViewMode::kSpeaker : ViewMode::kGallery;
+    cc.pinned_client = 0;
+    conf = std::make_unique<Conference>(&net.sched(), cc);
+    for (auto& sp : sfu_ports) conf->add_region(sp.host);
+    for (size_t i = 0; i < sc.clients.size(); ++i) {
+      const FuzzClient& fc = sc.clients[i];
+      // Conference owns churn: join_at/leave_at schedule it internally.
+      TimePoint join_at =
+          fc.join_ms > 0 ? at_ms(fc.join_ms) : TimePoint::zero();
+      TimePoint leave_at =
+          fc.leave_ms > 0 ? at_ms(fc.leave_ms) : TimePoint::infinite();
+      cls.push_back(
+          conf->add_client(ports[i].host, fc.region, join_at, leave_at));
+    }
+  } else {
+    Call::Config cc;
+    cc.profile = vca_profile(sc.profile);
+    cc.seed = sc.seed;
+    cc.flow_base = kCallFlowBase;
+    cc.mode = sc.speaker ? ViewMode::kSpeaker : ViewMode::kGallery;
+    cc.pinned_client = 0;
+    call = std::make_unique<Call>(&net.sched(), sfu_ports[0].host, cc);
+    for (auto& p : ports) cls.push_back(call->add_client(p.host));
+  }
 
   FlowCapture* c0_up = net.capture(ports[0].up, Duration::millis(500));
   FlowCapture* c0_down = net.capture(ports[0].down, Duration::millis(500));
 
+  // Only client targets (and the single-SFU's access links) route through
+  // here; cascaded infrastructure faults are special-cased by kind.
   auto link_of = [&](const FuzzFault& f) -> Link* {
-    if (f.target_client < 0) return f.uplink ? sfu_ports.up : sfu_ports.down;
+    if (f.target_client < 0) {
+      return f.uplink ? sfu_ports[0].up : sfu_ports[0].down;
+    }
     auto& p = ports[static_cast<size_t>(f.target_client)];
     return f.uplink ? p.up : p.down;
   };
@@ -456,29 +591,44 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
         }
         break;
       }
-      case FuzzFaultKind::kSfuBlackout:
-        dark_entry("sfu.up", sfu_ports.up)
+      case FuzzFaultKind::kSfuBlackout: {
+        size_t r = cascaded ? static_cast<size_t>(f.a) : 0;
+        std::string base = cascaded ? "sfu-r" + std::to_string(r) : "sfu";
+        dark_entry(base + ".up", sfu_ports[r].up)
             .windows.push_back({f.start_ms, f.start_ms + f.length_ms});
-        dark_entry("sfu.down", sfu_ports.down)
+        dark_entry(base + ".down", sfu_ports[r].down)
             .windows.push_back({f.start_ms, f.start_ms + f.length_ms});
         break;
+      }
+      case FuzzFaultKind::kRelayOutage: {
+        Network::Region* reg = regions[static_cast<size_t>(f.a)];
+        dark_entry(reg->name + ".relay_up", reg->relay_up)
+            .windows.push_back({f.start_ms, f.start_ms + f.length_ms});
+        dark_entry(reg->name + ".relay_down", reg->relay_down)
+            .windows.push_back({f.start_ms, f.start_ms + f.length_ms});
+        break;
+      }
       default:
         break;
     }
   }
 
-  // Churn: late joiners are stopped by the t=0 event below (scheduled
-  // before Call::start() runs, so it fires ahead of every client tick),
-  // then started at join time; leavers stop mid-call and never rejoin.
-  for (size_t i = 2; i < sc.clients.size(); ++i) {
-    const FuzzClient& fc = sc.clients[i];
-    VcaClient* cl = cls[i];
-    if (fc.join_ms > 0) {
-      net.sched().schedule_at(TimePoint::zero(), [cl] { cl->stop(); });
-      net.sched().schedule_at(at_ms(fc.join_ms), [cl] { cl->start(); });
-    }
-    if (fc.leave_ms > 0) {
-      net.sched().schedule_at(at_ms(fc.leave_ms), [cl] { cl->stop(); });
+  // Churn (single-SFU calls only — Conference schedules its own from
+  // join_at/leave_at): late joiners are stopped by the t=0 event below
+  // (scheduled before Call::start() runs, so it fires ahead of every
+  // client tick), then started at join time; leavers stop mid-call and
+  // never rejoin.
+  if (!cascaded) {
+    for (size_t i = 2; i < sc.clients.size(); ++i) {
+      const FuzzClient& fc = sc.clients[i];
+      VcaClient* cl = cls[i];
+      if (fc.join_ms > 0) {
+        net.sched().schedule_at(TimePoint::zero(), [cl] { cl->stop(); });
+        net.sched().schedule_at(at_ms(fc.join_ms), [cl] { cl->start(); });
+      }
+      if (fc.leave_ms > 0) {
+        net.sched().schedule_at(at_ms(fc.leave_ms), [cl] { cl->stop(); });
+      }
     }
   }
 
@@ -518,15 +668,25 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
         plan.add_shape(link_of(f), at_ms(f.start_ms), DataRate::kbps(f.a));
         break;
       case FuzzFaultKind::kSfuBlackout: {
-        plan.add_outage(sfu_ports.up, at_ms(f.start_ms),
+        size_t r = cascaded ? static_cast<size_t>(f.a) : 0;
+        plan.add_outage(sfu_ports[r].up, at_ms(f.start_ms),
                         Duration::millis(f.length_ms));
-        plan.add_outage(sfu_ports.down, at_ms(f.start_ms),
+        plan.add_outage(sfu_ports[r].down, at_ms(f.start_ms),
                         Duration::millis(f.length_ms));
-        SfuServer* sfu = call.sfu();
+        SfuServer* sfu =
+            cascaded ? conf->sfu(static_cast<int>(r)) : call->sfu();
         plan.at(at_ms(f.start_ms), "sfu-offline",
                 [sfu] { sfu->set_online(false); });
         plan.at(at_ms(f.start_ms + f.length_ms), "sfu-restart",
                 [sfu] { sfu->set_online(true); });
+        break;
+      }
+      case FuzzFaultKind::kRelayOutage: {
+        Network::Region* reg = regions[static_cast<size_t>(f.a)];
+        plan.add_outage(reg->relay_up, at_ms(f.start_ms),
+                        Duration::millis(f.length_ms));
+        plan.add_outage(reg->relay_down, at_ms(f.start_ms),
+                        Duration::millis(f.length_ms));
         break;
       }
     }
@@ -586,15 +746,22 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
         });
   }
 
-  // Run in 1 s virtual slices under the event-budget watchdog.
-  call.start();
+  // Run in 1 s virtual slices under the event-budget watchdog. The
+  // budget is calibrated for a handful of participants; a city-scale
+  // cascaded roster legitimately dispatches roster-proportional event
+  // load per virtual second, so scale the storm threshold instead of
+  // flagging healthy fanout.
+  uint64_t budget = opt.event_budget_per_virtual_sec;
+  if (cascaded) {
+    budget *= std::max<uint64_t>(1, cls.size() / 4);
+  }
+  if (cascaded) conf->start(); else call->start();
   bool storm = false;
   for (int64_t t = 0; t < sc.duration_ms && !storm; ) {
     int64_t next = std::min<int64_t>(t + 1000, sc.duration_ms);
-    if (!net.sched().run_until_capped(at_ms(next),
-                                      opt.event_budget_per_virtual_sec)) {
+    if (!net.sched().run_until_capped(at_ms(next), budget)) {
       std::ostringstream d;
-      d << "event budget (" << opt.event_budget_per_virtual_sec
+      d << "event budget (" << budget
         << "/virtual-sec) exhausted at t="
         << fmt_ms((net.sched().now() - TimePoint::zero()).ns() / 1'000'000);
       res.failures.push_back({"event-storm", d.str()});
@@ -602,14 +769,17 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
     }
     t = next;
   }
-  call.stop();
+  if (cascaded) conf->stop(); else call->stop();
   if (!storm) {
     net.sched().run_until_capped(at_ms(sc.duration_ms) + Duration::millis(50),
-                                 200'000);  // flush stop handlers
+                                 500'000);  // flush stop handlers
   }
 
-  // --- oracle: invariant ---
+  // --- oracle: invariant --- (link/clock state plus, on a cascaded
+  // fleet, the Conference's own "no forwarding to departed clients" /
+  // stale-subscription checks)
   std::vector<std::string> viol = net.check_invariants();
+  if (cascaded) conf->append_invariant_violations(&viol);
   res.invariant_violations = static_cast<int>(viol.size());
   if (opt.count_invariants_globally) {
     note_invariant_violations(static_cast<uint64_t>(viol.size()));
@@ -840,6 +1010,36 @@ std::optional<ShrinkResult> shrink_failure(const FuzzScenario& sc,
         for (FuzzClient& c : cand.clients) c.join_ms = c.leave_ms = 0;
         if (try_accept(cand)) changed = true;
       }
+    }
+    // Cascaded fleets: collapse to one region/SFU (dropping the relay
+    // links and the faults that need them) — the single-SFU replay is
+    // far cheaper and most bugs aren't relay-specific.
+    if (cur.regions > 1) {
+      FuzzScenario cand = cur;
+      cand.regions = 1;
+      for (FuzzClient& c : cand.clients) c.region = 0;
+      std::vector<FuzzFault> kept;
+      for (FuzzFault f : cand.faults) {
+        if (f.kind == FuzzFaultKind::kRelayOutage) continue;
+        if (f.kind == FuzzFaultKind::kSfuBlackout) f.a = 0;
+        kept.push_back(f);
+      }
+      cand.faults = std::move(kept);
+      if (try_accept(cand)) changed = true;
+    }
+    // City-scale rosters: halve before trying the all-the-way-to-2 step,
+    // for bugs that need N parties but not all of them.
+    if (cur.clients.size() > 4) {
+      FuzzScenario cand = cur;
+      cand.clients.resize(cur.clients.size() / 2);
+      std::vector<FuzzFault> kept;
+      for (const FuzzFault& f : cand.faults) {
+        if (f.target_client < static_cast<int>(cand.clients.size())) {
+          kept.push_back(f);
+        }
+      }
+      cand.faults = std::move(kept);
+      if (try_accept(cand)) changed = true;
     }
     if (cur.clients.size() > 2) {
       // Drop every extra participant (and the faults aimed at them).

@@ -1,7 +1,9 @@
 // Seed-driven scenario fuzzer (ROADMAP item 5): expands one 64-bit seed
 // into a fully deterministic random scenario — topology (two-party or
-// N-party SFU call with join/leave churn), VCA profile, link shapes,
-// competing flows, and a randomized FaultPlan — then runs it under an
+// N-party SFU call with join/leave churn, or a multi-region cascaded
+// SFU fleet carrying a 10-50-party conference), VCA profile, link
+// shapes, competing flows, and a randomized FaultPlan — then runs it
+// under an
 // oracle layer that flags invariant violations, silent liveness wedges,
 // unbounded recovery, reconnect storms, insane statistics, and event
 // storms. A delta-debugging shrinker minimizes failing scenarios to the
@@ -34,6 +36,7 @@ struct FuzzClient {
   int queue_kb = 150;
   int64_t join_ms = 0;   // 0 = in the call from t=0
   int64_t leave_ms = 0;  // 0 = stays until the end
+  int region = 0;        // cascaded-fleet region (< FuzzScenario::regions)
 };
 
 enum class FuzzFaultKind {
@@ -44,15 +47,20 @@ enum class FuzzFaultKind {
   kDuplicate,    // a=prob_pm
   kShape,        // a=rate_kbps applied at start_ms (length unused)
   kSfuBlackout,  // server offline + its access links dark for the window
+  kRelayOutage,  // cascaded fleets only: one region's inter-SFU relay
+                 // link pair dark for the window (a = region index)
 };
 
 struct FuzzFault {
   FuzzFaultKind kind = FuzzFaultKind::kOutage;
-  int target_client = 0;  // -1 = the SFU's access links
+  int target_client = 0;  // -1 = SFU/relay infrastructure, not a client
   bool uplink = true;     // direction for client targets; SFU hits both
   int64_t start_ms = 0;
   int64_t length_ms = 0;
-  int64_t a = 0, b = 0, c = 0;  // kind-specific (see FuzzFaultKind)
+  // Kind-specific (see FuzzFaultKind). On a cascaded fleet (regions > 1)
+  // every infrastructure fault (target_client == -1) reads `a` as the
+  // region index it strikes; single-SFU scenarios ignore it.
+  int64_t a = 0, b = 0, c = 0;
 };
 
 enum class FuzzCompetitor { kNone, kBulkUp, kBulkDown, kNetflix, kYoutube };
@@ -62,6 +70,10 @@ struct FuzzScenario {
   std::string profile = "meet";
   bool speaker = false;  // speaker view pinning client 0 (else gallery)
   int64_t duration_ms = 60000;
+  // 1 = the classic single-SFU call. >1 = a cascaded geo-sharded fleet
+  // (one SfuServer per region, Conference semantics): clients attach by
+  // FuzzClient::region and 10-50-party rosters with churn are in play.
+  int regions = 1;
   std::vector<FuzzClient> clients;  // size >= 2
   std::vector<FuzzFault> faults;
   FuzzCompetitor competitor = FuzzCompetitor::kNone;

@@ -87,6 +87,72 @@ Network::HostPorts Network::add_host_on_segment(Segment* seg,
   return ports;
 }
 
+Network::Region* Network::add_region(const std::string& name,
+                                     DataRate relay_rate, Duration relay_prop,
+                                     int64_t queue_bytes) {
+  auto reg = std::make_unique<Region>();
+  reg->name = name;
+  reg->relay_rate = relay_rate;
+  auto sw = std::make_unique<ForwardingNode>("region-" + name);
+
+  Link::Config cfg;
+  cfg.rate = relay_rate;
+  cfg.propagation = relay_prop;
+  cfg.queue_bytes = queue_bytes;
+  auto up = std::make_unique<Link>(&sched_, name + "-relay-up", cfg);
+  auto down = std::make_unique<Link>(&sched_, name + "-relay-down", cfg);
+
+  // Traffic leaving the region rides the relay uplink to the core; the
+  // regional switch keeps per-host routes so intra-region traffic turns
+  // around locally without paying the backbone delay.
+  sw->set_default_route(up.get());
+  up->set_sink(&router_);
+  down->set_sink(sw.get());
+
+  reg->sw = sw.get();
+  reg->relay_up = up.get();
+  reg->relay_down = down.get();
+
+  checker_.watch(up.get());
+  checker_.watch(down.get());
+  switches_.push_back(std::move(sw));
+  links_.push_back(std::move(up));
+  links_.push_back(std::move(down));
+  regions_.push_back(std::move(reg));
+  return regions_.back().get();
+}
+
+Network::HostPorts Network::add_host_in_region(Region* reg,
+                                               const std::string& name,
+                                               DataRate up, DataRate down,
+                                               Duration prop,
+                                               int64_t queue_bytes) {
+  auto host = std::make_unique<Host>(next_id_++, name);
+  Link::Config cfg;
+  cfg.propagation = prop;
+  cfg.queue_bytes = queue_bytes;
+
+  cfg.rate = up;
+  auto up_link = std::make_unique<Link>(&sched_, name + "-up", cfg);
+  cfg.rate = down;
+  auto down_link = std::make_unique<Link>(&sched_, name + "-down", cfg);
+
+  host->set_uplink(up_link.get());
+  up_link->set_sink(reg->sw);
+  reg->sw->add_route(host->id(), down_link.get());
+  down_link->set_sink(host.get());
+  // The core reaches this host through the region's relay downlink.
+  router_.add_route(host->id(), reg->relay_down);
+
+  HostPorts ports{host.get(), up_link.get(), down_link.get()};
+  checker_.watch(up_link.get());
+  checker_.watch(down_link.get());
+  hosts_.push_back(std::move(host));
+  links_.push_back(std::move(up_link));
+  links_.push_back(std::move(down_link));
+  return ports;
+}
+
 TapFanout* Network::fanout_for(Link* link) {
   for (size_t i = 0; i < tapped_.size(); ++i) {
     if (tapped_[i] == link) return fanouts_[i].get();

@@ -32,6 +32,18 @@ class Network {
     Link* shared_down = nullptr;  // router -> switch
   };
 
+  // A geographic region for cascaded-SFU fleets: a regional aggregation
+  // node whose hosts reach the rest of the world through a pair of
+  // wide-area relay links (where inter-region propagation delay and
+  // relay-link faults live). Intra-region traffic never touches them.
+  struct Region {
+    std::string name;
+    ForwardingNode* sw = nullptr;
+    Link* relay_up = nullptr;    // region -> core (inter-SFU direction out)
+    Link* relay_down = nullptr;  // core -> region
+    DataRate relay_rate;
+  };
+
   Network() { checker_.watch(&sched_); }
 
   // Captures and recorders hand `this`-capturing taps to links (see the
@@ -56,6 +68,20 @@ class Network {
   Segment* add_segment(DataRate rate, Duration prop = Duration::millis(2),
                        int64_t queue_bytes = 150 * 1024);
   HostPorts add_host_on_segment(Segment* seg, const std::string& name);
+
+  // A region (cascaded-SFU fleet). `relay_prop` is the one-way region <->
+  // core backbone delay; region-to-region latency is the sum of the two
+  // regions' relay propagations. Attach hosts (clients and the regional
+  // SFU) with add_host_in_region.
+  Region* add_region(const std::string& name,
+                     DataRate relay_rate = DataRate::gbps(10),
+                     Duration relay_prop = Duration::millis(25),
+                     int64_t queue_bytes = 8 << 20);
+  HostPorts add_host_in_region(Region* reg, const std::string& name,
+                               DataRate up = DataRate::gbps(1),
+                               DataRate down = DataRate::gbps(1),
+                               Duration prop = Duration::millis(2),
+                               int64_t queue_bytes = 150 * 1024);
 
   // Attach a capture to a link (multiple captures per link are fine).
   FlowCapture* capture(Link* link, Duration bucket = Duration::seconds(1));
@@ -104,6 +130,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<ForwardingNode>> switches_;
   std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<Region>> regions_;
   std::vector<std::unique_ptr<FlowCapture>> captures_;
   std::vector<std::unique_ptr<TraceRecorder>> recorders_;
   std::vector<std::unique_ptr<TapFanout>> fanouts_;

@@ -9,6 +9,7 @@
 #include "harness/sweep.h"
 #include "net/faults.h"
 #include "vca/call.h"
+#include "vca/conference.h"
 
 namespace vca {
 
@@ -399,6 +400,159 @@ MultipartyResult run_multiparty(const MultipartyConfig& cfg) {
   TimePoint to = TimePoint::zero() + cfg.duration;
   out.c1_up_mbps = up_cap->mean_rate(from, to).mbps_f();
   out.c1_down_mbps = down_cap->mean_rate(from, to).mbps_f();
+  finish_run(net);
+  return out;
+}
+
+ConferenceResult run_conference(const ConferenceConfig& cfg) {
+  Network net;
+  Conference::Config conf_cfg;
+  conf_cfg.profile = vca_profile(cfg.profile);
+  conf_cfg.mode = cfg.mode;
+  conf_cfg.seed = cfg.seed;
+  conf_cfg.flow_base = kIncumbentFlowBase;
+  Conference conf(&net.sched(), conf_cfg);
+
+  // One region + SFU per shard; clients round-robin across shards so
+  // every inter-SFU link carries real fanout.
+  std::vector<Network::Region*> regions;
+  std::vector<Network::HostPorts> sfu_ports;
+  for (int r = 0; r < cfg.regions; ++r) {
+    std::string name = "r" + std::to_string(r);
+    regions.push_back(
+        net.add_region(name, cfg.relay_rate, cfg.relay_prop, 8 << 20));
+    sfu_ports.push_back(net.add_host_in_region(
+        regions.back(), "sfu-" + name, DataRate::gbps(4), DataRate::gbps(4),
+        Duration::millis(1), 8 << 20));
+    conf.add_region(sfu_ports.back().host);
+  }
+
+  const int stable = cfg.participants - cfg.late_joiners;
+  std::vector<Network::HostPorts> ports;
+  std::vector<VcaClient*> clients;
+  for (int i = 0; i < cfg.participants; ++i) {
+    int region = i % cfg.regions;
+    ports.push_back(net.add_host_in_region(
+        regions[static_cast<size_t>(region)], "c" + std::to_string(i + 1),
+        cfg.client_up, cfg.client_down, Duration::millis(2),
+        queue_bytes_for(cfg.client_down)));
+    TimePoint join_at = TimePoint::zero();
+    TimePoint leave_at = TimePoint::infinite();
+    if (i >= stable) {
+      join_at = TimePoint::zero() + cfg.churn_start +
+                cfg.churn_step * (i - stable);
+    } else if (i >= stable / 2 &&
+               i < stable / 2 + cfg.early_leavers) {
+      leave_at = TimePoint::zero() + cfg.churn_start +
+                 cfg.churn_step * (i - stable / 2 + 1);
+    }
+    clients.push_back(
+        conf.add_client(ports.back().host, region, join_at, leave_at));
+  }
+
+  std::vector<FlowCapture*> up_caps, down_caps;
+  for (auto& p : ports) {
+    up_caps.push_back(net.capture(p.up));
+    down_caps.push_back(net.capture(p.down));
+  }
+  std::vector<FlowCapture*> relay_up_caps, relay_down_caps;
+  for (auto* reg : regions) {
+    relay_up_caps.push_back(net.capture(reg->relay_up));
+    relay_down_caps.push_back(net.capture(reg->relay_down));
+  }
+
+  // Region-scoped faults.
+  FaultPlan plan;
+  TimePoint fault_at = TimePoint::zero() + cfg.fault_start;
+  if (cfg.relay_outage_region >= 0 && cfg.relay_outage_region < cfg.regions) {
+    Network::Region* reg = regions[static_cast<size_t>(cfg.relay_outage_region)];
+    plan.add_outage(reg->relay_up, fault_at, cfg.fault_length);
+    plan.add_outage(reg->relay_down, fault_at, cfg.fault_length);
+  }
+  if (cfg.sfu_blackout_region >= 0 && cfg.sfu_blackout_region < cfg.regions) {
+    SfuServer* sfu = conf.sfu(cfg.sfu_blackout_region);
+    plan.at(fault_at, "sfu-blackout", [sfu] { sfu->set_online(false); });
+    plan.at(fault_at + cfg.fault_length, "sfu-restore",
+            [sfu] { sfu->set_online(true); });
+  }
+  if (plan.size() > 0) plan.schedule(&net.sched());
+
+  // Fanout high-water sampler (1 Hz), per region.
+  std::vector<int> peak_subs(static_cast<size_t>(cfg.regions), 0);
+  std::function<void()> sample = [&] {
+    for (int r = 0; r < cfg.regions; ++r) {
+      peak_subs[static_cast<size_t>(r)] =
+          std::max(peak_subs[static_cast<size_t>(r)],
+                   conf.sfu(r)->subscription_count());
+    }
+    net.sched().schedule(Duration::seconds(1), [&] { sample(); });
+  };
+  net.sched().schedule(Duration::seconds(1), [&] { sample(); });
+
+  conf.start();
+  net.sched().run_until(TimePoint::zero() + cfg.duration);
+  conf.stop();
+
+  ConferenceResult out;
+  TimePoint from = TimePoint::zero() + cfg.measure_from;
+  TimePoint to = TimePoint::zero() + cfg.duration;
+  out.c1_up_mbps = up_caps[0]->mean_rate(from, to).mbps_f();
+  out.c1_down_mbps = down_caps[0]->mean_rate(from, to).mbps_f();
+
+  std::vector<double> region_sum(static_cast<size_t>(cfg.regions), 0.0);
+  std::vector<int> region_n(static_cast<size_t>(cfg.regions), 0);
+  double down_sum = 0.0, up_sum = 0.0;
+  int counted = 0;
+  for (int i = 0; i < cfg.participants; ++i) {
+    if (!conf.is_active(clients[static_cast<size_t>(i)])) continue;
+    double down = down_caps[static_cast<size_t>(i)]->mean_rate(from, to).mbps_f();
+    double up = up_caps[static_cast<size_t>(i)]->mean_rate(from, to).mbps_f();
+    down_sum += down;
+    up_sum += up;
+    ++counted;
+    region_sum[static_cast<size_t>(i % cfg.regions)] += down;
+    region_n[static_cast<size_t>(i % cfg.regions)] += 1;
+  }
+  out.mean_client_down_mbps = counted > 0 ? down_sum / counted : 0.0;
+  out.mean_client_up_mbps = counted > 0 ? up_sum / counted : 0.0;
+  for (int r = 0; r < cfg.regions; ++r) {
+    out.region_mean_down_mbps.push_back(
+        region_n[static_cast<size_t>(r)] > 0
+            ? region_sum[static_cast<size_t>(r)] / region_n[static_cast<size_t>(r)]
+            : 0.0);
+  }
+
+  for (int r = 0; r < cfg.regions; ++r) {
+    ConferenceRegionStats rs;
+    rs.name = regions[static_cast<size_t>(r)]->name;
+    rs.clients = region_n[static_cast<size_t>(r)];
+    rs.forwarded_packets = conf.sfu(r)->forwarded_packets();
+    rs.forwarded_pps =
+        cfg.duration.seconds() > 0
+            ? static_cast<double>(rs.forwarded_packets) / cfg.duration.seconds()
+            : 0.0;
+    rs.peak_subscriptions = peak_subs[static_cast<size_t>(r)];
+    rs.relay_out_streams = conf.sfu(r)->relay_out_count();
+    rs.relay_up_mbps = relay_up_caps[static_cast<size_t>(r)]->mean_rate(from, to).mbps_f();
+    rs.relay_down_mbps =
+        relay_down_caps[static_cast<size_t>(r)]->mean_rate(from, to).mbps_f();
+    rs.relay_up_utilization =
+        rs.relay_up_mbps / std::max(1e-9, cfg.relay_rate.mbps_f());
+    out.total_forwarded_packets += rs.forwarded_packets;
+    out.regions.push_back(rs);
+  }
+  out.active_at_end = conf.active_count();
+  out.forwards_to_departed = conf.forwards_to_departed();
+
+  // Conference-level invariants feed the process-wide counter here; the
+  // link/clock invariants are counted inside finish_run (don't double
+  // count them).
+  conf.append_invariant_violations(&out.invariant_violations);
+  note_invariant_violations(
+      static_cast<uint64_t>(out.invariant_violations.size()));
+  for (const auto& v : net.check_invariants()) {
+    out.invariant_violations.push_back(v);
+  }
   finish_run(net);
   return out;
 }

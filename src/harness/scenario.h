@@ -178,6 +178,72 @@ struct MultipartyResult {
 
 MultipartyResult run_multiparty(const MultipartyConfig& cfg);
 
+// ---------------------------------------------------------------------------
+// City-scale cascaded-SFU conference (Chang et al.'s deployment scale):
+// one SFU per region, clients sharded round-robin across regions, media
+// crossing each inter-SFU relay link exactly once per (publisher, peer
+// region). Supports join/leave churn and region-scoped fault injection.
+// ---------------------------------------------------------------------------
+
+struct ConferenceConfig {
+  std::string profile = "webex";
+  int participants = 16;
+  int regions = 2;
+  ViewMode mode = ViewMode::kGallery;
+  uint64_t seed = 1;
+  Duration duration = Duration::seconds(60);
+  Duration measure_from = Duration::seconds(20);
+  // Client access links (finite: the per-client downlink is what caps
+  // receive bitrate as the gallery grows).
+  DataRate client_up = DataRate::mbps(10);
+  DataRate client_down = DataRate::mbps(25);
+  // Inter-SFU relay links.
+  DataRate relay_rate = DataRate::gbps(2);
+  Duration relay_prop = Duration::millis(25);
+  // Churn: the last `late_joiners` clients join staggered after
+  // `churn_start`; `early_leavers` clients (from the middle of the
+  // roster) leave staggered after `churn_start`.
+  int late_joiners = 0;
+  int early_leavers = 0;
+  Duration churn_start = Duration::seconds(25);
+  Duration churn_step = Duration::seconds(2);
+  // Region-scoped faults (negative region index = disabled).
+  int relay_outage_region = -1;   // blackout that region's relay links
+  int sfu_blackout_region = -1;   // that region's SFU process goes dark
+  Duration fault_start = Duration::seconds(30);
+  Duration fault_length = Duration::seconds(10);
+};
+
+struct ConferenceRegionStats {
+  std::string name;
+  int clients = 0;
+  int64_t forwarded_packets = 0;   // SFU-originated, incl. retired streams
+  double forwarded_pps = 0.0;      // per wall second of the whole run
+  int peak_subscriptions = 0;      // local fanout degree high-water mark
+  int relay_out_streams = 0;       // live relay egresses at end of run
+  double relay_up_mbps = 0.0;      // mean over the measure window
+  double relay_down_mbps = 0.0;
+  double relay_up_utilization = 0.0;  // of relay capacity
+};
+
+struct ConferenceResult {
+  // The observed client (roster index 0).
+  double c1_up_mbps = 0.0;
+  double c1_down_mbps = 0.0;
+  // Across all clients active during the measure window.
+  double mean_client_down_mbps = 0.0;
+  double mean_client_up_mbps = 0.0;
+  // Per-region means of the same (region-scoped degradation shows here).
+  std::vector<double> region_mean_down_mbps;
+  std::vector<ConferenceRegionStats> regions;
+  int64_t total_forwarded_packets = 0;
+  int active_at_end = 0;
+  int64_t forwards_to_departed = 0;
+  std::vector<std::string> invariant_violations;  // empty == healthy sim
+};
+
+ConferenceResult run_conference(const ConferenceConfig& cfg);
+
 // Queue sizing for a shaped link: ~300 ms of buffering, with floors and
 // ceilings, roughly what a CPE + tc qdisc gives.
 int64_t queue_bytes_for(DataRate rate);

@@ -13,7 +13,14 @@ namespace vca {
 RtpSender::RtpSender(EventScheduler* sched, Host* host, Config cfg)
     : sched_(sched), host_(host), cfg_(cfg) {}
 
+void RtpSender::shutdown() {
+  stopped_ = true;
+  while (!pacer_.empty()) pacer_.pop_front();
+  pacer_bytes_ = 0;
+}
+
 void RtpSender::send_frame(const EncodedFrame& frame) {
+  if (stopped_) return;
   const int payload_per_packet = kMtuBytes;
   const int n_packets =
       std::max(1, (frame.bytes + payload_per_packet - 1) / payload_per_packet);
@@ -83,6 +90,7 @@ void RtpSender::send_frame(const EncodedFrame& frame) {
 }
 
 void RtpSender::send_padding(int bytes) {
+  if (stopped_) return;
   while (bytes > 0) {
     int sz = std::min(bytes, kMtuBytes);
     bytes -= sz;
@@ -112,7 +120,7 @@ void RtpSender::enqueue_packet(Packet p) {
 }
 
 void RtpSender::drain() {
-  if (pacer_.empty()) {
+  if (stopped_ || pacer_.empty()) {
     draining_ = false;
     return;
   }
@@ -123,6 +131,7 @@ void RtpSender::drain() {
   p.id = next_packet_id_++;
   p.created_at = sched_->now();
   p.rtp().abs_send_time = sched_->now();
+  ++sent_packets_;
   if (p.type == PacketType::kRtpFec) {
     sent_fec_bytes_ += p.size_bytes;
   } else {
@@ -141,6 +150,7 @@ void RtpSender::drain() {
 }
 
 void RtpSender::handle_rtcp(const RtcpMeta& fb) {
+  if (stopped_) return;
   if (fb.fir_count > 0) keyframe_requested_ = true;
   if (cfg_.enable_rtx && !fb.nack_seqs.empty()) retransmit(fb.nack_seqs);
   if (feedback_handler_) feedback_handler_(fb);
@@ -155,6 +165,7 @@ void RtpSender::retransmit(const NackList& seqs) {
     p.id = next_packet_id_++;
     p.created_at = sched_->now();
     p.rtp().abs_send_time = sched_->now();
+    ++sent_packets_;
     sent_media_bytes_ += p.size_bytes;
     host_->send(std::move(p));
   }
@@ -203,15 +214,19 @@ void RtpReceiver::erase_pending(uint64_t frame_id) {
   }
 }
 
+void RtpReceiver::shutdown() { stopped_ = true; }
+
 void RtpReceiver::schedule_report() {
   sched_->schedule(cfg_.report_interval, [this] {
-    try_decode();  // also advances loss deadlines during silence
+    if (stopped_) return;  // retired mid-run: let the loop die quietly
+    try_decode();          // also advances loss deadlines during silence
     send_report();
     schedule_report();
   });
 }
 
 void RtpReceiver::handle_packet(const Packet& p) {
+  if (stopped_) return;
   const RtpMeta& m = p.rtp();
   if (m.ssrc != cfg_.ssrc) return;
   TimePoint now = sched_->now();

@@ -52,6 +52,13 @@ class RtpSender {
   // receiver's arrival rate but never toward decodable frames.
   void send_padding(int bytes);
 
+  // Quiesce before mid-run retirement: drops the pacer queue, freezes the
+  // counters, and lets any already-scheduled drain fire as a no-op. The
+  // object must stay alive until the run ends (park it in a graveyard) —
+  // the pacing timer captures a raw `this`, so destruction cannot happen
+  // while a callback is still queued.
+  void shutdown();
+
   void set_pacing_rate(DataRate r) { cfg_.pacing_rate = r; }
   void set_fec_overhead(double f) { cfg_.fec_overhead = f; }
 
@@ -68,6 +75,10 @@ class RtpSender {
 
   int64_t sent_media_bytes() const { return sent_media_bytes_; }
   int64_t sent_fec_bytes() const { return sent_fec_bytes_; }
+  // Every packet that left this sender (media + FEC/padding + RTX). For
+  // SFU-owned senders this is the per-stream share of the fleet's
+  // packets-forwarded/sec CPU proxy.
+  int64_t sent_packets() const { return sent_packets_; }
   int64_t dropped_frames() const { return dropped_frames_; }
   int64_t pacer_queue_bytes() const { return pacer_bytes_; }
   uint32_t ssrc() const { return cfg_.ssrc; }
@@ -88,6 +99,7 @@ class RtpSender {
   RingDeque<Packet> pacer_;
   int64_t pacer_bytes_ = 0;
   bool draining_ = false;
+  bool stopped_ = false;
   bool keyframe_requested_ = false;
 
   // Recently sent packets retained for retransmission: a direct-mapped
@@ -107,6 +119,7 @@ class RtpSender {
 
   int64_t sent_media_bytes_ = 0;
   int64_t sent_fec_bytes_ = 0;
+  int64_t sent_packets_ = 0;
   int64_t dropped_frames_ = 0;
 };
 
@@ -161,6 +174,12 @@ class RtpReceiver {
   };
 
   RtpReceiver(EventScheduler* sched, Host* host, Config cfg);
+
+  // Quiesce before mid-run retirement: stops the report loop (the pending
+  // tick fires once as a no-op) and ignores further packets. As with
+  // RtpSender::shutdown, the object must outlive the queued callback, so
+  // retire into a graveyard rather than destroying immediately.
+  void shutdown();
 
   // Feed a media packet (called by the owning client's dispatcher).
   void handle_packet(const Packet& p);
@@ -220,6 +239,7 @@ class RtpReceiver {
   std::vector<PendingFrame> pending_;
   uint64_t next_decode_frame_ = 0;
   bool stalled_ = false;       // waiting for a keyframe after loss
+  bool stopped_ = false;       // shutdown() called; report loop ends
   bool started_ = false;
   TimePoint stall_since_;
   TimePoint last_fir_;

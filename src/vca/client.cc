@@ -402,6 +402,7 @@ VcaClient::Feed& VcaClient::add_feed(FlowId flow, uint32_t ssrc,
                                      NodeId publisher_node) {
   auto feed = std::make_unique<Feed>();
   feed->publisher = publisher_node;
+  feed->flow = flow;
   RtpReceiver::Config rc;
   rc.ssrc = ssrc;
   rc.feedback_flow = flow;
@@ -419,6 +420,19 @@ VcaClient::Feed& VcaClient::add_feed(FlowId flow, uint32_t ssrc,
   });
   feeds_.push_back(std::move(feed));
   return *feeds_.back();
+}
+
+void VcaClient::remove_feed(FlowId flow) {
+  for (auto it = feeds_.begin(); it != feeds_.end(); ++it) {
+    if ((*it)->flow != flow) continue;
+    host_->unregister_flow(flow);
+    // The receiver's report timer holds a raw `this`; quiesce it and park
+    // the feed until the client is destroyed (see RtpReceiver::shutdown).
+    (*it)->receiver->shutdown();
+    feed_graveyard_.push_back(std::move(*it));
+    feeds_.erase(it);
+    return;
+  }
 }
 
 }  // namespace vca

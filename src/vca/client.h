@@ -90,10 +90,14 @@ class VcaClient {
     std::unique_ptr<RtpReceiver> receiver;
     std::unique_ptr<WebRtcStatsCollector> stats;
     NodeId publisher = kInvalidNode;
+    FlowId flow = 0;
   };
   // Register an incoming video feed (called by the Call when wiring the
   // SFU's subscriptions). The feed's RTCP goes back to the SFU.
   Feed& add_feed(FlowId flow, uint32_t ssrc, NodeId publisher_node);
+  // Drop a feed (churn: its publisher left, or the layout paged it out).
+  // Unregisters the flow handler so late packets are silently dropped.
+  void remove_feed(FlowId flow);
   const std::vector<std::unique_ptr<Feed>>& feeds() const { return feeds_; }
   ReceiveSideEstimator* downlink_estimator() { return downlink_est_.get(); }
 
@@ -142,6 +146,9 @@ class VcaClient {
 
   std::unique_ptr<ReceiveSideEstimator> downlink_est_;
   std::vector<std::unique_ptr<Feed>> feeds_;
+  // Feeds removed mid-run, parked until destruction: their receivers'
+  // report timers capture raw `this` pointers. Nothing iterates this.
+  std::vector<std::unique_ptr<Feed>> feed_graveyard_;
 
   int max_width_ = 1280;
   DataRate allowed_rate_ = DataRate::mbps(1000);

@@ -18,11 +18,40 @@ enum class ViewMode {
   kSpeaker,  // one participant pinned large
 };
 
-enum class VcaKind { kMeet, kTeams, kZoom };
+enum class VcaKind { kMeet, kTeams, kZoom, kWebex };
 
 // Screen geometry of the paper's laptops (Dell Latitude 3300).
 constexpr int kScreenWidth = 1366;
 constexpr int kScreenHeight = 768;
+
+// Speaker mode renders the pinned feed plus a thumbnail filmstrip; feeds
+// beyond the strip are not rendered (or, in a cascaded conference,
+// subscribed) at all.
+constexpr int kSpeakerFilmstrip = 6;
+
+// Gallery paging: every client renders at most one page of tiles, no
+// matter how large the conference is. Chang et al. ("Can You See Me
+// Now?") report Zoom and Webex capping the gallery at a 5x5 grid and Meet
+// at a smaller tiled page; the Linux Teams client keeps its fixed 2x2.
+inline int gallery_page_capacity(VcaKind kind) {
+  switch (kind) {
+    case VcaKind::kTeams: return 4;
+    case VcaKind::kMeet: return 16;
+    case VcaKind::kZoom: return 25;
+    case VcaKind::kWebex: return 25;
+  }
+  return 25;
+}
+
+// How many remote feeds a viewer actually renders — and therefore how many
+// subscriptions a cascaded conference creates for it. This is what keeps a
+// 500-party call's downlink bounded: the per-viewer fanout saturates at
+// the page size while the roster keeps growing.
+inline int visible_tiles(VcaKind kind, int participants, ViewMode mode) {
+  int remote = std::max(0, participants - 1);
+  if (mode == ViewMode::kSpeaker) return std::min(remote, 1 + kSpeakerFilmstrip);
+  return std::min(remote, gallery_page_capacity(kind));
+}
 
 // Resolution ladder request given a tile width in pixels.
 inline int width_request_for_tile(int tile_width) {
@@ -46,10 +75,15 @@ inline int requested_width(VcaKind kind, int participants, ViewMode mode,
     return pinned ? 1280 : 180;
   }
   switch (kind) {
-    case VcaKind::kZoom: {
-      // Zoom tiles *all* n participants (self included) in a near-square
+    case VcaKind::kZoom:
+    case VcaKind::kWebex: {
+      // Zoom/Webex tile participants (self included) in a near-square
       // grid: 2x2 up to 4, a third column from 5 (the paper's n=5 knee).
-      int cols = static_cast<int>(std::ceil(std::sqrt(participants)));
+      // Past one gallery page the grid stops growing, so the request
+      // bottoms out at the page's tile size (paging leaves every pinned
+      // small-N result unchanged: by n=25 the request is already 180).
+      int tiles = std::min(participants, gallery_page_capacity(kind));
+      int cols = static_cast<int>(std::ceil(std::sqrt(tiles)));
       int tile = kScreenWidth / std::max(1, cols);
       return width_request_for_tile(tile);
     }

@@ -134,10 +134,17 @@ struct VcaProfile {
   DataRate width_rate_cap(int max_width) const;
 };
 
-// Factory: "meet", "teams", "zoom", "teams-chrome", "zoom-chrome".
+// Factory: "meet", "teams", "zoom", "webex", "teams-chrome", "zoom-chrome".
 VcaProfile vca_profile(const std::string& name);
 
-// All profile names, in the order the paper's tables list them.
+// All profile names, in the order the paper's tables list them. "webex"
+// (Chang et al.'s fourth app, used by the conference benches) is kept out
+// of this list on purpose: fuzz-scenario generation draws from it by
+// index, and growing it would silently re-roll every existing seed.
 std::vector<std::string> all_profile_names();
+
+// Profiles the cascaded-conference benches sweep (the Chang et al. app
+// set): the paper trio plus Webex.
+std::vector<std::string> conference_profile_names();
 
 }  // namespace vca

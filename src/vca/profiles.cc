@@ -87,6 +87,24 @@ EncoderSettings zoom_layer_policy(int layer, DataRate target) {
   return s;
 }
 
+// Webex simulcast copies (Chang et al., "Can You See Me Now?"): a ladder
+// of 180p/360p/720p copies, each degrading QP-first under pressure while
+// fps stays 30 (temporal adaptation happens at the server).
+EncoderSettings webex_layer_policy(int layer, DataRate target, int max_width) {
+  EncoderSettings s;
+  static constexpr int kWidths[] = {320, 640, 1280};
+  static constexpr double kNominalKbps[] = {200.0, 600.0, 1700.0};
+  int i = std::clamp(layer, 0, 2);
+  s.width = std::min(kWidths[i], std::max(180, max_width));
+  s.fps = 30.0;
+  s.bitrate = target;
+  double kbps = std::max(1.0, target.kbps_f());
+  s.qp = std::clamp(
+      30 + static_cast<int>(25.0 * (kNominalKbps[i] - kbps) / kNominalKbps[i]),
+      24, 42);
+  return s;
+}
+
 VcaProfile meet_base() {
   VcaProfile p;
   p.name = "meet";
@@ -181,6 +199,36 @@ VcaProfile zoom_base() {
   return p;
 }
 
+VcaProfile webex_base() {
+  VcaProfile p;
+  p.name = "webex";
+  p.kind = VcaKind::kWebex;
+  p.arch = Architecture::kSimulcastSfu;
+  p.cc_name = "gcc";
+  // Three simulcast copies (Chang et al.: Webex publishes a ladder up to
+  // 720p; the server forwards one copy per viewer).
+  p.layers = {
+      {.width = 320, .rate = DataRate::kbps(200), .min_request_width = 0},
+      {.width = 640, .rate = DataRate::kbps(600), .min_request_width = 640},
+      {.width = 1280, .rate = DataRate::kbps(1700), .min_request_width = 1280},
+  };
+  p.nominal_video = DataRate::kbps(2500);
+  p.start_rate = DataRate::kbps(600);
+  p.viewer_preset = ReceiveSideEstimator::Preset::kGcc;
+  p.sfu_uplink_preset = ReceiveSideEstimator::Preset::kGcc;
+  p.viewer_max_estimate = DataRate::mbps(4);
+  p.viewer_est_increase = 0.18;
+  p.sfu_est_increase = 0.09;
+  p.viewer_est_clamp = 1.3;
+  p.encoder_run_sd = 0.05;
+  // Between Meet and Teams on the recovery spectrum: a 3 s watchdog with
+  // WebRTC-style probe backoff.
+  p.resilience.media_timeout = Duration::millis(3000);
+  p.resilience.keepalive_initial = Duration::millis(300);
+  p.resilience.keepalive_max = Duration::seconds(4);
+  return p;
+}
+
 }  // namespace
 
 EncoderPolicy VcaProfile::policy_for_layer(int layer) const {
@@ -193,6 +241,10 @@ EncoderPolicy VcaProfile::policy_for_layer(int layer) const {
     case VcaKind::kZoom:
       return [layer](DataRate target, int) {
         return zoom_layer_policy(layer, target);
+      };
+    case VcaKind::kWebex:
+      return [layer](DataRate target, int max_width) {
+        return webex_layer_policy(layer, target, max_width);
       };
   }
   return meet_high_policy;
@@ -249,9 +301,67 @@ StreamAllocation VcaProfile::allocate(DataRate total, int max_width,
         // the budget on: the uplink collapses to ~0.2 Mbps (Fig 15b, n=7).
         DataRate cap =
             max_width <= 320 ? DataRate::kbps(180) : DataRate::kbps(420);
-        DataRate lo = std::clamp(total, DataRate::kbps(80), cap);
+        // The ultra-low request must cap the spend here too: in a large
+        // gallery every viewer's per-feed share is tiny, the SFU signals
+        // ultra-low, and the *publishers* are all on this branch (their
+        // tiles are small, so the high copy is gated out). Ignoring the
+        // shrink kept every uplink at the full small-tile cap, which is
+        // N x 70 kbps of excess on each viewer's already-starved downlink.
+        if (ultra_low) cap = std::min(cap, DataRate::kbps(110));
+        // Never spend above the congestion-controlled grant: the 80 kbps
+        // quality floor applies only when the grant affords it, otherwise
+        // a sub-floor grant (large calls squeeze per-client budgets hard)
+        // turned into a permanent ~self-inflicted overload.
+        DataRate floor = std::min(total, DataRate::kbps(80));
+        DataRate lo = std::clamp(total, floor, cap);
         out.items.push_back({.layer = 0, .target = lo, .ultra_low = ultra_low});
       }
+      return out;
+    }
+    case VcaKind::kWebex: {
+      // Simulcast ladder: lower active copies publish at nominal and the
+      // TOP active copy is rate-adaptive — it absorbs the whole leftover
+      // budget (up to 1.2x its nominal). The activation thresholds
+      // (lower nominals + 0.3x the new rung) are deliberately inside the
+      // estimate each state can bootstrap: the uplink REMB is clamped to
+      // 1.5x measured arrival, so a state must *spend* enough that the
+      // estimate can reach the next rung's threshold, or the ladder
+      // wedges at the bottom with viewers selecting copies the encoder
+      // never activates.
+      int eligible = 1;
+      for (size_t i = 1; i < layers.size(); ++i) {
+        if (max_width >= layers[i].min_request_width) {
+          eligible = static_cast<int>(i) + 1;
+        }
+      }
+      int active = 1;
+      DataRate cum = layers[0].rate;
+      for (int i = 1; i < eligible; ++i) {
+        if (total < cum + layers[static_cast<size_t>(i)].rate * 0.3) break;
+        cum = cum + layers[static_cast<size_t>(i)].rate;
+        active = i + 1;
+      }
+      DataRate committed = DataRate::zero();
+      for (int i = 0; i + 1 < active; ++i) {
+        out.items.push_back({.layer = i,
+                             .target = layers[static_cast<size_t>(i)].rate,
+                             .ultra_low = false});
+        committed = committed + layers[static_cast<size_t>(i)].rate;
+      }
+      const int top = active - 1;
+      const DataRate spec = layers[static_cast<size_t>(top)].rate;
+      DataRate rest = total > committed ? total - committed : DataRate::zero();
+      // A lone base copy spends up to 450 kbps (not its 200k nominal) —
+      // but only while a higher rung is *eligible*: the extra headroom is
+      // what lets the estimate climb past the 640p rung's activation
+      // point. When the tile width caps the ladder at the base (a large
+      // gallery requesting 320-wide), there is nothing to bootstrap
+      // toward, and overspending would undo the paper's tile-shrink →
+      // bitrate-drop scaling.
+      DataRate t = (top == 0 && eligible > 1)
+                       ? std::min(rest, DataRate::kbps(450))
+                       : std::clamp(rest, spec * 0.3, spec * 1.2);
+      out.items.push_back({.layer = top, .target = t, .ultra_low = false});
       return out;
     }
     case VcaKind::kZoom: {
@@ -293,6 +403,7 @@ VcaProfile vca_profile(const std::string& name) {
   if (name == "meet") return meet_base();
   if (name == "teams") return teams_base();
   if (name == "zoom") return zoom_base();
+  if (name == "webex") return webex_base();
   if (name == "teams-chrome") {
     VcaProfile p = teams_base();
     p.name = "teams-chrome";
@@ -335,6 +446,10 @@ VcaProfile vca_profile(const std::string& name) {
 
 std::vector<std::string> all_profile_names() {
   return {"meet", "teams", "zoom", "teams-chrome", "zoom-chrome"};
+}
+
+std::vector<std::string> conference_profile_names() {
+  return {"meet", "teams", "zoom", "webex"};
 }
 
 }  // namespace vca

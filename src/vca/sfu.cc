@@ -13,9 +13,18 @@ void SfuServer::start() {
   tick();
 }
 
+SfuServer::PublisherLeg* SfuServer::leg_for(NodeId origin) {
+  for (auto& l : legs_) {
+    if (l->origin == origin) return l.get();
+  }
+  return nullptr;
+}
+
 void SfuServer::add_publisher(VcaClient* client) {
   auto leg = std::make_unique<PublisherLeg>();
   leg->client = client;
+  leg->origin = client->host()->id();
+  leg->keyframe_request = [client](int layer) { client->request_keyframe(layer); };
   auto est_cfg = ReceiveSideEstimator::preset(
       cfg_.profile.sfu_uplink_preset, DataRate::kbps(500), DataRate::mbps(10));
   if (cfg_.profile.sfu_est_increase > 0.0) {
@@ -44,6 +53,7 @@ void SfuServer::add_publisher(VcaClient* client) {
     host_->register_flow(client->layer_flow(layer), [this, recv](Packet pk) {
       if (online_ && pk.is_media()) recv->handle_packet(pk);
     });
+    leg->owned_flows.push_back(client->layer_flow(layer));
     leg->layer_receivers.push_back(std::move(receiver));
   }
 
@@ -60,6 +70,7 @@ void SfuServer::add_publisher(VcaClient* client) {
   host_->register_flow(client->audio_flow(), [this, arecv](Packet pk) {
     if (online_ && pk.is_media()) arecv->handle_packet(pk);
   });
+  leg->owned_flows.push_back(client->audio_flow());
 
   // Keepalive echo: bounce the probe straight back. The echo reaching the
   // client is its proof the round trip (and this server) is alive. The
@@ -72,21 +83,124 @@ void SfuServer::add_publisher(VcaClient* client) {
     echo.created_at = sched_->now();
     host_->send(echo);
   });
+  leg->owned_flows.push_back(client->keepalive_flow());
 
   legs_.push_back(std::move(leg));
 }
 
+void SfuServer::add_remote_publisher(NodeId origin, NodeId peer_sfu,
+                                     FlowId flow_base,
+                                     std::function<void(int)> keyframe_request) {
+  auto leg = std::make_unique<PublisherLeg>();
+  leg->client = nullptr;
+  leg->origin = origin;
+  leg->keyframe_request = std::move(keyframe_request);
+
+  const size_t n_layers = cfg_.profile.layers.size();
+  leg->latest.resize(n_layers);
+  leg->has_latest.assign(n_layers, false);
+  PublisherLeg* raw = leg.get();
+
+  for (size_t i = 0; i < n_layers; ++i) {
+    int layer = static_cast<int>(i);
+    FlowId flow = flow_base + static_cast<FlowId>(i);
+    RtpReceiver::Config rc;
+    rc.ssrc = static_cast<uint32_t>(flow);
+    rc.feedback_flow = flow;
+    rc.feedback_dst = peer_sfu;
+    rc.report_interval = cfg_.profile.feedback_interval;
+    auto receiver = std::make_unique<RtpReceiver>(sched_, host_, rc);
+    receiver->set_frame_handler([this, raw, layer](const DecodedFrame& f) {
+      on_video_frame(raw, layer, f);
+    });
+    RtpReceiver* recv = receiver.get();
+    host_->register_flow(flow, [this, recv](Packet pk) {
+      if (online_ && pk.is_media()) recv->handle_packet(pk);
+    });
+    leg->owned_flows.push_back(flow);
+    leg->layer_receivers.push_back(std::move(receiver));
+  }
+
+  FlowId audio_flow = flow_base + static_cast<FlowId>(n_layers);
+  RtpReceiver::Config ac;
+  ac.ssrc = static_cast<uint32_t>(audio_flow);
+  ac.feedback_flow = audio_flow;
+  ac.feedback_dst = peer_sfu;
+  ac.enable_nack = false;
+  ac.fir_after = Duration::seconds(3600);
+  leg->audio_receiver = std::make_unique<RtpReceiver>(sched_, host_, ac);
+  leg->audio_receiver->set_frame_handler(
+      [this, raw](const DecodedFrame& f) { on_audio_frame(raw, f); });
+  RtpReceiver* arecv = leg->audio_receiver.get();
+  host_->register_flow(audio_flow, [this, arecv](Packet pk) {
+    if (online_ && pk.is_media()) arecv->handle_packet(pk);
+  });
+  leg->owned_flows.push_back(audio_flow);
+
+  legs_.push_back(std::move(leg));
+}
+
+void SfuServer::add_relay_out(VcaClient* publisher, NodeId peer_sfu,
+                              FlowId flow_base) {
+  PublisherLeg* leg = leg_for(publisher->host()->id());
+  if (leg == nullptr || !leg->is_local()) return;  // only local legs relay
+
+  auto relay = std::make_unique<RelayOut>();
+  relay->leg = leg;
+  relay->peer = peer_sfu;
+  const size_t n_layers = cfg_.profile.layers.size();
+  relay->next_frame.assign(n_layers, 0);
+
+  for (size_t i = 0; i < n_layers; ++i) {
+    int layer = static_cast<int>(i);
+    FlowId flow = flow_base + static_cast<FlowId>(i);
+    RtpSender::Config sc;
+    sc.ssrc = static_cast<uint32_t>(flow);
+    sc.flow = flow;
+    sc.dst = peer_sfu;
+    sc.pacing_rate = DataRate::mbps(8);
+    auto sender = std::make_unique<RtpSender>(sched_, host_, sc);
+    RtpSender* raw_sender = sender.get();
+    // The peer's ingress receivers report back on the same flow: NACKs
+    // repair inter-SFU loss from this sender's history, and a stalled
+    // ingress FIRs straight through to the origin encoder.
+    host_->register_flow(flow, [this, raw_sender, leg, layer](Packet pk) {
+      if (!online_ || pk.type != PacketType::kRtcp) return;
+      raw_sender->handle_rtcp(pk.rtcp());
+      if (raw_sender->take_keyframe_request() && leg->keyframe_request) {
+        leg->keyframe_request(layer);
+      }
+    });
+    relay->owned_flows.push_back(flow);
+    relay->layer_senders.push_back(std::move(sender));
+  }
+
+  FlowId audio_flow = flow_base + static_cast<FlowId>(n_layers);
+  RtpSender::Config ac;
+  ac.ssrc = static_cast<uint32_t>(audio_flow);
+  ac.flow = audio_flow;
+  ac.dst = peer_sfu;
+  ac.media_type = PacketType::kRtpAudio;
+  relay->audio_sender = std::make_unique<RtpSender>(sched_, host_, ac);
+
+  relays_.push_back(std::move(relay));
+}
+
 void SfuServer::subscribe(VcaClient* viewer, VcaClient* publisher,
                           FlowId video_flow, FlowId audio_flow) {
-  PublisherLeg* leg = nullptr;
-  for (auto& l : legs_) {
-    if (l->client == publisher) leg = l.get();
-  }
+  subscribe_origin(viewer, publisher->host()->id(), video_flow, audio_flow);
+}
+
+void SfuServer::subscribe_origin(VcaClient* viewer, NodeId origin,
+                                 FlowId video_flow, FlowId audio_flow) {
+  PublisherLeg* leg = leg_for(origin);
   if (leg == nullptr) return;
 
   auto sub = std::make_unique<Subscription>();
   sub->viewer = viewer;
   sub->leg = leg;
+  sub->video_flow = video_flow;
+  sub->audio_flow = audio_flow;
   sub->viewer_remb = DataRate::kbps(400);
 
   RtpSender::Config vc;
@@ -116,13 +230,16 @@ void SfuServer::subscribe(VcaClient* viewer, VcaClient* publisher,
     raw->video_sender->handle_rtcp(fb);
     if (raw->video_sender->take_keyframe_request()) {
       // Propagate the viewer's FIR upstream to the real encoder.
-      int layer = cfg_.profile.kind == VcaKind::kMeet ? raw->selected_stream : 0;
-      raw->leg->client->request_keyframe(layer);
+      bool simulcast = cfg_.profile.kind == VcaKind::kMeet ||
+                       cfg_.profile.kind == VcaKind::kWebex;
+      int layer = simulcast ? raw->selected_stream : 0;
+      if (raw->leg->keyframe_request) raw->leg->keyframe_request(layer);
     }
   });
 
   // Defaults depend on architecture.
-  if (cfg_.profile.kind == VcaKind::kMeet) {
+  if (cfg_.profile.kind == VcaKind::kMeet ||
+      cfg_.profile.kind == VcaKind::kWebex) {
     sub->selected_stream = static_cast<int>(cfg_.profile.layers.size()) - 1;
   } else if (cfg_.profile.kind == VcaKind::kZoom) {
     sub->active_layers = static_cast<int>(cfg_.profile.layers.size());
@@ -132,24 +249,161 @@ void SfuServer::subscribe(VcaClient* viewer, VcaClient* publisher,
 
 void SfuServer::set_desired_width(VcaClient* viewer, VcaClient* publisher,
                                   int width) {
+  set_desired_width_origin(viewer, publisher->host()->id(), width);
+}
+
+void SfuServer::set_desired_width_origin(VcaClient* viewer, NodeId origin,
+                                         int width) {
   for (auto& s : subs_) {
-    if (s->viewer == viewer && s->leg->client == publisher) {
+    if (s->viewer == viewer && s->leg->origin == origin) {
       s->desired_width = width;
     }
   }
 }
 
 void SfuServer::set_pinned(VcaClient* viewer, VcaClient* publisher, bool pinned) {
+  set_pinned_origin(viewer, publisher->host()->id(), pinned);
+}
+
+void SfuServer::set_pinned_origin(VcaClient* viewer, NodeId origin, bool pinned) {
   for (auto& s : subs_) {
-    if (s->viewer == viewer && s->leg->client == publisher) s->pinned = pinned;
+    if (s->viewer == viewer && s->leg->origin == origin) s->pinned = pinned;
   }
 }
+
+// --- teardown ---------------------------------------------------------------
+
+void SfuServer::retire_subscription(std::unique_ptr<Subscription> sub) {
+  retired_forwarded_packets_ +=
+      sub->video_sender->sent_packets() + sub->audio_sender->sent_packets();
+  host_->unregister_flow(sub->video_flow);
+  sub->video_sender->shutdown();
+  sub->audio_sender->shutdown();
+  sub->leg = nullptr;  // the leg may be torn down next; never follow this
+  sub_graveyard_.push_back(std::move(sub));
+}
+
+void SfuServer::retire_relay(std::unique_ptr<RelayOut> relay) {
+  for (const auto& s : relay->layer_senders) {
+    retired_forwarded_packets_ += s->sent_packets();
+    s->shutdown();
+  }
+  retired_forwarded_packets_ += relay->audio_sender->sent_packets();
+  relay->audio_sender->shutdown();
+  for (FlowId f : relay->owned_flows) host_->unregister_flow(f);
+  relay->leg = nullptr;
+  relay_graveyard_.push_back(std::move(relay));
+}
+
+void SfuServer::unsubscribe(VcaClient* viewer, NodeId origin) {
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if ((*it)->viewer == viewer && (*it)->leg->origin == origin) {
+      retire_subscription(std::move(*it));
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SfuServer::unsubscribe_viewer(VcaClient* viewer) {
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if ((*it)->viewer == viewer) {
+      retire_subscription(std::move(*it));
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SfuServer::remove_publisher(VcaClient* publisher) {
+  remove_leg(publisher->host()->id());
+}
+
+void SfuServer::remove_remote_publisher(NodeId origin) { remove_leg(origin); }
+
+void SfuServer::remove_leg(NodeId origin) {
+  PublisherLeg* leg = leg_for(origin);
+  if (leg == nullptr) return;
+
+  // Subscriptions fed by this leg go first (their senders reference it).
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if ((*it)->leg == leg) {
+      retire_subscription(std::move(*it));
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Then any relay egress of this leg.
+  for (auto it = relays_.begin(); it != relays_.end();) {
+    if ((*it)->leg == leg) {
+      retire_relay(std::move(*it));
+      it = relays_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Finally the uplink (or relay-ingress) flow handlers and the leg itself.
+  for (auto it = legs_.begin(); it != legs_.end(); ++it) {
+    if (it->get() == leg) {
+      for (FlowId f : leg->owned_flows) host_->unregister_flow(f);
+      for (const auto& r : leg->layer_receivers) r->shutdown();
+      if (leg->audio_receiver) leg->audio_receiver->shutdown();
+      leg_graveyard_.push_back(std::move(*it));
+      legs_.erase(it);
+      break;
+    }
+  }
+}
+
+void SfuServer::remove_relay_out(NodeId origin, NodeId peer_sfu) {
+  for (auto it = relays_.begin(); it != relays_.end();) {
+    if ((*it)->leg->origin == origin && (*it)->peer == peer_sfu) {
+      retire_relay(std::move(*it));
+      it = relays_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SfuServer::note_departed(NodeId viewer_node) {
+  departed_.insert(viewer_node);
+}
+
+void SfuServer::append_invariant_violations(std::vector<std::string>* out) const {
+  if (forwards_to_departed_ > 0) {
+    out->push_back("sfu " + host_->name() + ": forwarded " +
+                   std::to_string(forwards_to_departed_) +
+                   " frames to departed clients");
+  }
+  for (const auto& s : subs_) {
+    if (departed(s->viewer->host()->id())) {
+      out->push_back("sfu " + host_->name() +
+                     ": stale subscription for departed viewer " +
+                     s->viewer->host()->name());
+    }
+  }
+}
+
+// --- media fanout -----------------------------------------------------------
 
 void SfuServer::on_video_frame(PublisherLeg* leg, int layer,
                                const DecodedFrame& f) {
   if (!online_) return;
   leg->latest[static_cast<size_t>(layer)] = f;
   leg->has_latest[static_cast<size_t>(layer)] = true;
+
+  // Cascade first: a local publisher's frame crosses each inter-SFU link
+  // exactly once, unselected and unthinned — the peer SFU runs its own
+  // per-viewer selection. Remote legs never relay (no loops).
+  if (leg->is_local()) {
+    for (auto& r : relays_) {
+      if (r->leg == leg) relay_video(*r, layer, f);
+    }
+  }
 
   for (auto& s : subs_) {
     if (s->leg != leg) continue;
@@ -162,7 +416,8 @@ void SfuServer::on_video_frame(PublisherLeg* leg, int layer,
         forward(*s, out, /*thinnable=*/true);
         break;
       }
-      case VcaKind::kMeet: {
+      case VcaKind::kMeet:
+      case VcaKind::kWebex: {
         if (layer != s->selected_stream) break;
         forward(*s, f, /*thinnable=*/true);
         break;
@@ -202,6 +457,11 @@ void SfuServer::on_video_frame(PublisherLeg* leg, int layer,
 // copied per viewer — reassembled frames fan out, packets do not.
 void SfuServer::forward(Subscription& sub, const DecodedFrame& f,
                         bool thinnable) {
+  if (departed(sub.viewer->host()->id())) {
+    // "No forwarding to departed clients" sim-invariant: every exit path
+    // must have torn this subscription down before media reaches it.
+    ++forwards_to_departed_;
+  }
   if (thinnable && sub.temporal_divisor > 1 && !f.keyframe) {
     if (++sub.thinning_counter % static_cast<uint64_t>(sub.temporal_divisor) != 0) {
       return;
@@ -220,10 +480,38 @@ void SfuServer::forward(Subscription& sub, const DecodedFrame& f,
   sub.video_sender->send_frame(out);
 }
 
+void SfuServer::relay_video(RelayOut& relay, int layer, const DecodedFrame& f) {
+  EncodedFrame out;
+  out.ssrc = relay.layer_senders[static_cast<size_t>(layer)]->ssrc();
+  out.frame_id = relay.next_frame[static_cast<size_t>(layer)]++;
+  out.bytes = f.bytes;
+  out.keyframe = f.keyframe;
+  out.spatial_layer = f.spatial_layer;
+  out.width = f.width;
+  out.fps = f.fps;
+  out.qp = f.qp;
+  out.capture_time = f.capture_time;
+  relay.layer_senders[static_cast<size_t>(layer)]->send_frame(out);
+}
+
 void SfuServer::on_audio_frame(PublisherLeg* leg, const DecodedFrame& f) {
   if (!online_) return;
+  if (leg->is_local()) {
+    for (auto& r : relays_) {
+      if (r->leg != leg) continue;
+      EncodedFrame out;
+      out.ssrc = r->audio_sender->ssrc();
+      out.frame_id = r->next_audio_frame++;
+      out.bytes = f.bytes;
+      out.keyframe = true;
+      out.fps = f.fps;
+      out.capture_time = f.capture_time;
+      r->audio_sender->send_frame(out);
+    }
+  }
   for (auto& s : subs_) {
     if (s->leg != leg) continue;
+    if (departed(s->viewer->host()->id())) ++forwards_to_departed_;
     EncodedFrame out;
     out.ssrc = s->audio_sender->ssrc();
     out.frame_id = s->next_audio_frame++;
@@ -294,8 +582,6 @@ void SfuServer::maybe_probe(Subscription& sub) {
   if (p.kind == VcaKind::kTeams) return;
   if (sub.viewer_loss > 0.05) return;  // genuinely congested: do not pile on
 
-  if (p.kind == VcaKind::kTeams) return;
-
   // Is there anything to upgrade to?
   bool wants_upgrade = false;
   if (p.kind == VcaKind::kMeet) {
@@ -303,6 +589,14 @@ void SfuServer::maybe_probe(Subscription& sub) {
     bool width_ok = sub.desired_width >= p.layers.back().min_request_width;
     wants_upgrade =
         width_ok && !(sub.selected_stream == top && sub.temporal_divisor == 1);
+  } else if (p.kind == VcaKind::kWebex) {
+    int top_eligible = 0;
+    for (size_t i = 0; i < p.layers.size(); ++i) {
+      if (sub.desired_width >= p.layers[i].min_request_width) {
+        top_eligible = static_cast<int>(i);
+      }
+    }
+    wants_upgrade = sub.selected_stream < top_eligible;
   } else {  // Zoom
     int max_layers = 0;
     for (const auto& l : p.layers) {
@@ -386,7 +680,39 @@ void SfuServer::update_selection(Subscription& sub) {
           sub.selected_stream = want_stream;
           sub.temporal_divisor = want_div;
           sub.debounce = 0;
-          if (stream_changed) sub.leg->client->request_keyframe(want_stream);
+          if (stream_changed && sub.leg->keyframe_request) {
+            sub.leg->keyframe_request(want_stream);
+          }
+        }
+      } else {
+        sub.debounce = 0;
+      }
+      break;
+    }
+    case VcaKind::kWebex: {
+      // Generalized simulcast selection over the profile's ladder: the
+      // highest copy the viewer's tile is eligible for whose nominal rate
+      // fits the share, with the same rx-validated upgrade rule as Meet.
+      const auto& layers = p.layers;
+      int want = 0;
+      for (int i = static_cast<int>(layers.size()) - 1; i >= 1; --i) {
+        size_t idx = static_cast<size_t>(i);
+        if (sub.desired_width < layers[idx].min_request_width) continue;
+        if (kbps >= layers[idx].rate.kbps_f() * 1.1) {
+          want = i;
+          break;
+        }
+      }
+      if (want > sub.selected_stream) {
+        double need = layers[static_cast<size_t>(want)].rate.kbps_f();
+        if (sub.viewer_rx.kbps_f() < need * 1.02) want = sub.selected_stream;
+      }
+      sub.wants_ultra_low = false;
+      if (want != sub.selected_stream) {
+        if (++sub.debounce >= 3) {
+          sub.selected_stream = want;
+          sub.debounce = 0;
+          if (sub.leg->keyframe_request) sub.leg->keyframe_request(want);
         }
       } else {
         sub.debounce = 0;
@@ -410,10 +736,14 @@ void SfuServer::update_selection(Subscription& sub) {
 }
 
 DataRate SfuServer::min_viewer_share_for(VcaClient* publisher) const {
+  return min_viewer_share_for_origin(publisher->host()->id());
+}
+
+DataRate SfuServer::min_viewer_share_for_origin(NodeId origin) const {
   DataRate best = DataRate::mbps(1000);
   bool any = false;
   for (const auto& s : subs_) {
-    if (s->leg->client != publisher) continue;
+    if (s->leg->origin != origin) continue;
     any = true;
     // A relay that is temporally thinning delivers half the publisher's
     // rate; the publisher may keep sending at divisor x the viewer's
@@ -426,8 +756,12 @@ DataRate SfuServer::min_viewer_share_for(VcaClient* publisher) const {
 }
 
 bool SfuServer::any_ultra_low(VcaClient* publisher) const {
+  return any_ultra_low_origin(publisher->host()->id());
+}
+
+bool SfuServer::any_ultra_low_origin(NodeId origin) const {
   for (const auto& s : subs_) {
-    if (s->leg->client == publisher && s->wants_ultra_low) return true;
+    if (s->leg->origin == origin && s->wants_ultra_low) return true;
   }
   return false;
 }
@@ -465,6 +799,18 @@ DataRate SfuServer::viewer_budget(VcaClient* viewer) const {
     if (s->viewer == viewer) return s->viewer_remb;
   }
   return DataRate::zero();
+}
+
+int64_t SfuServer::forwarded_packets() const {
+  int64_t total = retired_forwarded_packets_;
+  for (const auto& s : subs_) {
+    total += s->video_sender->sent_packets() + s->audio_sender->sent_packets();
+  }
+  for (const auto& r : relays_) {
+    for (const auto& ls : r->layer_senders) total += ls->sent_packets();
+    total += r->audio_sender->sent_packets();
+  }
+  return total;
 }
 
 }  // namespace vca

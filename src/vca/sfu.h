@@ -11,14 +11,28 @@
 //  * Zoom   (kSvcSfu):        selects how many SVC layers to forward and
 //    adds server-side FEC (the §3.1 up/down asymmetry); layer re-adds are
 //    instant => fast downlink recovery.
+//  * Webex  (kSimulcastSfu):  like Meet with a three-copy ladder
+//    (Chang et al., "Can You See Me Now?").
 //
 // The SFU re-originates every forwarded stream (fresh SSRC/sequence/frame
 // numbering), as production SFUs do, so temporal thinning and stream
 // switches never break the viewer's decode chain.
+//
+// Cascaded fleets: SFUs can be organized one-per-region, with each client
+// publishing to its regional SFU. A local publisher's streams are relayed
+// *once* per peer region (add_relay_out) over inter-SFU relay flows; the
+// peer SFU terminates them as a remote publisher leg (add_remote_publisher)
+// and fans out to its local viewers with the same per-viewer selection it
+// applies to local legs. Only local legs are ever relayed, so a stream
+// crosses each inter-SFU link at most once and relay loops are
+// structurally impossible.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cc/remb.h"
@@ -48,11 +62,50 @@ class SfuServer {
   // The caller must also call viewer->add_feed(video_flow, ...).
   void subscribe(VcaClient* viewer, VcaClient* publisher, FlowId video_flow,
                  FlowId audio_flow);
+  // Same, with the publisher named by its origin node — works for both
+  // local and remote (relay-ingress) publisher legs.
+  void subscribe_origin(VcaClient* viewer, NodeId origin, FlowId video_flow,
+                        FlowId audio_flow);
 
   void set_desired_width(VcaClient* viewer, VcaClient* publisher, int width);
+  void set_desired_width_origin(VcaClient* viewer, NodeId origin, int width);
   void set_pinned(VcaClient* viewer, VcaClient* publisher, bool pinned);
+  void set_pinned_origin(VcaClient* viewer, NodeId origin, bool pinned);
   // Teams §6.1 anomaly: downstream thinning for large calls.
   void set_relay_divisor(int divisor) { relay_divisor_ = divisor; }
+
+  // --- cascaded-fleet wiring (conference.h drives this) ---
+  // Relay egress: forward local publisher `publisher`'s streams, exactly
+  // once, to the peer SFU host at `peer_sfu`. Layer i media travels on
+  // relay flow `flow_base + i`, audio on `flow_base + n_layers`; RTCP for
+  // each stream returns on the same flow.
+  void add_relay_out(VcaClient* publisher, NodeId peer_sfu, FlowId flow_base);
+  void remove_relay_out(NodeId origin, NodeId peer_sfu);
+  // Relay ingress: terminate the streams the peer SFU at `peer_sfu`
+  // relays for the remote publisher `origin`. `keyframe_request` routes a
+  // local viewer's FIR back toward the origin encoder (out-of-band, like
+  // the signaling loop).
+  void add_remote_publisher(NodeId origin, NodeId peer_sfu, FlowId flow_base,
+                            std::function<void(int)> keyframe_request);
+  void remove_remote_publisher(NodeId origin);
+
+  // --- teardown (every exit path: leave, timeout, blackout, mid-relay) ---
+  // All teardown works while the SFU is offline: a blacked-out server
+  // still has to forget clients that gave up on it, otherwise their flow
+  // handlers dangle and their subscriptions keep consuming fanout.
+  void unsubscribe(VcaClient* viewer, NodeId origin);
+  void unsubscribe_viewer(VcaClient* viewer);
+  void remove_publisher(VcaClient* publisher);
+
+  // Departed-client bookkeeping behind the "no forwarding to departed
+  // clients" sim-invariant: the conference marks a client departed the
+  // moment it leaves; any subsequent frame forwarded to it means some
+  // exit path failed to tear its subscriptions down.
+  void note_departed(NodeId viewer_node);
+  int64_t forwards_to_departed() const { return forwards_to_departed_; }
+  // Appends one line per violated SFU invariant (same contract as
+  // Link::append_invariant_violations).
+  void append_invariant_violations(std::vector<std::string>* out) const;
 
   void start();
 
@@ -66,9 +119,11 @@ class SfuServer {
   // The smallest per-feed downlink budget any viewer has for `publisher`
   // (Teams: relayed to the publisher as its allowed sending rate).
   DataRate min_viewer_share_for(VcaClient* publisher) const;
+  DataRate min_viewer_share_for_origin(NodeId origin) const;
   // Meet: some viewer of `publisher` is so starved it needs the ultra-low
   // low-stream variant.
   bool any_ultra_low(VcaClient* publisher) const;
+  bool any_ultra_low_origin(NodeId origin) const;
   // Introspection for tests/benches.
   int selected_stream(VcaClient* viewer, VcaClient* publisher) const;
   int active_layers(VcaClient* viewer, VcaClient* publisher) const;
@@ -76,14 +131,27 @@ class SfuServer {
   // FIRs generated against this publisher's uplink streams (Fig 3b).
   int fir_count_for(VcaClient* publisher) const;
 
+  // --- per-SFU load metrics (the fleet CPU proxy) ---
+  // Packets this SFU originated toward viewers and peer SFUs (media, FEC,
+  // probe padding and retransmissions), including streams already torn
+  // down. The per-second rate is ~linear in local fanout degree.
+  int64_t forwarded_packets() const;
+  // Live subscriptions (local fanout degree) and relay egress streams.
+  int subscription_count() const { return static_cast<int>(subs_.size()); }
+  int relay_out_count() const { return static_cast<int>(relays_.size()); }
+
  private:
   struct PublisherLeg {
-    VcaClient* client = nullptr;
+    VcaClient* client = nullptr;  // nullptr for remote (relay-ingress) legs
+    NodeId origin = kInvalidNode;
+    std::vector<FlowId> owned_flows;  // host flow handlers to drop on removal
+    std::function<void(int)> keyframe_request;
     std::vector<std::unique_ptr<RtpReceiver>> layer_receivers;
     std::unique_ptr<RtpReceiver> audio_receiver;
     std::unique_ptr<ReceiveSideEstimator> uplink_estimator;
     std::vector<DecodedFrame> latest;  // most recent frame per layer
     std::vector<bool> has_latest;
+    bool is_local() const { return client != nullptr; }
   };
 
   struct Subscription {
@@ -91,9 +159,11 @@ class SfuServer {
     PublisherLeg* leg = nullptr;
     std::unique_ptr<RtpSender> video_sender;
     std::unique_ptr<RtpSender> audio_sender;
+    FlowId video_flow = 0;
+    FlowId audio_flow = 0;
     int desired_width = 1280;
     bool pinned = false;
-    // Meet state.
+    // Meet/Webex state.
     int selected_stream = 0;
     int temporal_divisor = 1;
     uint64_t thinning_counter = 0;
@@ -114,19 +184,52 @@ class SfuServer {
     DataRate share;  // budget assigned this tick
   };
 
+  // One relay egress: a local publisher's ladder re-originated toward one
+  // peer SFU (all layers, no per-viewer selection — the peer selects).
+  struct RelayOut {
+    PublisherLeg* leg = nullptr;
+    NodeId peer = kInvalidNode;
+    std::vector<FlowId> owned_flows;  // RTCP-return handlers on this host
+    std::vector<std::unique_ptr<RtpSender>> layer_senders;
+    std::unique_ptr<RtpSender> audio_sender;
+    std::vector<uint64_t> next_frame;
+    uint64_t next_audio_frame = 0;
+  };
+
   void on_video_frame(PublisherLeg* leg, int layer, const DecodedFrame& f);
   void on_audio_frame(PublisherLeg* leg, const DecodedFrame& f);
   void forward(Subscription& sub, const DecodedFrame& f, bool thinnable);
+  void relay_video(RelayOut& relay, int layer, const DecodedFrame& f);
   void tick();
   void update_selection(Subscription& sub);
   void maybe_probe(Subscription& sub);
   const Subscription* find(VcaClient* viewer, VcaClient* publisher) const;
+  PublisherLeg* leg_for(NodeId origin);
+  void retire_subscription(std::unique_ptr<Subscription> sub);
+  void retire_relay(std::unique_ptr<RelayOut> relay);
+  void remove_leg(NodeId origin);
+  bool departed(NodeId node) const {
+    return !departed_.empty() && departed_.count(node) > 0;
+  }
 
   EventScheduler* sched_;
   Host* host_;
   Config cfg_;
   std::vector<std::unique_ptr<PublisherLeg>> legs_;
   std::vector<std::unique_ptr<Subscription>> subs_;
+  std::vector<std::unique_ptr<RelayOut>> relays_;
+  // Torn down mid-run, parked until the server is destroyed: their
+  // senders'/receivers' pacing and report timers capture raw `this`
+  // pointers (see RtpSender::shutdown). Nothing iterates these, so the
+  // dangling leg/viewer pointers inside are never followed.
+  std::vector<std::unique_ptr<PublisherLeg>> leg_graveyard_;
+  std::vector<std::unique_ptr<Subscription>> sub_graveyard_;
+  std::vector<std::unique_ptr<RelayOut>> relay_graveyard_;
+  std::unordered_set<NodeId> departed_;
+  // Packet totals of senders already torn down, so churn never makes the
+  // forwarded-packet counter go backwards.
+  int64_t retired_forwarded_packets_ = 0;
+  int64_t forwards_to_departed_ = 0;
   int relay_divisor_ = 1;
   bool online_ = true;
   bool started_ = false;

@@ -40,17 +40,72 @@ TEST(HarnessFuzz, SameSeedSameScenario) {
 }
 
 TEST(HarnessFuzz, GeneratorRespectsBounds) {
+  bool saw_conference = false, saw_two_party = false;
   for (uint64_t seed = 1; seed <= 60; ++seed) {
     FuzzScenario sc = fuzz_scenario_from_seed(seed);
     EXPECT_GE(sc.clients.size(), 2u);
-    EXPECT_LE(sc.clients.size(), 5u);
-    EXPECT_GE(sc.duration_ms, 45000);
+    if (sc.regions > 1) {
+      // Cascaded-fleet scenarios: city-scale roster, shorter calls.
+      saw_conference = true;
+      EXPECT_LE(sc.regions, 4);
+      EXPECT_GE(sc.clients.size(), 10u);
+      EXPECT_LE(sc.clients.size(), 50u);
+      EXPECT_GE(sc.duration_ms, 18000);
+      for (const FuzzClient& c : sc.clients) {
+        EXPECT_GE(c.region, 0);
+        EXPECT_LT(c.region, sc.regions);
+      }
+    } else {
+      saw_two_party = true;
+      EXPECT_LE(sc.clients.size(), 5u);
+      EXPECT_GE(sc.duration_ms, 45000);
+      for (const FuzzFault& f : sc.faults) {
+        EXPECT_NE(f.kind, FuzzFaultKind::kRelayOutage);
+      }
+    }
     for (const FuzzFault& f : sc.faults) {
       EXPECT_GE(f.target_client, -1);
       EXPECT_LT(f.target_client, static_cast<int>(sc.clients.size()));
       EXPECT_GE(f.start_ms, 0);
+      if (sc.regions > 1 && f.target_client == -1) {
+        EXPECT_TRUE(f.kind == FuzzFaultKind::kSfuBlackout ||
+                    f.kind == FuzzFaultKind::kRelayOutage);
+        EXPECT_GE(f.a, 0);
+        EXPECT_LT(f.a, sc.regions);
+      }
     }
   }
+  EXPECT_TRUE(saw_conference);  // ~20% of seeds; 60 draws make this sure
+  EXPECT_TRUE(saw_two_party);
+}
+
+TEST(HarnessFuzz, ConferenceSpecRoundTripsExactly) {
+  // Hand-built cascaded spec: 3 regions, per-client region fields, a
+  // region-targeted blackout and a relay outage.
+  const std::string spec =
+      "v1;seed=42;profile=webex;mode=g;dur=30000;wedge=0;reg=3;"
+      "cl=4000,12000,5,100,0,0,0;cl=8000,20000,5,100,0,0,1;"
+      "cl=8000,20000,5,100,4000,15000,2;cl=8000,20000,5,100,0,0,1;"
+      "fl=sfu,-1,u,6000,2000,1,0,0;fl=relay,-1,u,9000,2500,2,0,0";
+  auto sc = FuzzScenario::from_spec(spec);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->regions, 3);
+  EXPECT_EQ(sc->clients[2].region, 2);
+  EXPECT_EQ(sc->faults[1].kind, FuzzFaultKind::kRelayOutage);
+  EXPECT_EQ(sc->to_spec(), spec);
+}
+
+TEST(HarnessFuzz, PreFleetSpecsStayByteIdentical) {
+  // A 6-field single-SFU spec (the committed corpus format) must parse
+  // and re-serialize without sprouting region fields.
+  const std::string spec =
+      "v1;seed=7;profile=meet;mode=g;dur=45000;wedge=0;"
+      "cl=5000,5000,5,100,0,0;cl=20000,20000,5,100,0,0;"
+      "fl=sfu,-1,u,9000,2000,0,0,0";
+  auto sc = FuzzScenario::from_spec(spec);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_EQ(sc->regions, 1);
+  EXPECT_EQ(sc->to_spec(), spec);
 }
 
 TEST(HarnessFuzz, MalformedSpecsRejected) {
@@ -65,6 +120,29 @@ TEST(HarnessFuzz, MalformedSpecsRejected) {
                    "cl=5000,5000,5,100,0,0;cl=5000,5000,5,100,0,0;"
                    "fl=out,7,u,1000,1000,0,0,0")
                    .has_value());
+  // Client placed in a region the fleet does not have.
+  EXPECT_FALSE(FuzzScenario::from_spec(
+                   "v1;seed=1;profile=webex;mode=g;dur=30000;wedge=0;reg=2;"
+                   "cl=5000,5000,5,100,0,0,0;cl=5000,5000,5,100,0,0,5")
+                   .has_value());
+  // Relay outage needs a cascaded fleet (regions > 1).
+  EXPECT_FALSE(FuzzScenario::from_spec(
+                   "v1;seed=1;profile=meet;mode=g;dur=60000;wedge=0;"
+                   "cl=5000,5000,5,100,0,0;cl=5000,5000,5,100,0,0;"
+                   "fl=relay,-1,u,9000,2000,0,0,0")
+                   .has_value());
+  // Blackout aimed at a region index outside the fleet.
+  EXPECT_FALSE(FuzzScenario::from_spec(
+                   "v1;seed=1;profile=webex;mode=g;dur=30000;wedge=0;reg=2;"
+                   "cl=5000,5000,5,100,0,0,0;cl=5000,5000,5,100,0,0,1;"
+                   "fl=sfu,-1,u,6000,2000,3,0,0")
+                   .has_value());
+  // Ambiguous: a generic outage cannot target "the SFU" on a fleet.
+  EXPECT_FALSE(FuzzScenario::from_spec(
+                   "v1;seed=1;profile=webex;mode=g;dur=30000;wedge=0;reg=2;"
+                   "cl=5000,5000,5,100,0,0,0;cl=5000,5000,5,100,0,0,1;"
+                   "fl=out,-1,u,6000,2000,0,0,0")
+                   .has_value());
 }
 
 TEST(HarnessFuzz, CleanTwoPartyScenarioPassesOracles) {
@@ -77,6 +155,61 @@ TEST(HarnessFuzz, CleanTwoPartyScenarioPassesOracles) {
   EXPECT_TRUE(r.ok()) << r.failures.front().category << ": "
                       << r.failures.front().detail;
   EXPECT_GT(r.sim_events, 0u);
+}
+
+TEST(HarnessFuzz, CleanConferenceScenarioPassesOracles) {
+  FuzzScenario sc;
+  sc.seed = 171717;
+  sc.profile = "webex";
+  sc.regions = 3;
+  sc.duration_ms = 20000;
+  for (int i = 0; i < 9; ++i) {
+    FuzzClient c;
+    c.up_kbps = i == 0 ? 4000 : 10000;
+    c.down_kbps = i == 0 ? 12000 : 20000;
+    c.prop_ms = 5;
+    c.queue_kb = 100;
+    c.region = i % 3;
+    sc.clients.push_back(c);
+  }
+  FuzzResult r = run_fuzz_scenario(sc, quiet_opts());
+  EXPECT_TRUE(r.ok()) << r.failures.front().category << ": "
+                      << r.failures.front().detail;
+  EXPECT_GT(r.sim_events, 0u);
+}
+
+TEST(HarnessFuzz, ShrinkerCollapsesCascadedFleet) {
+  // A wedge on client 0's uplink inside a 2-region 10-party conference
+  // is not region- or roster-specific, so the shrinker must collapse the
+  // fleet to a single region and the roster to the two anchors.
+  FuzzScenario sc;
+  sc.seed = 5151;
+  sc.profile = "meet";
+  sc.regions = 2;
+  sc.duration_ms = 40000;
+  for (int i = 0; i < 10; ++i) {
+    FuzzClient c;
+    c.up_kbps = i == 0 ? 4000 : 10000;
+    c.down_kbps = i == 0 ? 12000 : 20000;
+    c.prop_ms = 5;
+    c.queue_kb = 100;
+    c.region = i % 2;
+    sc.clients.push_back(c);
+  }
+  FuzzFault relay;
+  relay.kind = FuzzFaultKind::kRelayOutage;
+  relay.target_client = -1;
+  relay.start_ms = 6000;
+  relay.length_ms = 1500;
+  relay.a = 1;
+  sc.faults = {relay};
+  sc.inject_wedge = true;
+  auto shrunk = shrink_failure(sc, quiet_opts());
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_EQ(shrunk->category, "liveness-wedge");
+  EXPECT_EQ(shrunk->minimal.regions, 1);
+  EXPECT_EQ(shrunk->minimal.clients.size(), 2u);
+  EXPECT_EQ(shrunk->minimal.faults.size(), 0u);
 }
 
 TEST(HarnessFuzz, OracleCatchesInjectedWedge) {

@@ -47,6 +47,52 @@ TEST(LayoutTest, TeamsDisplaysAtMostFourFeeds) {
   EXPECT_EQ(displayed_feeds(VcaKind::kTeams, 8, ViewMode::kSpeaker), 7);
 }
 
+// Pinned tile-budget results at the gallery sizes the multiparty sweeps
+// dwell on (N = 7, 8, 25, 49): the 7+ starvation fix and the page cap
+// must keep these exact values stable.
+TEST(LayoutTest, PinnedWidthsAtSevenEightTwentyFiveFortyNine) {
+  struct Row {
+    int n;
+    int meet, zoom, webex, teams;
+  };
+  // Meet's knee is n=7; Zoom/Webex shrink with the near-square grid and
+  // bottom out at 180 once the 5x5 page is full; Teams never shrinks.
+  const Row rows[] = {
+      {7, 320, 320, 320, 640},
+      {8, 320, 320, 320, 640},
+      {25, 320, 180, 180, 640},
+      {49, 320, 180, 180, 640},
+  };
+  for (const Row& r : rows) {
+    EXPECT_EQ(requested_width(VcaKind::kMeet, r.n, ViewMode::kGallery, false),
+              r.meet) << "meet n=" << r.n;
+    EXPECT_EQ(requested_width(VcaKind::kZoom, r.n, ViewMode::kGallery, false),
+              r.zoom) << "zoom n=" << r.n;
+    EXPECT_EQ(requested_width(VcaKind::kWebex, r.n, ViewMode::kGallery, false),
+              r.webex) << "webex n=" << r.n;
+    EXPECT_EQ(requested_width(VcaKind::kTeams, r.n, ViewMode::kGallery, false),
+              r.teams) << "teams n=" << r.n;
+  }
+}
+
+// The subscription fanout a cascaded conference creates per viewer: grows
+// with the roster until the gallery page (or the speaker filmstrip) caps
+// it, never past.
+TEST(LayoutTest, VisibleTilesSaturateAtPageCapacity) {
+  for (int n : {7, 8, 25, 49}) {
+    EXPECT_EQ(visible_tiles(VcaKind::kZoom, n, ViewMode::kGallery),
+              std::min(n - 1, 25)) << "zoom n=" << n;
+    EXPECT_EQ(visible_tiles(VcaKind::kWebex, n, ViewMode::kGallery),
+              std::min(n - 1, 25)) << "webex n=" << n;
+    EXPECT_EQ(visible_tiles(VcaKind::kMeet, n, ViewMode::kGallery),
+              std::min(n - 1, 16)) << "meet n=" << n;
+    EXPECT_EQ(visible_tiles(VcaKind::kTeams, n, ViewMode::kGallery), 4)
+        << "teams n=" << n;
+    EXPECT_EQ(visible_tiles(VcaKind::kWebex, n, ViewMode::kSpeaker),
+              std::min(n - 1, 1 + kSpeakerFilmstrip)) << "speaker n=" << n;
+  }
+}
+
 TEST(LayoutTest, TileWidthLadder) {
   EXPECT_EQ(width_request_for_tile(1366), 1280);
   EXPECT_EQ(width_request_for_tile(683), 640);

@@ -117,6 +117,71 @@ TEST(ProfileTest, MeetSingleLayerVariantAllocatesOnlyLayerZero) {
   }
 }
 
+TEST(ProfileTest, WebexLadderMatchesChang) {
+  VcaProfile p = vca_profile("webex");
+  EXPECT_EQ(p.kind, VcaKind::kWebex);
+  EXPECT_EQ(p.arch, Architecture::kSimulcastSfu);
+  ASSERT_EQ(p.layers.size(), 3u);
+  EXPECT_EQ(p.layers[0].width, 320);
+  EXPECT_EQ(p.layers[1].width, 640);
+  EXPECT_EQ(p.layers[2].width, 1280);
+}
+
+TEST(ProfileTest, WebexLoneBaseKeepsBootstrapHeadroom) {
+  VcaProfile p = vca_profile("webex");
+  // A low grant with big tiles: only the base copy is affordable, but it
+  // may overspend its 200k nominal (up to 450k) so the REMB estimate —
+  // clamped to 1.5x measured arrival — can climb past the 640p rung's
+  // activation point. Without this the ladder wedges at the bottom.
+  StreamAllocation a = p.allocate(DataRate::kbps(370), 1280, false);
+  ASSERT_EQ(a.items.size(), 1u);
+  EXPECT_EQ(a.items[0].layer, 0);
+  // Spends the whole grant, well past the 1.2x-nominal (240k) cap that
+  // applies when the ladder is width-capped instead.
+  EXPECT_NEAR(a.items[0].target.kbps_f(), 370.0, 1.0);
+}
+
+// The other side of the same coin, pinned at the tile widths a webex
+// gallery requests at N = 7, 8 (320-wide) and N = 25, 49 (180-wide): when
+// small tiles cap the ladder at the base there is nothing to bootstrap
+// toward, so a huge grant must NOT inflate the lone copy past ~1.2x
+// nominal (the regression that made 12-party downlink exceed 4-party).
+TEST(ProfileTest, WebexLargeGalleryBaseStaysNearNominal) {
+  VcaProfile p = vca_profile("webex");
+  for (int n : {7, 8, 25, 49}) {
+    int w = requested_width(VcaKind::kWebex, n, ViewMode::kGallery, false);
+    StreamAllocation a = p.allocate(DataRate::kbps(5000), w, false);
+    ASSERT_EQ(a.items.size(), 1u) << "n=" << n;
+    EXPECT_EQ(a.items[0].layer, 0) << "n=" << n;
+    EXPECT_LE(a.items[0].target.kbps_f(), 241.0) << "n=" << n;
+    EXPECT_GE(a.items[0].target.kbps_f(), 60.0) << "n=" << n;
+  }
+}
+
+// Meet's zero-spend branch at 7+ participants (every viewer's tile is
+// small, the high copy is gated out), pinned at the sweep's N values.
+TEST(ProfileTest, MeetSmallTileBranchPinnedAtLargeN) {
+  VcaProfile p = vca_profile("meet");
+  for (int n : {7, 8, 25, 49}) {
+    int w = requested_width(VcaKind::kMeet, n, ViewMode::kGallery, false);
+    ASSERT_EQ(w, 320) << "n=" << n;
+    // A grant below the 80 kbps quality floor is spent exactly, never
+    // exceeded: the floor only applies when the grant affords it.
+    StreamAllocation tiny = p.allocate(DataRate::kbps(60), w, false);
+    ASSERT_EQ(tiny.items.size(), 1u) << "n=" << n;
+    EXPECT_NEAR(tiny.items[0].target.kbps_f(), 60.0, 1.0) << "n=" << n;
+    // Ultra-low signalled (large gallery, starved per-feed shares): the
+    // small-tile cap shrinks from 180 to 110 kbps.
+    StreamAllocation ul = p.allocate(DataRate::kbps(850), w, true);
+    ASSERT_EQ(ul.items.size(), 1u) << "n=" << n;
+    EXPECT_LE(ul.items[0].target.kbps_f(), 111.0) << "n=" << n;
+    // Plain small-tile publish caps at 180 kbps no matter the grant.
+    StreamAllocation plain = p.allocate(DataRate::kbps(850), w, false);
+    ASSERT_EQ(plain.items.size(), 1u) << "n=" << n;
+    EXPECT_LE(plain.items[0].target.kbps_f(), 181.0) << "n=" << n;
+  }
+}
+
 TEST(ProfileTest, MeetPoliciesMatchFig2Shapes) {
   VcaProfile p = vca_profile("meet");
   EncoderPolicy low = p.policy_for_layer(0);
