@@ -3,10 +3,19 @@
 // fanout, relay-link cost vs region count, and gallery vs speaker layout.
 //
 //   --quick  trims every grid for the CI determinism gate
-//   --perf   one fixed 16-party run; prints the packets-forwarded/sec
-//            wall-clock proxy for the perf-floor gate and exits
+//   --perf   one fixed conference run; prints deterministic totals on
+//            stdout (CONF_PERF ...) and the wall-clock figures on stderr
+//            (CONF_PERF_TIMING ...), so byte-comparing stdout across
+//            --shards counts is the sharded-engine identity gate while
+//            the timing line feeds the perf-floor/regression gates.
+//            Shape flags: --participants N --regions R --duration SECS;
+//            --json PATH additionally writes a BenchReport (per-shard
+//            counters land in its timing line).
+//   --shards S  run every simulation on the sharded parallel core with
+//            S worker threads (0 = legacy single-scheduler engine)
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_common.h"
@@ -18,11 +27,12 @@ namespace {
 using namespace vca;
 using namespace vca::bench;
 
-ConferenceConfig base_cfg(bool quick) {
+ConferenceConfig base_cfg(bool quick, const SweepOptions& opts) {
   ConferenceConfig cfg;
   cfg.seed = 7100;
   cfg.duration = Duration::seconds(quick ? 20 : 40);
   cfg.measure_from = Duration::seconds(quick ? 10 : 20);
+  cfg.shards = opts.shards;
   return cfg;
 }
 
@@ -38,7 +48,7 @@ void scale_panel(BenchReport& report, const SweepOptions& opts, bool quick) {
   std::vector<ConferenceConfig> jobs;
   for (int n : sizes) {
     for (const auto& profile : profiles) {
-      ConferenceConfig cfg = base_cfg(quick);
+      ConferenceConfig cfg = base_cfg(quick, opts);
       cfg.profile = profile;
       cfg.participants = n;
       cfg.regions = 2;
@@ -94,7 +104,7 @@ void regions_panel(BenchReport& report, const SweepOptions& opts, bool quick) {
 
   std::vector<ConferenceConfig> jobs;
   for (int regions : region_counts) {
-    ConferenceConfig cfg = base_cfg(quick);
+    ConferenceConfig cfg = base_cfg(quick, opts);
     cfg.profile = "webex";
     cfg.participants = n;
     cfg.regions = regions;
@@ -141,7 +151,7 @@ void layout_panel(BenchReport& report, const SweepOptions& opts, bool quick) {
   const int n = quick ? 13 : 25;
   std::vector<ConferenceConfig> jobs;
   for (ViewMode mode : {ViewMode::kGallery, ViewMode::kSpeaker}) {
-    ConferenceConfig cfg = base_cfg(quick);
+    ConferenceConfig cfg = base_cfg(quick, opts);
     cfg.profile = "webex";
     cfg.participants = n;
     cfg.regions = 2;
@@ -174,39 +184,68 @@ void layout_panel(BenchReport& report, const SweepOptions& opts, bool quick) {
 
 // --- --perf: packets-forwarded/sec wall-clock proxy ------------------------
 
-int run_perf() {
+// Deterministic totals to stdout, wall-clock to stderr. Stdout (and the
+// --json file minus its one timing line) must be byte-identical across
+// --shards values >= 1: that is the sharded-engine identity gate
+// (check_shard_scaling.cmake). check_conference_perf.cmake and
+// check_bench_regression.cmake read the stderr/JSON timing figures.
+int run_perf(const SweepOptions& opts, int participants, int regions,
+             int duration_sec) {
   ConferenceConfig cfg;
   cfg.profile = "webex";
-  cfg.participants = 16;
-  cfg.regions = 2;
+  cfg.participants = participants;
+  cfg.regions = regions;
   cfg.seed = 7100;
-  cfg.duration = Duration::seconds(20);
-  cfg.measure_from = Duration::seconds(10);
+  cfg.duration = Duration::seconds(duration_sec);
+  cfg.measure_from = Duration::seconds(duration_sec / 2);
+  cfg.shards = opts.shards;
+  BenchReport report("bench_conference --perf", opts);
+  uint64_t events_before = sim_events_total();
   auto t0 = std::chrono::steady_clock::now();
   ConferenceResult r = run_conference(cfg);
   auto t1 = std::chrono::steady_clock::now();
   double wall = std::chrono::duration<double>(t1 - t0).count();
+  uint64_t events = sim_events_total() - events_before;
   if (!r.invariant_violations.empty()) {
     for (const auto& v : r.invariant_violations) std::cerr << v << "\n";
     return 1;
   }
-  std::cout << "CONF_PERF packets_forwarded=" << r.total_forwarded_packets
-            << " wall_sec=" << fmt(wall, 3) << " pps="
-            << static_cast<int64_t>(r.total_forwarded_packets / wall) << "\n";
-  return 0;
+  std::cout << "CONF_PERF participants=" << participants << " regions="
+            << regions << " packets_forwarded=" << r.total_forwarded_packets
+            << " sim_events=" << events << " active=" << r.active_at_end
+            << "\n";
+  std::cerr << "CONF_PERF_TIMING wall_sec=" << fmt(wall, 3) << " pps="
+            << static_cast<int64_t>(r.total_forwarded_packets / wall)
+            << " events_per_sec=" << static_cast<int64_t>(events / wall)
+            << " shards=" << opts.shards << "\n";
+  report.begin_section("conf_perf", "Fixed-shape perf run totals");
+  report.add_cell(
+      {{"participants", std::to_string(participants)},
+       {"regions", std::to_string(regions)},
+       {"profile", cfg.profile}},
+      {{"packets_forwarded",
+        BenchReport::scalar(static_cast<double>(r.total_forwarded_packets))},
+       {"active_at_end", BenchReport::scalar(r.active_at_end)}});
+  return report.finish() ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false, perf = false;
+  int participants = 16, regions = 2, duration_sec = 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--perf") == 0) perf = true;
+    if (i + 1 < argc && std::strcmp(argv[i], "--participants") == 0)
+      participants = std::atoi(argv[i + 1]);
+    if (i + 1 < argc && std::strcmp(argv[i], "--regions") == 0)
+      regions = std::atoi(argv[i + 1]);
+    if (i + 1 < argc && std::strcmp(argv[i], "--duration") == 0)
+      duration_sec = std::atoi(argv[i + 1]);
   }
-  if (perf) return run_perf();
-
   SweepOptions opts = parse_sweep_args(argc, argv);
+  if (perf) return run_perf(opts, participants, regions, duration_sec);
   BenchReport report("bench_conference", opts);
 
   header("Conference scale", "Cascaded-SFU fleet scaling curves");

@@ -1,0 +1,65 @@
+# ctest script: conference-bench throughput regression gate against a
+# committed baseline JSON (satellite of the sharded-core PR, the
+# BENCH_microsim/perf_smoke convention extended to bench_conference).
+#
+# Re-runs the baseline's fixed workload (200-party, 4-region, 20 s
+# --perf run), reads events_per_sec from the fresh report's timing line,
+# and fails if it dropped more than TOLERANCE_PCT below the committed
+# baseline's figure. Refresh the baseline alongside any intentional
+# perf-relevant change (bench/README.md has the commands).
+#
+# usage: cmake -DBENCH=<bench_conference> -DWORKDIR=<dir>
+#              -DBASELINE=<committed json> [-DSHARDS=N]
+#              [-DTOLERANCE_PCT=15] -P check_bench_regression.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR
+      "usage: cmake -DBENCH=<binary> -DWORKDIR=<dir> -DBASELINE=<json> "
+      "[-DSHARDS=N] [-DTOLERANCE_PCT=15] -P check_bench_regression.cmake")
+endif()
+if(NOT DEFINED TOLERANCE_PCT)
+  set(TOLERANCE_PCT 15)
+endif()
+
+set(shape --perf --participants 200 --regions 4 --duration 20)
+if(DEFINED SHARDS)
+  list(APPEND shape --shards ${SHARDS})
+  set(what "sharded (${SHARDS} threads)")
+else()
+  set(what "serial")
+endif()
+
+set(fresh_json "${WORKDIR}/bench_regression_fresh.json")
+execute_process(
+  COMMAND "${BENCH}" ${shape} --json "${fresh_json}"
+  RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "bench_conference ${shape} failed (rc=${rc}):\n${err}")
+endif()
+
+# events_per_sec lives in the one "timing" line of each report; take the
+# integer part (the figures are in the millions — sub-event/s precision
+# is noise).
+function(read_eps file outvar)
+  file(READ "${file}" doc)
+  string(JSON eps GET "${doc}" timing events_per_sec)
+  if(NOT eps MATCHES "^([0-9]+)")
+    message(FATAL_ERROR "no integer events_per_sec in ${file} (got ${eps})")
+  endif()
+  set(${outvar} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+read_eps("${BASELINE}" base_eps)
+read_eps("${fresh_json}" fresh_eps)
+
+math(EXPR floor_eps "${base_eps} * (100 - ${TOLERANCE_PCT}) / 100")
+if(fresh_eps LESS ${floor_eps})
+  message(FATAL_ERROR
+      "conference bench (${what}) regressed: ${fresh_eps} events/s is more "
+      "than ${TOLERANCE_PCT}% below the committed baseline ${base_eps} "
+      "events/s (${BASELINE}). If the slowdown is intentional, refresh the "
+      "baseline (bench/README.md).")
+endif()
+message(STATUS
+    "bench-regression (${what}): ${fresh_eps} events/s >= ${floor_eps} "
+    "(baseline ${base_eps} - ${TOLERANCE_PCT}%)")

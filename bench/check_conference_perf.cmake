@@ -3,7 +3,9 @@
 # fixed 16-party 2-region run. Baseline on the dev container: ~475k
 # pps; the floor leaves >2x headroom for slower CI hosts while catching
 # any change that makes per-forward work superlinear (e.g. reintroducing
-# a per-packet allocation or an O(n^2) scan per forward). Run as:
+# a per-packet allocation or an O(n^2) scan per forward). The timing line
+# (CONF_PERF_TIMING) is printed on stderr so that stdout stays
+# deterministic across --shards counts. Run as:
 #   cmake -DBENCH=<bench_conference> -P check_conference_perf.cmake
 if(NOT DEFINED BENCH)
   message(FATAL_ERROR
@@ -19,8 +21,10 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench_conference --perf failed (rc=${rc}):\n${err}")
 endif()
 
-if(NOT out MATCHES "pps=([0-9]+)")
-  message(FATAL_ERROR "no pps= figure in bench_conference --perf output:\n${out}")
+if(NOT err MATCHES "CONF_PERF_TIMING[^\n]* pps=([0-9]+)")
+  message(FATAL_ERROR
+      "no CONF_PERF_TIMING pps= figure in bench_conference --perf "
+      "stderr:\n${out}\n${err}")
 endif()
 set(pps ${CMAKE_MATCH_1})
 

@@ -1,0 +1,86 @@
+# ctest script: the sharded-engine acceptance gate on the tentpole
+# workload — a 200-party, 4-region cascaded conference.
+#
+# Two checks:
+#  1. IDENTITY (always enforced): --shards 1 and --shards 4 must produce
+#     byte-identical stdout and byte-identical --json reports once the
+#     single run-dependent "timing" line is stripped. The partition is a
+#     property of the topology; the thread count may only change wall
+#     clock.
+#  2. SCALING (hosts with >= 4 logical cores only): the 4-thread run must
+#     be at least SPEEDUP_FLOOR_PCT/100 x faster than the 1-thread run.
+#     On smaller hosts (the dev container is single-core — see
+#     BENCH_microsim.json's num_cpus) the ratio is reported but not
+#     enforced: four threads on one core cannot beat one thread, and
+#     failing on that would only gate CI on hardware, not on code.
+#
+# usage: cmake -DBENCH=<bench_conference> -DWORKDIR=<dir>
+#              [-DSPEEDUP_FLOOR_PCT=250] -P check_shard_scaling.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<binary> -DWORKDIR=<dir> -P "
+                      "check_shard_scaling.cmake")
+endif()
+if(NOT DEFINED SPEEDUP_FLOOR_PCT)
+  set(SPEEDUP_FLOOR_PCT 250)
+endif()
+
+set(shape --perf --participants 200 --regions 4 --duration 20)
+
+foreach(s 1 4)
+  execute_process(
+    COMMAND "${BENCH}" ${shape} --shards ${s}
+            --json "${WORKDIR}/shard_scaling_s${s}.json"
+    OUTPUT_VARIABLE out_${s} RESULT_VARIABLE rc ERROR_VARIABLE err_${s})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "bench_conference ${shape} --shards ${s} failed (rc=${rc}):\n"
+        "${err_${s}}")
+  endif()
+  if(NOT err_${s} MATCHES "CONF_PERF_TIMING wall_sec=([0-9]+)\\.([0-9]+)")
+    message(FATAL_ERROR
+        "no CONF_PERF_TIMING wall_sec= in --shards ${s} stderr:\n${err_${s}}")
+  endif()
+  # fmt(wall, 3) always prints 3 decimals: integer milliseconds.
+  math(EXPR wall_ms_${s} "${CMAKE_MATCH_1} * 1000 + ${CMAKE_MATCH_2}")
+endforeach()
+
+# --- identity ---------------------------------------------------------------
+if(NOT out_1 STREQUAL out_4)
+  message(FATAL_ERROR
+      "sharded engine is thread-count-dependent: --shards 1 and --shards 4 "
+      "stdout differ.\n--- shards 1 ---\n${out_1}\n--- shards 4 ---\n"
+      "${out_4}")
+endif()
+
+foreach(s 1 4)
+  file(READ "${WORKDIR}/shard_scaling_s${s}.json" doc_${s})
+  string(REGEX REPLACE "[^\n]*\"timing\"[^\n]*" "" doc_${s} "${doc_${s}}")
+endforeach()
+if(NOT doc_1 STREQUAL doc_4)
+  message(FATAL_ERROR
+      "sharded engine is thread-count-dependent: the --json reports differ "
+      "outside the timing line (see ${WORKDIR}/shard_scaling_s{1,4}.json)")
+endif()
+message(STATUS
+    "shard-identity: 200-party/4-region byte-identical at --shards 1 vs 4")
+
+# --- scaling ----------------------------------------------------------------
+cmake_host_system_information(RESULT cores QUERY NUMBER_OF_LOGICAL_CORES)
+math(EXPR speedup_pct "${wall_ms_1} * 100 / ${wall_ms_4}")
+if(cores LESS 4)
+  message(STATUS
+      "shard-scaling: host has ${cores} logical core(s); speedup "
+      "${speedup_pct}% reported, floor ${SPEEDUP_FLOOR_PCT}% not enforced "
+      "(needs >= 4 cores)")
+else()
+  math(EXPR need_ms "${wall_ms_4} * ${SPEEDUP_FLOOR_PCT} / 100")
+  if(wall_ms_1 LESS ${need_ms})
+    message(FATAL_ERROR
+        "sharded core scaling regressed: shards=1 took ${wall_ms_1} ms vs "
+        "shards=4 ${wall_ms_4} ms (speedup ${speedup_pct}%, floor "
+        "${SPEEDUP_FLOOR_PCT}%)")
+  endif()
+  message(STATUS
+      "shard-scaling: ${speedup_pct}% speedup at 4 shards >= "
+      "${SPEEDUP_FLOOR_PCT}% floor (${wall_ms_1} ms -> ${wall_ms_4} ms)")
+endif()

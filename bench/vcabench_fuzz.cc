@@ -2,6 +2,8 @@
 //
 //   vcabench_fuzz --seeds 256 [--seed-base 1] [--jobs J] [--json PATH]
 //                 [--shrink] [--inject-wedge] [--event-budget N]
+//                 [--shards S]   sharded core for cascaded scenarios
+//                                (results byte-identical at any S >= 1)
 //   vcabench_fuzz --replay '<spec>'      replay one serialized scenario
 //   vcabench_fuzz --replay-seed S        replay one generated seed
 //   vcabench_fuzz --print-seed S         dump a seed's spec and exit
@@ -152,6 +154,7 @@ int main(int argc, char** argv) {
   FuzzArgs args = parse_fuzz_args(argc, argv);
   FuzzRunOptions opt;
   opt.event_budget_per_virtual_sec = args.event_budget;
+  opt.shards = sweep_opts.shards;
 
   if (args.have_print_seed) {
     FuzzScenario sc = fuzz_scenario_from_seed(args.print_seed);

@@ -81,4 +81,51 @@ inline uint64_t link_packets_total() {
   return g_link_packets.load(std::memory_order_relaxed);
 }
 
+// --- per-shard accumulators (sharded parallel core, net/shard.h) ----------
+//
+// Shard 0 is the control strand; 1..N-1 are region shards. Fed once per
+// sharded run by the scenario runners (never from inside a window), keyed
+// by shard index so BenchReport's timing line can break events, heap
+// high-water marks, and cross-shard mailbox handoffs down per shard.
+// Fixed-size: a run with more shards than kMaxShards folds the tail into
+// the last slot rather than dropping it.
+
+inline constexpr int kMaxShards = 32;
+
+inline std::atomic<uint64_t> g_shard_events[kMaxShards]{};
+inline std::atomic<uint64_t> g_shard_peak_heap[kMaxShards]{};
+inline std::atomic<uint64_t> g_shard_handoffs[kMaxShards]{};
+inline std::atomic<int> g_shard_slots{0};
+
+inline void note_shard_run(int shard, uint64_t events, uint64_t peak_heap,
+                           uint64_t handoffs) {
+  if (shard < 0) return;
+  if (shard >= kMaxShards) shard = kMaxShards - 1;
+  g_shard_events[shard].fetch_add(events, std::memory_order_relaxed);
+  g_shard_handoffs[shard].fetch_add(handoffs, std::memory_order_relaxed);
+  uint64_t cur = g_shard_peak_heap[shard].load(std::memory_order_relaxed);
+  while (peak_heap > cur && !g_shard_peak_heap[shard].compare_exchange_weak(
+                                cur, peak_heap, std::memory_order_relaxed)) {
+  }
+  int slots = g_shard_slots.load(std::memory_order_relaxed);
+  while (shard + 1 > slots && !g_shard_slots.compare_exchange_weak(
+                                  slots, shard + 1,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+// Number of shard slots ever fed in this process (0 = no sharded run).
+inline int shard_slots() {
+  return g_shard_slots.load(std::memory_order_relaxed);
+}
+inline uint64_t shard_events(int shard) {
+  return g_shard_events[shard].load(std::memory_order_relaxed);
+}
+inline uint64_t shard_peak_heap(int shard) {
+  return g_shard_peak_heap[shard].load(std::memory_order_relaxed);
+}
+inline uint64_t shard_handoffs(int shard) {
+  return g_shard_handoffs[shard].load(std::memory_order_relaxed);
+}
+
 }  // namespace vca::perf

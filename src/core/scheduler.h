@@ -82,6 +82,49 @@ class EventScheduler {
     return true;
   }
 
+  // Epoch API for the sharded parallel core (net/shard.h). Runs every
+  // event strictly BEFORE `end` and then advances the clock to `end`,
+  // so a barrier at `end` sees all shards on the same instant and events
+  // scheduled at exactly `end` wait for the next window (after the
+  // control strand has run at the barrier). Returns the dispatch count.
+  uint64_t run_window(TimePoint end) {
+    uint64_t dispatched = 0;
+    while (!heap_.empty() && heap_.front().at < end) {
+      Event ev = pop_top();
+      if (ev.at < now_) time_monotonic_ = false;
+      now_ = ev.at;
+      ++events_processed_;
+      ++dispatched;
+      ev.fn();
+    }
+    if (now_ < end) now_ = end;
+    return dispatched;
+  }
+
+  // run_window with an event budget: stops (clock mid-window) once
+  // `max_events` events have been dispatched. The caller detects the
+  // capped case by `result == max_events && next_event_time() < end`.
+  uint64_t run_window_capped(TimePoint end, uint64_t max_events) {
+    uint64_t dispatched = 0;
+    while (!heap_.empty() && heap_.front().at < end) {
+      if (dispatched >= max_events) return dispatched;
+      Event ev = pop_top();
+      if (ev.at < now_) time_monotonic_ = false;
+      now_ = ev.at;
+      ++events_processed_;
+      ++dispatched;
+      ev.fn();
+    }
+    if (now_ < end) now_ = end;
+    return dispatched;
+  }
+
+  // Timestamp of the earliest pending event (infinite when empty); the
+  // sharded runner uses it to pick the next conservative window end.
+  TimePoint next_event_time() const {
+    return heap_.empty() ? TimePoint::infinite() : heap_.front().at;
+  }
+
   // Drain every event regardless of timestamp; the clock stops at the
   // last event rather than jumping to infinity.
   void run_all() {

@@ -13,6 +13,7 @@
 #include "harness/network.h"
 #include "harness/sweep.h"
 #include "net/faults.h"
+#include "net/shard.h"
 #include "vca/call.h"
 #include "vca/conference.h"
 
@@ -473,8 +474,10 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
     return res;
   }
   const bool cascaded = sc.regions > 1;
+  const bool sharded = cascaded && opt.shards >= 1;
 
   Network net;
+  if (sharded) net.enable_sharding();
   // Infrastructure: one SFU per region on a cascaded fleet (the region's
   // relay link pair carries inter-SFU traffic and its faults), else the
   // classic single mid-path SFU.
@@ -520,7 +523,9 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
     cc.mode = sc.speaker ? ViewMode::kSpeaker : ViewMode::kGallery;
     cc.pinned_client = 0;
     conf = std::make_unique<Conference>(&net.sched(), cc);
-    for (auto& sp : sfu_ports) conf->add_region(sp.host);
+    for (size_t r = 0; r < sfu_ports.size(); ++r) {
+      conf->add_region(sfu_ports[r].host, regions[r]->sched);
+    }
     for (size_t i = 0; i < sc.clients.size(); ++i) {
       const FuzzClient& fc = sc.clients[i];
       // Conference owns churn: join_at/leave_at schedule it internally.
@@ -756,10 +761,29 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
     budget *= std::max<uint64_t>(1, cls.size() / 4);
   }
   if (cascaded) conf->start(); else call->start();
+  // Sharded core: one ShardRunner persists across every slice so its
+  // worker threads are spawned once, and — the event-storm fix — each
+  // slice's budget is a SHARED cap across the control strand and all
+  // region shards, matching the single-scheduler accounting exactly. A
+  // storm confined to one region exhausts the same budget either way.
+  std::unique_ptr<ShardRunner> runner;
+  if (sharded) {
+    ShardRunner::Options ro;
+    ro.threads = opt.shards;
+    runner = std::make_unique<ShardRunner>(&net.sched(), net.shard_scheds(),
+                                           &net.shard_bus(),
+                                           net.shard_lookahead(), ro);
+    Conference* c = conf.get();
+    runner->set_barrier_hook([c] { c->drain_deferred_keyframes(); });
+  }
+  auto run_capped = [&](TimePoint until, uint64_t cap) {
+    return runner ? runner->run_until_capped(until, cap)
+                  : net.sched().run_until_capped(until, cap);
+  };
   bool storm = false;
   for (int64_t t = 0; t < sc.duration_ms && !storm; ) {
     int64_t next = std::min<int64_t>(t + 1000, sc.duration_ms);
-    if (!net.sched().run_until_capped(at_ms(next), budget)) {
+    if (!run_capped(at_ms(next), budget)) {
       std::ostringstream d;
       d << "event budget (" << budget
         << "/virtual-sec) exhausted at t="
@@ -771,8 +795,8 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
   }
   if (cascaded) conf->stop(); else call->stop();
   if (!storm) {
-    net.sched().run_until_capped(at_ms(sc.duration_ms) + Duration::millis(50),
-                                 500'000);  // flush stop handlers
+    run_capped(at_ms(sc.duration_ms) + Duration::millis(50),
+               500'000);  // flush stop handlers
   }
 
   // --- oracle: invariant --- (link/clock state plus, on a cascaded
@@ -787,9 +811,22 @@ FuzzResult run_fuzz_scenario(const FuzzScenario& sc,
   for (const std::string& v : viol) res.failures.push_back({"invariant", v});
 
   // Perf bookkeeping (same contract as the scenario runners).
-  res.sim_events = net.sched().events_processed();
+  res.sim_events = net.events_processed_total();
   note_sim_events(res.sim_events);
-  perf::note_peak_heap_events(net.sched().peak_pending());
+  perf::note_peak_heap_events(net.peak_pending_max());
+  if (net.sharded()) {
+    perf::note_shard_run(0, net.sched().events_processed(),
+                         net.sched().peak_pending(),
+                         net.shard_bus().handoffs_from(0));
+    std::vector<EventScheduler*> scheds = net.shard_scheds();
+    for (size_t i = 0; i < scheds.size(); ++i) {
+      perf::note_shard_run(static_cast<int>(i) + 1,
+                           scheds[i]->events_processed(),
+                           scheds[i]->peak_pending(),
+                           net.shard_bus().handoffs_from(
+                               static_cast<int>(i) + 1));
+    }
+  }
   perf::note_link_packets(
       static_cast<uint64_t>(net.total_delivered_packets()));
   res.reconnects = cls[0]->reconnect_count();

@@ -2,6 +2,15 @@
 
 namespace vca {
 
+void Network::enable_sharding() { sharding_ = true; }
+
+std::vector<EventScheduler*> Network::shard_scheds() {
+  std::vector<EventScheduler*> out;
+  out.reserve(shard_scheds_.size());
+  for (const auto& s : shard_scheds_) out.push_back(s.get());
+  return out;
+}
+
 Network::HostPorts Network::add_host(const std::string& name, DataRate up,
                                      DataRate down, Duration prop,
                                      int64_t queue_bytes) {
@@ -95,12 +104,29 @@ Network::Region* Network::add_region(const std::string& name,
   reg->relay_rate = relay_rate;
   auto sw = std::make_unique<ForwardingNode>("region-" + name);
 
+  // Sharded core: the region gets its own scheduler (one logical shard
+  // per region) and its relay uplink becomes a boundary link — the only
+  // place a shard-owned event can emit a packet toward a foreign shard,
+  // so its propagation delay lower-bounds the conservative lookahead.
+  // (Control-strand boundary links — core-host and segment uplinks —
+  // never post mid-window: the control strand only runs at barriers, and
+  // the barrier horizon never passes its next pending event.)
+  EventScheduler* owner = &sched_;
+  if (sharding_) {
+    shard_scheds_.push_back(std::make_unique<EventScheduler>());
+    owner = shard_scheds_.back().get();
+    checker_.watch(owner);
+    reg->sched = owner;
+    reg->shard = bus_.add_shard();
+    boundary_min_prop_ = std::min(boundary_min_prop_, relay_prop);
+  }
+
   Link::Config cfg;
   cfg.rate = relay_rate;
   cfg.propagation = relay_prop;
   cfg.queue_bytes = queue_bytes;
-  auto up = std::make_unique<Link>(&sched_, name + "-relay-up", cfg);
-  auto down = std::make_unique<Link>(&sched_, name + "-relay-down", cfg);
+  auto up = std::make_unique<Link>(owner, name + "-relay-up", cfg);
+  auto down = std::make_unique<Link>(owner, name + "-relay-down", cfg);
 
   // Traffic leaving the region rides the relay uplink to the core; the
   // regional switch keeps per-host routes so intra-region traffic turns
@@ -108,6 +134,7 @@ Network::Region* Network::add_region(const std::string& name,
   sw->set_default_route(up.get());
   up->set_sink(&router_);
   down->set_sink(sw.get());
+  if (sharding_) up->set_cross_shard(&bus_, reg->shard);
 
   reg->sw = sw.get();
   reg->relay_up = up.get();
@@ -128,14 +155,15 @@ Network::HostPorts Network::add_host_in_region(Region* reg,
                                                Duration prop,
                                                int64_t queue_bytes) {
   auto host = std::make_unique<Host>(next_id_++, name);
+  EventScheduler* owner = region_owner_sched(reg);
   Link::Config cfg;
   cfg.propagation = prop;
   cfg.queue_bytes = queue_bytes;
 
   cfg.rate = up;
-  auto up_link = std::make_unique<Link>(&sched_, name + "-up", cfg);
+  auto up_link = std::make_unique<Link>(owner, name + "-up", cfg);
   cfg.rate = down;
-  auto down_link = std::make_unique<Link>(&sched_, name + "-down", cfg);
+  auto down_link = std::make_unique<Link>(owner, name + "-down", cfg);
 
   host->set_uplink(up_link.get());
   up_link->set_sink(reg->sw);
@@ -143,6 +171,8 @@ Network::HostPorts Network::add_host_in_region(Region* reg,
   down_link->set_sink(host.get());
   // The core reaches this host through the region's relay downlink.
   router_.add_route(host->id(), reg->relay_down);
+  // Boundary links look the destination shard up by packet dst.
+  if (sharding_) bus_.set_node_shard(host->id(), reg->shard);
 
   HostPorts ports{host.get(), up_link.get(), down_link.get()};
   checker_.watch(up_link.get());

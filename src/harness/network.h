@@ -5,6 +5,7 @@
 // two hosts behind a switch that shares one shaped link pair.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "net/invariants.h"
 #include "net/link.h"
 #include "net/node.h"
+#include "net/shard.h"
 #include "stats/capture.h"
 #include "trace/recorder.h"
 
@@ -42,6 +44,10 @@ class Network {
     Link* relay_up = nullptr;    // region -> core (inter-SFU direction out)
     Link* relay_down = nullptr;  // core -> region
     DataRate relay_rate;
+    // Sharded core only: the region's own scheduler and shard index
+    // (shard 0 is the control strand). nullptr / 0 on a legacy Network.
+    EventScheduler* sched = nullptr;
+    int shard = 0;
   };
 
   Network() { checker_.watch(&sched_); }
@@ -55,6 +61,37 @@ class Network {
 
   EventScheduler& sched() { return sched_; }
   ForwardingNode& router() { return router_; }
+
+  // --- sharded parallel core (net/shard.h) --------------------------------
+  //
+  // Call before building the topology. Every region added afterwards gets
+  // its own EventScheduler (one logical shard per region); hosts attached
+  // directly to the router stay on the control strand (shard 0). Links
+  // whose sink is the core router become boundary links: they feed the
+  // cross-shard mailbox bus, and the minimum of their propagation delays
+  // is the conservative lookahead (so it must stay > 0).
+  void enable_sharding();
+  bool sharded() const { return sharding_; }
+  ShardBus& shard_bus() { return bus_; }
+  // Schedulers of shards 1..R in region order (the ShardRunner input).
+  std::vector<EventScheduler*> shard_scheds();
+  Duration shard_lookahead() const { return boundary_min_prop_; }
+
+  // Events retired across the control strand and every shard (equals
+  // sched().events_processed() on a legacy Network).
+  uint64_t events_processed_total() const {
+    uint64_t total = sched_.events_processed();
+    for (const auto& s : shard_scheds_) total += s->events_processed();
+    return total;
+  }
+  // Deepest event heap across all shards (perf counter).
+  uint64_t peak_pending_max() const {
+    uint64_t peak = sched_.peak_pending();
+    for (const auto& s : shard_scheds_) {
+      peak = std::max<uint64_t>(peak, s->peak_pending());
+    }
+    return peak;
+  }
 
   // A host directly attached to the router.
   HostPorts add_host(const std::string& name,
@@ -121,8 +158,17 @@ class Network {
 
  private:
   TapFanout* fanout_for(Link* link);
+  // The scheduler that owns a region's topology (its own shard scheduler
+  // when sharded, the global one otherwise).
+  EventScheduler* region_owner_sched(Region* reg) {
+    return reg->sched != nullptr ? reg->sched : &sched_;
+  }
 
   EventScheduler sched_;
+  bool sharding_ = false;
+  ShardBus bus_;
+  std::vector<std::unique_ptr<EventScheduler>> shard_scheds_;
+  Duration boundary_min_prop_ = Duration::infinite();
   SimInvariantChecker checker_;
   ForwardingNode router_{"router"};
   NodeId next_id_ = 1;

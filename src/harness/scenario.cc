@@ -24,10 +24,26 @@ namespace {
 int finish_run(Network& net) {
   int violations = net.enforce_invariants();
   note_invariant_violations(static_cast<uint64_t>(violations));
-  note_sim_events(net.sched().events_processed());
-  perf::note_peak_heap_events(net.sched().peak_pending());
+  note_sim_events(net.events_processed_total());
+  perf::note_peak_heap_events(net.peak_pending_max());
   perf::note_link_packets(
       static_cast<uint64_t>(net.total_delivered_packets()));
+  if (net.sharded()) {
+    // Per-shard breakdown for BenchReport's timing line: shard 0 is the
+    // control strand, 1..R the region shards; handoffs are the packets a
+    // shard posted into the cross-shard mailboxes.
+    perf::note_shard_run(0, net.sched().events_processed(),
+                         net.sched().peak_pending(),
+                         net.shard_bus().handoffs_from(0));
+    auto scheds = net.shard_scheds();
+    for (size_t i = 0; i < scheds.size(); ++i) {
+      perf::note_shard_run(static_cast<int>(i) + 1,
+                           scheds[i]->events_processed(),
+                           scheds[i]->peak_pending(),
+                           net.shard_bus().handoffs_from(
+                               static_cast<int>(i) + 1));
+    }
+  }
   return violations;
 }
 
@@ -406,6 +422,8 @@ MultipartyResult run_multiparty(const MultipartyConfig& cfg) {
 
 ConferenceResult run_conference(const ConferenceConfig& cfg) {
   Network net;
+  const bool sharded = cfg.shards >= 1;
+  if (sharded) net.enable_sharding();
   Conference::Config conf_cfg;
   conf_cfg.profile = vca_profile(cfg.profile);
   conf_cfg.mode = cfg.mode;
@@ -424,7 +442,7 @@ ConferenceResult run_conference(const ConferenceConfig& cfg) {
     sfu_ports.push_back(net.add_host_in_region(
         regions.back(), "sfu-" + name, DataRate::gbps(4), DataRate::gbps(4),
         Duration::millis(1), 8 << 20));
-    conf.add_region(sfu_ports.back().host);
+    conf.add_region(sfu_ports.back().host, regions.back()->sched);
   }
 
   const int stable = cfg.participants - cfg.late_joiners;
@@ -490,7 +508,16 @@ ConferenceResult run_conference(const ConferenceConfig& cfg) {
   net.sched().schedule(Duration::seconds(1), [&] { sample(); });
 
   conf.start();
-  net.sched().run_until(TimePoint::zero() + cfg.duration);
+  if (sharded) {
+    ShardRunner::Options ro;
+    ro.threads = cfg.shards;
+    ShardRunner runner(&net.sched(), net.shard_scheds(), &net.shard_bus(),
+                       net.shard_lookahead(), ro);
+    runner.set_barrier_hook([&conf] { conf.drain_deferred_keyframes(); });
+    runner.run_until(TimePoint::zero() + cfg.duration);
+  } else {
+    net.sched().run_until(TimePoint::zero() + cfg.duration);
+  }
   conf.stop();
 
   ConferenceResult out;

@@ -212,6 +212,13 @@ struct ConferenceConfig {
   int sfu_blackout_region = -1;   // that region's SFU process goes dark
   Duration fault_start = Duration::seconds(30);
   Duration fault_length = Duration::seconds(10);
+  // Sharded parallel core (net/shard.h). 0 = legacy single-scheduler
+  // engine (bit-exact with every pre-sharding release). >= 1 = partition
+  // the simulation into one logical shard per region plus a control
+  // strand, executed by `shards` worker threads. The partition is fixed
+  // by the topology, so results are byte-identical at ANY shards >= 1;
+  // only wall-clock changes with the thread count.
+  int shards = 0;
 };
 
 struct ConferenceRegionStats {

@@ -67,6 +67,8 @@ SweepOptions parse_sweep_args(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
       opts.jobs = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      opts.shards = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opts.json_path = argv[i + 1];
     }
@@ -216,7 +218,31 @@ bool BenchReport::finish() {
     << ", \"link_packets_per_sec\": " << json_num(pps)
     << ", \"heap_alloc_calls\": " << allocs
     << ", \"alloc_tracking\": "
-    << (perf::alloc_tracking_active() ? "true" : "false") << "}\n";
+    << (perf::alloc_tracking_active() ? "true" : "false");
+  // Per-shard breakdown (sharded core runs only). Lives INSIDE the one
+  // timing line so the strippable-timing-line diff contract holds:
+  // events and events/sec per shard, event-heap high-water mark, and
+  // cross-shard mailbox handoffs (totals across every sharded run this
+  // report covers; shard 0 is the control strand).
+  if (perf::shard_slots() > 0) {
+    f << ", \"shards\": [";
+    for (int s = 0; s < perf::shard_slots(); ++s) {
+      uint64_t sev = perf::shard_events(s);
+      uint64_t hoff = perf::shard_handoffs(s);
+      if (s) f << ", ";
+      f << "{\"shard\": " << s << ", \"events\": " << sev
+        << ", \"events_per_sec\": "
+        << json_num(wall_sec > 0.0 ? static_cast<double>(sev) / wall_sec
+                                   : 0.0)
+        << ", \"peak_heap_events\": " << perf::shard_peak_heap(s)
+        << ", \"handoffs\": " << hoff << ", \"handoffs_per_sec\": "
+        << json_num(wall_sec > 0.0 ? static_cast<double>(hoff) / wall_sec
+                                   : 0.0)
+        << "}";
+    }
+    f << "]";
+  }
+  f << "}\n";
   f << "}\n";
   return f.good() && violations == 0;
 }

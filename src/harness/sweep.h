@@ -37,10 +37,13 @@
 namespace vca {
 
 // Command-line options shared by every bench binary and the CLI:
-//   --jobs N     worker threads (default: hardware_concurrency)
+//   --jobs N     worker threads across sweep cells (default: hw concurrency)
+//   --shards N   worker threads INSIDE each simulation (sharded core;
+//                0 = legacy single-scheduler engine)
 //   --json PATH  machine-readable per-cell means/CIs + timing
 struct SweepOptions {
   int jobs = 0;  // <= 0 means default_jobs()
+  int shards = 0;  // 0 = unsharded engine; >= 1 = sharded, N threads/sim
   std::string json_path;
 };
 

@@ -24,7 +24,9 @@ namespace vca {
 class SimInvariantChecker {
  public:
   void watch(const Link* link) { links_.push_back(link); }
-  void watch(const EventScheduler* sched) { sched_ = sched; }
+  // Multiple schedulers: the sharded core registers the control strand
+  // plus one per region shard; each is checked for monotonic event time.
+  void watch(const EventScheduler* sched) { scheds_.push_back(sched); }
 
   // Every violation found, one human-readable line each; empty == healthy.
   std::vector<std::string> check() const;
@@ -35,7 +37,7 @@ class SimInvariantChecker {
 
  private:
   std::vector<const Link*> links_;
-  const EventScheduler* sched_ = nullptr;
+  std::vector<const EventScheduler*> scheds_;
 };
 
 }  // namespace vca

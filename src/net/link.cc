@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/shard.h"
+
 namespace vca {
 
 void Link::reseed_impairments() {
@@ -132,6 +134,21 @@ void Link::finish_transmission() {
       ++reordered_packets_;
     }
     bool dup = duplicate_prob_ > 0.0 && duplicate_rng_.bernoulli(duplicate_prob_);
+    int tgt;
+    if (bus_ != nullptr &&
+        (tgt = bus_->shard_of(in_flight_.dst)) != owner_shard_) {
+      // Cross-shard: the barrier drains this into the target shard's
+      // scheduler. arrival >= now + propagation >= now + lookahead, so
+      // the packet always lands in a strictly later window.
+      TimePoint arrive = sched_->now() + delay;
+      if (dup) {
+        ++duplicated_packets_;
+        bus_->post(owner_shard_, tgt, arrive, sink_, Packet(in_flight_));
+      }
+      bus_->post(owner_shard_, tgt, arrive, sink_, std::move(in_flight_));
+      start_transmission();
+      return;
+    }
     if (dup) {
       // The only place the forward path copies a packet — and only when a
       // duplicate is actually emitted.

@@ -33,6 +33,8 @@
 
 namespace vca {
 
+class ShardBus;
+
 // Anything that can accept a packet: links, hosts, routers.
 class PacketSink {
  public:
@@ -104,6 +106,18 @@ class Link : public PacketSink {
 
   void deliver(Packet p) override;
 
+  // Sharded-core boundary hook (net/shard.h): Network marks the links
+  // whose sink is the core router. After serialization + impairments, a
+  // packet whose destination lives on a foreign shard is posted to the
+  // bus (to be drained at the next barrier) instead of being scheduled
+  // on this shard's clock. Packets staying on `owner_shard` take the
+  // normal transit-pool path, byte-identically to the unsharded engine.
+  void set_cross_shard(ShardBus* bus, int owner_shard) {
+    bus_ = bus;
+    owner_shard_ = owner_shard;
+  }
+  int owner_shard() const { return owner_shard_; }
+
   // Stats.
   int64_t offered_packets() const { return offered_packets_; }
   int64_t delivered_bytes() const { return delivered_bytes_; }
@@ -152,6 +166,8 @@ class Link : public PacketSink {
   Config cfg_;
   PacketSink* sink_ = nullptr;
   LinkTap tap_;
+  ShardBus* bus_ = nullptr;  // non-null only on boundary links (sharded)
+  int owner_shard_ = 0;
 
   // Independent impairment streams (see header comment).
   Rng loss_jitter_rng_{1};

@@ -1,0 +1,240 @@
+#include "net/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vca {
+
+// --- ShardBus --------------------------------------------------------------
+
+int ShardBus::add_shard() {
+  int id = n_++;
+  boxes_.assign(static_cast<size_t>(n_) * static_cast<size_t>(n_), {});
+  pools_.resize(static_cast<size_t>(n_));
+  handoffs_.resize(static_cast<size_t>(n_), 0);
+  return id;
+}
+
+void ShardBus::post(int src, int dst, TimePoint at, PacketSink* sink,
+                    Packet p) {
+  boxes_[static_cast<size_t>(src) * static_cast<size_t>(n_) +
+         static_cast<size_t>(dst)]
+      .push_back(Entry{at, sink, std::move(p)});
+  ++handoffs_[static_cast<size_t>(src)];
+}
+
+void ShardBus::deliver_arrival(int dst, uint32_t slot) {
+  ArrivalPool& pool = pools_[static_cast<size_t>(dst)];
+  // Move out before the sink runs: the sink may cascade into another
+  // hand-off that allocates a slot (reallocating `slots`), so the slot is
+  // re-indexed — never held by reference — when freed afterwards.
+  ArrivalSlot& s = pool.slots[slot];
+  PacketSink* sink = s.sink;
+  Packet p = std::move(s.p);
+  if (sink != nullptr) sink->deliver(std::move(p));
+  pool.slots[slot].next_free = pool.free_head;
+  pool.free_head = slot;
+}
+
+void ShardBus::drain_into(int dst, EventScheduler* sched) {
+  ArrivalPool& pool = pools_[static_cast<size_t>(dst)];
+  for (int src = 0; src < n_; ++src) {
+    auto& box = boxes_[static_cast<size_t>(src) * static_cast<size_t>(n_) +
+                       static_cast<size_t>(dst)];
+    for (Entry& e : box) {
+      uint32_t slot;
+      if (pool.free_head != kNoSlot) {
+        slot = pool.free_head;
+        pool.free_head = pool.slots[slot].next_free;
+        pool.slots[slot].sink = e.sink;
+        pool.slots[slot].p = std::move(e.p);
+      } else {
+        slot = static_cast<uint32_t>(pool.slots.size());
+        pool.slots.push_back(ArrivalSlot{e.sink, std::move(e.p), kNoSlot});
+      }
+      sched->schedule_at(e.at,
+                         [this, dst, slot] { deliver_arrival(dst, slot); });
+    }
+    box.clear();
+  }
+}
+
+bool ShardBus::any_pending() const {
+  for (const auto& box : boxes_) {
+    if (!box.empty()) return true;
+  }
+  return false;
+}
+
+uint64_t ShardBus::handoffs_total() const {
+  uint64_t total = 0;
+  for (uint64_t h : handoffs_) total += h;
+  return total;
+}
+
+// --- ShardRunner -----------------------------------------------------------
+
+ShardRunner::ShardRunner(EventScheduler* control,
+                         std::vector<EventScheduler*> shards, ShardBus* bus,
+                         Duration lookahead, Options opt)
+    : control_(control),
+      shards_(std::move(shards)),
+      bus_(bus),
+      lookahead_(lookahead) {
+  window_dispatched_.assign(shards_.size(), 0);
+  threads_ = std::clamp(opt.threads, 1, static_cast<int>(shards_.size()));
+  if (shards_.empty()) threads_ = 1;
+  if (threads_ > 1) {
+    workers_.reserve(static_cast<size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) {
+      workers_.emplace_back(
+          [this, w] { worker_main(static_cast<size_t>(w)); });
+    }
+  }
+}
+
+ShardRunner::~ShardRunner() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      quit_ = true;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+}
+
+void ShardRunner::run_shard_window(size_t idx) {
+  EventScheduler* s = shards_[idx];
+  window_dispatched_[idx] = job_.inclusive
+                                ? [&] {
+                                    uint64_t before = s->events_processed();
+                                    s->run_until(job_.end);
+                                    return s->events_processed() - before;
+                                  }()
+                                : s->run_window_capped(job_.end, job_.cap);
+}
+
+void ShardRunner::worker_main(size_t worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return generation_ != seen || quit_; });
+      if (quit_) return;
+      seen = generation_;
+    }
+    // Strided ownership: worker w runs shards w, w+T, w+2T, ... so the
+    // assignment is fixed for the whole run (cache affinity) and no two
+    // workers ever touch the same scheduler.
+    for (size_t i = worker_index; i < shards_.size();
+         i += static_cast<size_t>(threads_)) {
+      run_shard_window(i);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ShardRunner::execute_window(const WindowJob& job) {
+  if (workers_.empty()) {
+    job_ = job;
+    for (size_t i = 0; i < shards_.size(); ++i) run_shard_window(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    done_ = 0;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return done_ == workers_.size(); });
+}
+
+uint64_t ShardRunner::events_processed() const {
+  uint64_t total = control_->events_processed();
+  for (const EventScheduler* s : shards_) total += s->events_processed();
+  return total;
+}
+
+void ShardRunner::run_until(TimePoint end) { drive(end, UINT64_MAX); }
+
+bool ShardRunner::run_until_capped(TimePoint end, uint64_t max_events) {
+  return drive(end, max_events);
+}
+
+bool ShardRunner::drive(TimePoint end, uint64_t max_events) {
+  uint64_t dispatched = 0;
+  TimePoint cur = control_->now();
+
+  auto barrier = [&]() -> bool {
+    // 1. Merge the window's cross-shard traffic, sources ascending.
+    for (int d = 0; d < bus_->shards(); ++d) {
+      bus_->drain_into(d, d == 0 ? control_
+                                 : shards_[static_cast<size_t>(d - 1)]);
+    }
+    // 2. Deferred cross-shard control calls (e.g. relay keyframe
+    //    requests) fire here, before the control strand's own events.
+    if (barrier_hook_) barrier_hook_();
+    // 3. The control strand catches up to the barrier instant. Its sends
+    //    over boundary links post mailbox entries (arrival > cur, so
+    //    they belong to a later window) — drain them right away.
+    uint64_t before = control_->events_processed();
+    control_->run_until(cur);
+    dispatched += control_->events_processed() - before;
+    for (int d = 1; d < bus_->shards(); ++d) {
+      bus_->drain_into(d, shards_[static_cast<size_t>(d - 1)]);
+    }
+    return dispatched < max_events;
+  };
+
+  while (cur < end) {
+    if (!barrier()) return false;
+
+    // Earliest pending event anywhere bounds how far the windows may
+    // reach: nothing can be sent before it, so nothing can arrive at a
+    // foreign shard before it + lookahead.
+    TimePoint t0 = control_->next_event_time();
+    for (EventScheduler* s : shards_) t0 = std::min(t0, s->next_event_time());
+    if (t0 == TimePoint::infinite()) {
+      // Globally idle: jump every clock straight to the end.
+      control_->run_until(end);
+      for (EventScheduler* s : shards_) s->run_window(end);
+      cur = end;
+      break;
+    }
+    TimePoint h = std::min(end, t0 + lookahead_);
+    // Control events must execute at a barrier, never inside a window.
+    h = std::min(h, control_->next_event_time());
+    if (h <= cur) h = std::min(end, cur + lookahead_);  // defensive floor
+
+    uint64_t cap = max_events - dispatched;  // identical for every shard
+    execute_window(WindowJob{h, cap, false});
+    bool capped = false;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      dispatched += window_dispatched_[i];
+      capped |= window_dispatched_[i] >= cap &&
+                shards_[i]->next_event_time() < h;
+    }
+    if (capped || dispatched >= max_events) return false;
+    cur = h;
+  }
+
+  // Final inclusive pass: the control strand has run at `end`; now the
+  // shards take their events at exactly `end` (zero-delay chains
+  // included, matching run_until semantics), then one last drain/hook so
+  // nothing posted at the horizon is lost for a later run_until call.
+  if (!barrier()) return false;
+  execute_window(WindowJob{end, 0, true});
+  for (size_t i = 0; i < shards_.size(); ++i) dispatched += window_dispatched_[i];
+  if (dispatched >= max_events) return false;
+  return barrier();
+}
+
+}  // namespace vca

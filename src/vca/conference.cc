@@ -16,10 +16,14 @@ constexpr FlowId kRelayFlowOffset = 10'000'000;
 Conference::Conference(EventScheduler* sched, Config cfg)
     : sched_(sched), cfg_(std::move(cfg)), next_flow_(cfg_.flow_base) {}
 
-int Conference::add_region(Host* sfu_host) {
+int Conference::add_region(Host* sfu_host, EventScheduler* region_sched) {
+  EventScheduler* sched = region_sched != nullptr ? region_sched : sched_;
   SfuServer::Config sc;
   sc.profile = cfg_.profile;
-  sfus_.push_back(std::make_unique<SfuServer>(sched_, sfu_host, sc));
+  sfus_.push_back(std::make_unique<SfuServer>(sched, sfu_host, sc));
+  region_scheds_.push_back(sched);
+  pending_keyframes_.emplace_back();
+  defer_keyframes_ |= sched != sched_;
   return static_cast<int>(sfus_.size()) - 1;
 }
 
@@ -37,7 +41,9 @@ VcaClient* Conference::add_client(Host* host, int region, TimePoint join_at,
   cc.media_flow_base = next_flow_;
   next_flow_ += 16;
   cc.seed = cfg_.seed * 7919 + members_.size() + 1;
-  m.client = std::make_unique<VcaClient>(sched_, host, cc);
+  // The client's media timers live on its region's shard, with its SFU.
+  m.client = std::make_unique<VcaClient>(
+      region_scheds_[static_cast<size_t>(region)], host, cc);
   members_.push_back(std::move(m));
   return members_.back().client.get();
 }
@@ -187,9 +193,23 @@ void Conference::ensure_relay(Member& pub, int viewer_region) {
   SfuServer* peer = sfus_[static_cast<size_t>(viewer_region)].get();
   home->add_relay_out(pub.client.get(), peer->host()->id(), flow_base);
   VcaClient* pub_client = pub.client.get();
-  peer->add_remote_publisher(
-      origin, home->host()->id(), flow_base,
-      [pub_client](int layer) { pub_client->request_keyframe(layer); });
+  if (defer_keyframes_) {
+    // The remote leg fires from the VIEWER region's shard; the publisher
+    // lives on another. Queue the request (single writer: that shard's
+    // thread) and let the barrier hook deliver it — deferred on every
+    // sharded run, whatever the worker count, so results stay identical
+    // across --shards values.
+    peer->add_remote_publisher(
+        origin, home->host()->id(), flow_base,
+        [this, pub_client, viewer_region](int layer) {
+          pending_keyframes_[static_cast<size_t>(viewer_region)].push_back(
+              PendingKeyframe{pub_client, layer});
+        });
+  } else {
+    peer->add_remote_publisher(
+        origin, home->host()->id(), flow_base,
+        [pub_client](int layer) { pub_client->request_keyframe(layer); });
+  }
 }
 
 void Conference::release_relay(NodeId origin, int origin_region,
@@ -347,6 +367,18 @@ void Conference::signaling() {
 
 void Conference::append_invariant_violations(std::vector<std::string>* out) const {
   for (const auto& s : sfus_) s->append_invariant_violations(out);
+}
+
+void Conference::drain_deferred_keyframes() {
+  for (auto& queue : pending_keyframes_) {
+    for (const PendingKeyframe& pk : queue) {
+      // Safe on a departed publisher: members own their clients for the
+      // Conference's lifetime and request_keyframe on a stopped client
+      // only marks the (idle) encoder.
+      pk.publisher->request_keyframe(pk.layer);
+    }
+    queue.clear();
+  }
 }
 
 int64_t Conference::forwards_to_departed() const {
