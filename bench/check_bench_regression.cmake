@@ -1,26 +1,38 @@
-# ctest script: conference-bench throughput regression gate against a
-# committed baseline JSON (satellite of the sharded-core PR, the
-# BENCH_microsim/perf_smoke convention extended to bench_conference).
+# ctest script: bench throughput regression gate against a committed
+# baseline JSON (satellite of the sharded-core PR, the
+# BENCH_microsim/perf_smoke convention extended to the --perf benches).
 #
-# Re-runs the baseline's fixed workload (200-party, 4-region, 20 s
-# --perf run), reads events_per_sec from the fresh report's timing line,
-# and fails if it dropped more than TOLERANCE_PCT below the committed
-# baseline's figure. Refresh the baseline alongside any intentional
-# perf-relevant change (bench/README.md has the commands).
+# Re-runs the baseline's fixed workload, reads events_per_sec from the
+# fresh report's timing line, and fails if it dropped more than
+# TOLERANCE_PCT below the committed baseline's figure. Refresh the
+# baseline alongside any intentional perf-relevant change (bench/README.md
+# has the commands).
 #
-# usage: cmake -DBENCH=<bench_conference> -DWORKDIR=<dir>
-#              -DBASELINE=<committed json> [-DSHARDS=N]
-#              [-DTOLERANCE_PCT=15] -P check_bench_regression.cmake
+# usage: cmake -DBENCH=<bench binary> -DWORKDIR=<dir>
+#              -DBASELINE=<committed json> [-DSHAPE="--perf ..."]
+#              [-DSHARDS=N] [-DTOLERANCE_PCT=15]
+#              -P check_bench_regression.cmake
+#
+# SHAPE defaults to bench_conference's 200-party 4-region 20 s run; pass
+# a space-separated flag string to gate another bench (e.g.
+# -DSHAPE=--perf for bench_inference_stream, whose events_per_sec is the
+# analyzer's packets/s).
 if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR OR NOT DEFINED BASELINE)
   message(FATAL_ERROR
       "usage: cmake -DBENCH=<binary> -DWORKDIR=<dir> -DBASELINE=<json> "
-      "[-DSHARDS=N] [-DTOLERANCE_PCT=15] -P check_bench_regression.cmake")
+      "[-DSHAPE=\"--perf ...\"] [-DSHARDS=N] [-DTOLERANCE_PCT=15] "
+      "-P check_bench_regression.cmake")
 endif()
 if(NOT DEFINED TOLERANCE_PCT)
   set(TOLERANCE_PCT 15)
 endif()
 
-set(shape --perf --participants 200 --regions 4 --duration 20)
+get_filename_component(bench_name "${BENCH}" NAME)
+if(DEFINED SHAPE)
+  separate_arguments(shape UNIX_COMMAND "${SHAPE}")
+else()
+  set(shape --perf --participants 200 --regions 4 --duration 20)
+endif()
 if(DEFINED SHARDS)
   list(APPEND shape --shards ${SHARDS})
   set(what "sharded (${SHARDS} threads)")
@@ -34,7 +46,7 @@ execute_process(
   RESULT_VARIABLE rc ERROR_VARIABLE err OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR
-      "bench_conference ${shape} failed (rc=${rc}):\n${err}")
+      "${bench_name} ${shape} failed (rc=${rc}):\n${err}")
 endif()
 
 # events_per_sec lives in the one "timing" line of each report; take the
@@ -55,7 +67,7 @@ read_eps("${fresh_json}" fresh_eps)
 math(EXPR floor_eps "${base_eps} * (100 - ${TOLERANCE_PCT}) / 100")
 if(fresh_eps LESS ${floor_eps})
   message(FATAL_ERROR
-      "conference bench (${what}) regressed: ${fresh_eps} events/s is more "
+      "${bench_name} (${what}) regressed: ${fresh_eps} events/s is more "
       "than ${TOLERANCE_PCT}% below the committed baseline ${base_eps} "
       "events/s (${BASELINE}). If the slowdown is intentional, refresh the "
       "baseline (bench/README.md).")

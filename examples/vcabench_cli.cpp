@@ -30,6 +30,8 @@
 #include "harness/sweep.h"
 #include "stats/table.h"
 #include "stats/trace_writer.h"
+#include "streaming/analyzer.h"
+#include "streaming/corpus.h"
 
 namespace {
 
@@ -56,10 +58,16 @@ struct Args {
 Args parse(int argc, char** argv) {
   Args a;
   if (argc > 1) a.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    a.kv[key] = argv[i + 1];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    // A flag followed by another flag (or nothing) is boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
   }
   return a;
 }
@@ -449,12 +457,72 @@ int cmd_multiparty(const Args& a) {
   return report.finish() ? 0 : 1;
 }
 
+void print_stream_table(const std::vector<StreamReport>& streams) {
+  TextTable t({"stream", "kind", "pkts", "Mbps", "pkt B", "pps", "fps",
+               "frames", "frame B", "repair B", "width", "freezes", "QoE"});
+  for (const StreamReport& s : streams) {
+    bool video = s.kind == StreamKind::kVideo;
+    t.add_row({s.describe(), stream_kind_name(s.kind),
+               std::to_string(s.packets), fmt(s.mean_rate_mbps),
+               fmt(s.mean_packet_bytes, 0), fmt(s.packets_per_sec, 1),
+               video ? fmt(s.median_fps, 1) : "-",
+               s.frames > 0 ? std::to_string(s.frames) : "-",
+               s.frames > 0 ? fmt(s.mean_frame_bytes, 0) : "-",
+               std::to_string(s.repair_bytes),
+               video && s.est_width > 0 ? std::to_string(s.est_width) : "-",
+               video ? std::to_string(s.freeze_events) : "-",
+               video ? fmt(s.qoe, 1) : "-"});
+  }
+  t.print(std::cout);
+}
+
+// analyze --stream: the online service replaying the file through the
+// chunked reader under a memory cap, instead of the offline pipeline.
+int cmd_analyze_stream(const Args& a, const std::string& path) {
+  StreamingConfig cfg;
+  cfg.memory_cap_bytes =
+      static_cast<size_t>(a.get_d("cap-mb", 32.0) * 1024.0 * 1024.0);
+  // Replaying a curated capture: every flow matters, so admit on first
+  // packet unless the user raises the bar.
+  cfg.promote_packets = static_cast<uint32_t>(a.get_i("promote", 1));
+  cfg.idle_timeout_ns =
+      static_cast<int64_t>(a.get_d("idle-sec", 15.0) * 1e9);
+
+  PcapFileReader reader(path);
+  if (!reader.ok()) {
+    std::cerr << "cannot read pcap file: " << path << "\n";
+    return 1;
+  }
+  StreamingAnalyzer an(cfg);
+  int64_t from_ns = static_cast<int64_t>(a.get_d("from", 0.0) * 1e9);
+  PacketRecord rec;
+  while (reader.next(&rec)) {
+    if (rec.ts_ns >= from_ns) an.on_record(rec);
+  }
+  an.finish();
+
+  const StreamingAnalyzer::Stats& st = an.stats();
+  const FlowTable::Stats& ft = an.table().stats();
+  std::cout << path << " (streamed): " << st.records_in << " records, "
+            << st.packets << " parsed, cap "
+            << (cfg.memory_cap_bytes >> 20) << " MB -> "
+            << an.table().max_flows() << " flow slots\n"
+            << "flows: " << ft.promoted << " promoted (peak live "
+            << ft.peak_live_flows << "), " << ft.evicted_lru << " LRU + "
+            << ft.evicted_idle << " idle evictions, "
+            << ft.sketch_only_packets << " packets held in sketch, "
+            << st.windows_emitted << " window reports\n";
+  print_stream_table(an.reports());
+  return 0;
+}
+
 int cmd_analyze(const Args& a) {
   std::string path = a.get("pcap", "");
   if (path.empty()) {
     std::cerr << "analyze requires --pcap FILE\n";
     return 2;
   }
+  if (a.kv.count("stream")) return cmd_analyze_stream(a, path);
   bool ok = false;
   TraceAnalysis an = analyze_pcap_file(path, a.get_d("from", 0.0), &ok);
   if (!ok) {
@@ -466,18 +534,7 @@ int cmd_analyze(const Args& a) {
             << fmt(static_cast<double>(an.ip_bytes) / 1e6) << " MB IP, "
             << fmt(an.last_ts_sec - an.first_ts_sec, 1) << " s, "
             << fmt(an.mean_rate_mbps) << " Mbps\n";
-  TextTable t({"stream", "kind", "pkts", "Mbps", "pkt B", "pps", "fps",
-               "frames", "frame B", "repair B"});
-  for (const StreamReport& s : an.streams) {
-    t.add_row({s.describe(), stream_kind_name(s.kind),
-               std::to_string(s.packets), fmt(s.mean_rate_mbps),
-               fmt(s.mean_packet_bytes, 0), fmt(s.packets_per_sec, 1),
-               s.kind == StreamKind::kVideo ? fmt(s.median_fps, 1) : "-",
-               s.frames > 0 ? std::to_string(s.frames) : "-",
-               s.frames > 0 ? fmt(s.mean_frame_bytes, 0) : "-",
-               std::to_string(s.repair_bytes)});
-  }
-  t.print(std::cout);
+  print_stream_table(an.streams);
   if (const StreamReport* v = an.primary_video()) {
     std::cout << "primary video: " << v->describe() << " -> "
               << fmt(v->median_fps, 1) << " fps (median), "
@@ -486,10 +543,57 @@ int cmd_analyze(const Args& a) {
   return 0;
 }
 
+// corpus: run a scenario with trace capture and emit a labeled corpus
+// item — a pcap plus its getStats() ground-truth sidecar.
+int cmd_corpus(const Args& a) {
+  std::string prefix = a.get("out", "corpus");
+  std::string pcap_path = prefix + ".pcap";
+  std::string labels_path = prefix + ".labels";
+  std::string scenario = a.get("scenario", "two-party");
+  uint64_t seed = static_cast<uint64_t>(a.get_i("seed", 1));
+
+  std::vector<LabelRow> rows;
+  size_t n_records = 0;
+  if (scenario == "conference") {
+    ConferenceConfig cfg;
+    cfg.profile = a.get("profile", "webex");
+    cfg.participants = a.get_i("n", 16);
+    cfg.regions = a.get_i("regions", 2);
+    cfg.seed = seed;
+    cfg.duration = Duration::seconds(a.get_i("seconds", 60));
+    cfg.capture_traces = true;
+    cfg.pcap_path = pcap_path;
+    ConferenceResult r = run_conference(cfg);
+    rows = labels_from_seconds(r.c1_recv_seconds);
+    n_records = r.c1_down_records.size();
+  } else if (scenario == "two-party") {
+    TwoPartyConfig cfg;
+    cfg.profile = a.get("profile", "meet");
+    cfg.seed = seed;
+    cfg.duration = Duration::seconds(a.get_i("seconds", 150));
+    cfg.capture_traces = true;
+    cfg.pcap_path = pcap_path;
+    TwoPartyResult r = run_two_party(cfg);
+    rows = labels_from_seconds(r.c1_recv_seconds);
+    n_records = r.c1_down_records.size();
+  } else {
+    std::cerr << "corpus --scenario must be two-party or conference\n";
+    return 2;
+  }
+  if (!write_labels_file(labels_path, rows)) {
+    std::cerr << "cannot write " << labels_path << "\n";
+    return 1;
+  }
+  std::cout << "corpus item: " << pcap_path << " (" << n_records
+            << " packets) + " << labels_path << " (" << rows.size()
+            << " labeled seconds)\n";
+  return 0;
+}
+
 int usage() {
   std::cout <<
       "usage: vcabench_cli "
-      "<two-party|disruption|outage|competition|multiparty|analyze> "
+      "<two-party|disruption|outage|competition|multiparty|analyze|corpus> "
       "[--flag value ...]\n"
       "  two-party:   --profile P --up M --down M --loss PCT --latency MS "
       "--jitter MS --seconds N --seed S --csv FILE --pcap FILE\n"
@@ -500,7 +604,11 @@ int usage() {
       "  competition: --profile P --vs "
       "meet|teams|zoom|iperf-up|iperf-down|netflix|youtube --link M --csv F\n"
       "  multiparty:  --profile P --n N --mode gallery|speaker --seed S\n"
-      "  analyze:     --pcap FILE [--from SEC]   (blind offline inference)\n"
+      "  analyze:     --pcap FILE [--from SEC] [--stream --cap-mb MB "
+      "--promote N --idle-sec S]   (blind inference; --stream = bounded "
+      "online analyzer)\n"
+      "  corpus:      --scenario two-party|conference --profile P --n N "
+      "--seconds N --seed S --out PREFIX   (pcap + ground-truth labels)\n"
       "common flags: --reps N (seeds S..S+N-1, mean [90% CI]; default 1) "
       "--jobs N (parallel workers) --json FILE (machine-readable report)\n"
       "profiles: meet teams zoom teams-chrome zoom-chrome (+ ablation "
@@ -518,5 +626,6 @@ int main(int argc, char** argv) {
   if (a.command == "competition") return cmd_competition(a);
   if (a.command == "multiparty") return cmd_multiparty(a);
   if (a.command == "analyze") return cmd_analyze(a);
+  if (a.command == "corpus") return cmd_corpus(a);
   return usage();
 }

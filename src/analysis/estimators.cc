@@ -1,0 +1,84 @@
+#include "analysis/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vca {
+
+namespace {
+
+// Ladder rungs and their nominal encode rates (bits/sec), mirroring
+// VcaProfile::width_rate_cap. Boundaries between neighbours are the
+// geometric midpoints of these rates.
+struct Rung {
+  int width;
+  double rate_bps;
+};
+constexpr Rung kLadder[] = {
+    {180, 120e3},  {320, 300e3},  {480, 550e3},
+    {640, 900e3},  {960, 1100e3}, {1280, 1400e3},
+};
+constexpr int kRungs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+
+}  // namespace
+
+int infer_ladder_width(double mean_frame_bytes, double fps) {
+  if (fps <= 0.0 || mean_frame_bytes <= 0.0) return 0;
+  double rate = mean_frame_bytes * 8.0 * fps;
+  for (int i = 0; i + 1 < kRungs; ++i) {
+    double boundary =
+        std::sqrt(kLadder[i].rate_bps * kLadder[i + 1].rate_bps);
+    if (rate < boundary) return kLadder[i].width;
+  }
+  return kLadder[kRungs - 1].width;
+}
+
+void GapFreezeEstimator::on_frame_start(int64_t start_ns) {
+  if (has_last_) note_gap(start_ns - last_start_ns_);
+  last_start_ns_ = start_ns;
+  has_last_ = true;
+}
+
+void GapFreezeEstimator::finalize(int64_t end_ns) {
+  if (!has_last_) return;
+  note_gap(end_ns - last_start_ns_);
+  has_last_ = false;
+}
+
+void GapFreezeEstimator::note_gap(int64_t gap_ns) {
+  if (count_ >= 8) {  // need a gap baseline before judging freezes
+    int64_t med = median_gap_ns();
+    int64_t threshold = std::max(2 * med, med + 150'000'000);
+    if (gap_ns > threshold) {
+      ++freeze_events_;
+      frozen_ns_ += gap_ns - med;
+    }
+  }
+  gaps_[pos_] = gap_ns;
+  pos_ = (pos_ + 1) % kWindow;
+  if (count_ < kWindow) ++count_;
+}
+
+int64_t GapFreezeEstimator::median_gap_ns() const {
+  int64_t copy[kWindow];
+  std::copy(gaps_, gaps_ + count_, copy);
+  auto mid = copy + count_ / 2;
+  std::nth_element(copy, mid, copy + count_);
+  return *mid;
+}
+
+double qoe_mos(double fps, int width, double freeze_ratio) {
+  if (fps <= 0.0) return 0.0;
+  double fps_score = std::clamp(fps / 30.0, 0.0, 1.0);
+  double res_score =
+      width > 0
+          ? std::clamp(std::log2(static_cast<double>(width) / 160.0) / 3.0,
+                       0.0, 1.0)
+          : 0.0;
+  double freeze_pen = std::clamp(freeze_ratio * 5.0, 0.0, 1.0);
+  double score =
+      0.45 * fps_score + 0.35 * res_score + 0.20 * (1.0 - freeze_pen);
+  return 1.0 + 4.0 * score;
+}
+
+}  // namespace vca

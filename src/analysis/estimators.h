@@ -1,0 +1,89 @@
+// Extended blind estimators beyond FPS/bitrate (ROADMAP item 2, after
+// Sharma et al., "Estimating WebRTC Video QoE Metrics Without Using
+// Application Headers"): resolution-ladder inference, freeze detection,
+// and a composite QoE proxy. Everything here operates on frame-level
+// observations the segmenter recovers from packet headers — never on
+// simulator state — and in O(1) amortized time and O(1) space per
+// stream, so the same code serves the offline per-file pipeline and the
+// bounded-state streaming service.
+#pragma once
+
+#include <cstdint>
+
+namespace vca {
+
+// ---------------------------------------------------------------------------
+// Resolution-ladder inference
+// ---------------------------------------------------------------------------
+//
+// The apps encode a small discrete ladder of widths (180/320/480/640/
+// 960/1280, see vca/profiles.cc), and each rung has a characteristic
+// video rate band (VcaProfile::width_rate_cap). A blind observer sees the
+// achieved video rate (mean frame bytes x frame rate) and snaps it to the
+// nearest rung; boundaries sit at the geometric midpoints between the
+// rungs' nominal rates, which keeps the mapping monotone and robust to
+// the +/-20% encoder-rate jitter the profiles model.
+//
+// Returns the inferred frame width in pixels, or 0 when there is no
+// frame-rate signal to work with.
+int infer_ladder_width(double mean_frame_bytes, double fps);
+
+// ---------------------------------------------------------------------------
+// Blind freeze detection
+// ---------------------------------------------------------------------------
+//
+// The application-level rule (stats/freeze.h, the paper's §3.2) keys off
+// decoded-frame gaps. Blind, we only have wire frames; the streaming
+// rule is: a freeze is an inter-frame gap exceeding
+//   max(2 x median_gap, median_gap + 150 ms)
+// where median_gap is the median over a sliding window of recent gaps
+// (medians resist the gap outliers that bursty networks create, where
+// the running average the app-level detector uses would inflate the
+// threshold after every stall). Constant space: a 64-entry gap ring.
+class GapFreezeEstimator {
+ public:
+  // Report the wire start of one segmented frame (nanoseconds).
+  void on_frame_start(int64_t start_ns);
+
+  // Account for a still-open gap at end of stream (optional; mirrors
+  // FreezeDetector::finalize).
+  void finalize(int64_t end_ns);
+
+  int freeze_events() const { return freeze_events_; }
+  int64_t frozen_ns() const { return frozen_ns_; }
+
+  // Frozen share of an observation window of `span_ns`.
+  double freeze_ratio(int64_t span_ns) const {
+    return span_ns > 0 ? static_cast<double>(frozen_ns_) /
+                             static_cast<double>(span_ns)
+                       : 0.0;
+  }
+
+ private:
+  int64_t median_gap_ns() const;
+  void note_gap(int64_t gap_ns);
+
+  static constexpr int kWindow = 64;
+  int64_t gaps_[kWindow] = {};
+  int count_ = 0;
+  int pos_ = 0;
+  int64_t last_start_ns_ = 0;
+  bool has_last_ = false;
+  int freeze_events_ = 0;
+  int64_t frozen_ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// QoE proxy
+// ---------------------------------------------------------------------------
+//
+// A Sharma-style composite MOS on the 1..5 scale from the three blind
+// estimates: frame-rate sufficiency (30 fps = full marks), resolution
+// rung (log-scaled, 160 px -> 0, 1280 px -> 1), and freeze penalty
+// (a 20% frozen window already scores zero). Weights follow the usual
+// parametric QoE models' ordering: motion smoothness > clarity > stalls,
+// with stalls entering as a penalty rather than a reward term.
+// Returns 0.0 when there is no video signal at all.
+double qoe_mos(double fps, int width, double freeze_ratio);
+
+}  // namespace vca

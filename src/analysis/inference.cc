@@ -1,7 +1,6 @@
 #include "analysis/inference.h"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "core/stats_math.h"
@@ -66,15 +65,30 @@ void FrameSegmenter::close_oldest() {
   open_.erase(open_.begin());
 }
 
+bool FrameSegmenter::pop_closed(FrameObservation* out) {
+  if (closed_cursor_ >= closed_.size()) return false;
+  *out = closed_[closed_cursor_++];
+  if (closed_cursor_ == closed_.size()) {
+    // Fully drained: recycle the buffer so steady-state draining never
+    // grows it (bounded-state contract of the streaming service).
+    closed_.clear();
+    closed_cursor_ = 0;
+  }
+  return true;
+}
+
 std::vector<FrameObservation> FrameSegmenter::finish() {
   while (!open_.empty()) close_oldest();
-  std::vector<FrameObservation> out = std::move(closed_);
+  std::vector<FrameObservation> out(closed_.begin() + static_cast<long>(
+                                        closed_cursor_),
+                                    closed_.end());
   closed_.clear();
+  closed_cursor_ = 0;
   return out;
 }
 
 // ---------------------------------------------------------------------------
-// Analysis
+// StreamKey
 // ---------------------------------------------------------------------------
 
 const char* stream_kind_name(StreamKind k) {
@@ -89,6 +103,13 @@ const char* stream_kind_name(StreamKind k) {
 
 namespace {
 
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 std::string ip_str(uint32_t ip) {
   std::ostringstream ss;
   ss << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
@@ -96,24 +117,94 @@ std::string ip_str(uint32_t ip) {
   return ss.str();
 }
 
-struct StreamState {
-  StreamReport report;
-  FrameSegmenter segmenter;
-  int64_t first_ns = 0;
-  int64_t last_ns = 0;
-  int64_t rtp_packets = 0;
-  int64_t rtcp_packets = 0;
-  int64_t stun_packets = 0;
-};
+}  // namespace
 
-// Size/rate heuristics, blind to payload types: audio is a steady
-// trickle of small constant-size packets (tens of pps, ~100-300 B);
-// video is anything RTP with larger packets or real frame structure;
-// STUN/RTCP-dominated flows are control.
-StreamKind classify(const StreamState& s) {
-  const StreamReport& r = s.report;
-  if (s.rtp_packets == 0) {
-    if (s.stun_packets + s.rtcp_packets > 0) return StreamKind::kControl;
+uint64_t stream_key_hash(const StreamKey& k) {
+  uint64_t a = (static_cast<uint64_t>(k.src_ip) << 32) | k.dst_ip;
+  uint64_t b = (static_cast<uint64_t>(k.src_port) << 48) |
+               (static_cast<uint64_t>(k.dst_port) << 32) | k.ssrc;
+  return splitmix64(a) ^ splitmix64(b + 0x632be59bd9b4e019ull);
+}
+
+std::string StreamReport::describe() const {
+  std::ostringstream ss;
+  ss << ip_str(key.src_ip) << ':' << key.src_port << "->"
+     << ip_str(key.dst_ip) << ':' << key.dst_port;
+  if (key.ssrc != 0) ss << " ssrc " << key.ssrc;
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// StreamAccumulator
+// ---------------------------------------------------------------------------
+
+void StreamAccumulator::on_packet(const ParsedPacket& p) {
+  if (packets_ == 0) first_ns_ = p.ts_ns;
+  ++packets_;
+  ip_bytes_ += p.ip_bytes;
+  last_ns_ = p.ts_ns;
+  if (p.is_rtp) {
+    ++rtp_packets_;
+    segmenter_.on_packet(p);
+  } else if (p.is_rtcp) {
+    ++rtcp_packets_;
+  } else if (p.is_stun) {
+    ++stun_packets_;
+  }
+  ++window_.packets;
+  window_.ip_bytes += p.ip_bytes;
+  drain_closed();
+}
+
+void StreamAccumulator::drain_closed() {
+  FrameObservation f;
+  while (segmenter_.pop_closed(&f)) note_closed_frame(f);
+}
+
+void StreamAccumulator::note_closed_frame(const FrameObservation& f) {
+  int64_t sec = f.start_ns / 1'000'000'000;
+  if (frames_ == 0) {
+    first_frame_sec_ = sec;
+    cur_sec_ = sec;
+    cur_sec_frames_ = 0;
+  }
+  if (mode_ == Mode::kOffline) {
+    // Frames close in nondecreasing start order, so `sec` never precedes
+    // first_frame_sec_; the vector reproduces the offline pipeline's
+    // exact per-second series.
+    size_t idx = static_cast<size_t>(sec - first_frame_sec_);
+    if (idx >= fps_per_sec_.size()) fps_per_sec_.resize(idx + 1, 0.0);
+    fps_per_sec_[idx] += 1.0;
+  } else {
+    if (sec != cur_sec_) {
+      int bin = std::min(cur_sec_frames_, kFpsBins - 1);
+      if (cur_sec_frames_ > 0) ++fps_hist_[bin];
+      cur_sec_ = sec;
+      cur_sec_frames_ = 0;
+    }
+    ++cur_sec_frames_;
+  }
+  ++frames_;
+  frame_bytes_ += f.ip_bytes;
+  ++window_.frames;
+  int before = freeze_.freeze_events();
+  freeze_.on_frame_start(f.start_ns);
+  window_.freeze_events += freeze_.freeze_events() - before;
+}
+
+StreamAccumulator::Window StreamAccumulator::take_window() {
+  Window out = window_;
+  window_ = Window{};
+  return out;
+}
+
+StreamKind StreamAccumulator::classify(const StreamReport& r) const {
+  // Size/rate heuristics, blind to payload types: audio is a steady
+  // trickle of small constant-size packets (tens of pps, ~100-300 B);
+  // video is anything RTP with larger packets or real frame structure;
+  // STUN/RTCP-dominated flows are control.
+  if (rtp_packets_ == 0) {
+    if (stun_packets_ + rtcp_packets_ > 0) return StreamKind::kControl;
     return StreamKind::kUnknown;
   }
   bool small_packets = r.mean_packet_bytes <= 350.0;
@@ -128,15 +219,96 @@ StreamKind classify(const StreamState& s) {
   return StreamKind::kVideo;
 }
 
-}  // namespace
-
-std::string StreamReport::describe() const {
-  std::ostringstream ss;
-  ss << ip_str(key.src_ip) << ':' << key.src_port << "->"
-     << ip_str(key.dst_ip) << ':' << key.dst_port;
-  if (key.ssrc != 0) ss << " ssrc " << key.ssrc;
-  return ss.str();
+StreamKind StreamAccumulator::provisional_kind() const {
+  StreamReport r;
+  r.packets = packets_;
+  r.frames = static_cast<int>(frames_);
+  if (packets_ > 0) {
+    r.mean_packet_bytes =
+        static_cast<double>(ip_bytes_) / static_cast<double>(packets_);
+  }
+  double dur = static_cast<double>(last_ns_ - first_ns_) * 1e-9;
+  if (dur > 0.0) r.packets_per_sec = static_cast<double>(packets_) / dur;
+  return classify(r);
 }
+
+double StreamAccumulator::bounded_median_fps() const {
+  uint64_t n = 0;
+  for (int b = 0; b < kFpsBins; ++b) n += fps_hist_[b];
+  if (n == 0) return 0.0;
+  // Per-second frame counts are small integers, so the histogram median
+  // equals the sorted-vector median the offline pipeline computes.
+  uint64_t lo_rank = (n - 1) / 2, hi_rank = n / 2;
+  double lo = 0.0, hi = 0.0;
+  uint64_t seen = 0;
+  for (int b = 0; b < kFpsBins; ++b) {
+    uint64_t next = seen + fps_hist_[b];
+    if (lo_rank >= seen && lo_rank < next) lo = static_cast<double>(b);
+    if (hi_rank >= seen && hi_rank < next) {
+      hi = static_cast<double>(b);
+      break;
+    }
+    seen = next;
+  }
+  return (lo + hi) / 2.0;
+}
+
+StreamReport StreamAccumulator::finish(const StreamKey& key) {
+  // Close any still-open frames and route them through the same
+  // incremental accounting every drained frame took.
+  for (const FrameObservation& f : segmenter_.finish()) note_closed_frame(f);
+
+  StreamReport r;
+  r.key = key;
+  r.packets = packets_;
+  r.ip_bytes = ip_bytes_;
+  if (packets_ == 0) return r;
+
+  double dur = static_cast<double>(last_ns_ - first_ns_) * 1e-9;
+  r.first_ts_sec = static_cast<double>(first_ns_) * 1e-9;
+  r.last_ts_sec = static_cast<double>(last_ns_) * 1e-9;
+  r.mean_packet_bytes =
+      static_cast<double>(ip_bytes_) / static_cast<double>(packets_);
+  if (dur > 0.0) {
+    r.packets_per_sec = static_cast<double>(packets_) / dur;
+    r.mean_rate_mbps = static_cast<double>(ip_bytes_) * 8.0 / dur / 1e6;
+  }
+
+  r.repair_bytes = segmenter_.repair_bytes();
+  r.duplicate_packets = segmenter_.duplicate_packets();
+  r.frames = static_cast<int>(frames_);
+  if (frames_ > 0) {
+    r.first_sec = first_frame_sec_;
+    r.mean_frame_bytes = static_cast<double>(frame_bytes_) /
+                         static_cast<double>(frames_);
+    if (mode_ == Mode::kOffline) {
+      r.fps_per_sec = fps_per_sec_;
+      std::vector<double> nonzero;
+      for (double v : r.fps_per_sec) {
+        if (v > 0.0) nonzero.push_back(v);
+      }
+      r.median_fps = median_of_sorted_copy(std::move(nonzero));
+    } else {
+      if (cur_sec_frames_ > 0) {
+        ++fps_hist_[std::min(cur_sec_frames_, kFpsBins - 1)];
+        cur_sec_frames_ = 0;
+      }
+      r.median_fps = bounded_median_fps();
+    }
+    freeze_.finalize(last_ns_);
+    r.freeze_events = freeze_.freeze_events();
+    r.est_freeze_ratio = freeze_.freeze_ratio(last_ns_ - first_ns_);
+    r.est_width = infer_ladder_width(r.mean_frame_bytes, r.median_fps);
+    r.qoe = qoe_mos(r.median_fps, r.est_width, r.est_freeze_ratio);
+  }
+
+  r.kind = classify(r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-level analysis
+// ---------------------------------------------------------------------------
 
 const StreamReport* TraceAnalysis::primary(StreamKind kind) const {
   const StreamReport* best = nullptr;
@@ -147,91 +319,49 @@ const StreamReport* TraceAnalysis::primary(StreamKind kind) const {
   return best;
 }
 
-TraceAnalysis analyze_records(const std::vector<PacketRecord>& records,
-                              double from_sec) {
+TraceAnalysisBuilder::TraceAnalysisBuilder(double from_sec)
+    : from_ns_(static_cast<int64_t>(from_sec * 1e9)) {}
+
+void TraceAnalysisBuilder::add(const PacketRecord& rec) {
+  if (rec.ts_ns < from_ns_) return;
+  std::optional<ParsedPacket> p = parse_frame(rec);
+  if (!p) return;
+
+  StreamKey key{p->src_ip, p->dst_ip, p->src_port, p->dst_port,
+                p->is_rtp ? p->ssrc : 0};
+  StreamAccumulator* acc = nullptr;
+  for (auto& [k, a] : streams_) {
+    if (k == key) {
+      acc = &a;
+      break;
+    }
+  }
+  if (acc == nullptr) {
+    streams_.emplace_back(key, StreamAccumulator(StreamAccumulator::Mode::kOffline));
+    acc = &streams_.back().second;
+  }
+  acc->on_packet(*p);
+
+  ++packets_;
+  ip_bytes_ += p->ip_bytes;
+  if (first_ns_ < 0) first_ns_ = p->ts_ns;
+  last_ns_ = std::max(last_ns_, p->ts_ns);
+}
+
+TraceAnalysis TraceAnalysisBuilder::finish() {
   TraceAnalysis out;
-  int64_t from_ns = static_cast<int64_t>(from_sec * 1e9);
+  out.packets = packets_;
+  out.ip_bytes = ip_bytes_;
 
-  std::map<StreamKey, StreamState> streams;
-  int64_t first_ns = -1, last_ns = 0;
-
-  for (const PacketRecord& rec : records) {
-    if (rec.ts_ns < from_ns) continue;
-    std::optional<ParsedPacket> p = parse_frame(rec);
-    if (!p) continue;
-
-    StreamKey key{p->src_ip, p->dst_ip, p->src_port, p->dst_port,
-                  p->is_rtp ? p->ssrc : 0};
-    StreamState& s = streams[key];
-    StreamReport& r = s.report;
-    if (r.packets == 0) {
-      r.key = key;
-      s.first_ns = p->ts_ns;
-    }
-    ++r.packets;
-    r.ip_bytes += p->ip_bytes;
-    s.last_ns = p->ts_ns;
-    if (p->is_rtp) {
-      ++s.rtp_packets;
-      s.segmenter.on_packet(*p);
-    } else if (p->is_rtcp) {
-      ++s.rtcp_packets;
-    } else if (p->is_stun) {
-      ++s.stun_packets;
-    }
-
-    out.packets++;
-    out.ip_bytes += p->ip_bytes;
-    if (first_ns < 0) first_ns = p->ts_ns;
-    last_ns = std::max(last_ns, p->ts_ns);
+  std::sort(streams_.begin(), streams_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [key, acc] : streams_) {
+    out.streams.push_back(acc.finish(key));
   }
 
-  for (auto& [key, s] : streams) {
-    StreamReport& r = s.report;
-    double dur = static_cast<double>(s.last_ns - s.first_ns) * 1e-9;
-    r.first_ts_sec = static_cast<double>(s.first_ns) * 1e-9;
-    r.last_ts_sec = static_cast<double>(s.last_ns) * 1e-9;
-    r.mean_packet_bytes =
-        static_cast<double>(r.ip_bytes) / static_cast<double>(r.packets);
-    if (dur > 0.0) {
-      r.packets_per_sec = static_cast<double>(r.packets) / dur;
-      r.mean_rate_mbps = static_cast<double>(r.ip_bytes) * 8.0 / dur / 1e6;
-    }
-
-    std::vector<FrameObservation> frames = s.segmenter.finish();
-    r.repair_bytes = s.segmenter.repair_bytes();
-    r.duplicate_packets = s.segmenter.duplicate_packets();
-    r.frames = static_cast<int>(frames.size());
-    if (!frames.empty()) {
-      int64_t frame_bytes = 0;
-      r.first_sec = frames.front().start_ns / 1'000'000'000;
-      int64_t last_sec = r.first_sec;
-      for (const FrameObservation& f : frames) {
-        frame_bytes += f.ip_bytes;
-        last_sec = std::max(last_sec, f.start_ns / 1'000'000'000);
-      }
-      r.mean_frame_bytes = static_cast<double>(frame_bytes) /
-                           static_cast<double>(frames.size());
-      r.fps_per_sec.assign(static_cast<size_t>(last_sec - r.first_sec + 1),
-                           0.0);
-      for (const FrameObservation& f : frames) {
-        r.fps_per_sec[static_cast<size_t>(f.start_ns / 1'000'000'000 -
-                                          r.first_sec)] += 1.0;
-      }
-      std::vector<double> nonzero;
-      for (double v : r.fps_per_sec) {
-        if (v > 0.0) nonzero.push_back(v);
-      }
-      r.median_fps = median_of_sorted_copy(std::move(nonzero));
-    }
-
-    r.kind = classify(s);
-    out.streams.push_back(std::move(r));
-  }
-
-  if (first_ns >= 0) {
-    out.first_ts_sec = static_cast<double>(first_ns) * 1e-9;
-    out.last_ts_sec = static_cast<double>(last_ns) * 1e-9;
+  if (first_ns_ >= 0) {
+    out.first_ts_sec = static_cast<double>(first_ns_) * 1e-9;
+    out.last_ts_sec = static_cast<double>(last_ns_) * 1e-9;
     double dur = out.last_ts_sec - out.first_ts_sec;
     if (dur > 0.0) {
       out.mean_rate_mbps = static_cast<double>(out.ip_bytes) * 8.0 / dur / 1e6;
@@ -240,12 +370,21 @@ TraceAnalysis analyze_records(const std::vector<PacketRecord>& records,
   return out;
 }
 
+TraceAnalysis analyze_records(const std::vector<PacketRecord>& records,
+                              double from_sec) {
+  TraceAnalysisBuilder builder(from_sec);
+  for (const PacketRecord& rec : records) builder.add(rec);
+  return builder.finish();
+}
+
 TraceAnalysis analyze_pcap_file(const std::string& path, double from_sec,
                                 bool* ok) {
-  bool read_ok = false;
-  std::vector<PacketRecord> records = read_pcap_file(path, &read_ok);
-  if (ok != nullptr) *ok = read_ok;
-  return analyze_records(records, from_sec);
+  TraceAnalysisBuilder builder(from_sec);
+  PcapFileReader reader(path);
+  if (ok != nullptr) *ok = reader.ok();
+  PacketRecord rec;
+  while (reader.next(&rec)) builder.add(rec);
+  return builder.finish();
 }
 
 }  // namespace vca

@@ -45,6 +45,36 @@ inline uint64_t free_calls() {
   return g_free_calls.load(std::memory_order_relaxed);
 }
 
+// Live-heap accounting (also written only by perf_alloc.cc): bytes
+// currently allocated and the high-water mark, measured via
+// malloc_usable_size so frees subtract exactly what their allocation
+// added. The streaming memory-cap gate works on deltas: snapshot
+// live_bytes() as the baseline, reset_peak_live(), run the workload, and
+// peak_live_bytes() - baseline is the workload's peak footprint.
+inline std::atomic<int64_t> g_live_bytes{0};
+inline std::atomic<int64_t> g_peak_live_bytes{0};
+
+inline void note_live_alloc(int64_t n) {
+  int64_t live = g_live_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+  int64_t cur = g_peak_live_bytes.load(std::memory_order_relaxed);
+  while (live > cur && !g_peak_live_bytes.compare_exchange_weak(
+                           cur, live, std::memory_order_relaxed)) {
+  }
+}
+inline void note_live_free(int64_t n) {
+  g_live_bytes.fetch_sub(n, std::memory_order_relaxed);
+}
+inline int64_t live_bytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+inline int64_t peak_live_bytes() {
+  return g_peak_live_bytes.load(std::memory_order_relaxed);
+}
+// Restart peak tracking from the current live level.
+inline void reset_peak_live() {
+  g_peak_live_bytes.store(live_bytes(), std::memory_order_relaxed);
+}
+
 // Debug aid for hunting stray hot-loop allocations: while armed (and
 // perf_alloc.cc is linked), the very next allocation prints a backtrace
 // to stderr and aborts. Arm it right before a window that must be

@@ -7,6 +7,7 @@
 // The replacements forward to malloc/free, which the sanitizer runtimes
 // intercept as usual, so instrumented targets stay ASan/TSan-compatible.
 #include <execinfo.h>
+#include <malloc.h>
 #include <unistd.h>
 
 #include <cstdlib>
@@ -39,7 +40,12 @@ void* counted_alloc(std::size_t n) {
   maybe_trap();
   vca::perf::g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
   vca::perf::g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
-  return std::malloc(n == 0 ? 1 : n);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p != nullptr) {
+    vca::perf::note_live_alloc(
+        static_cast<int64_t>(malloc_usable_size(p)));
+  }
+  return p;
 }
 
 void* counted_aligned_alloc(std::size_t n, std::size_t align) {
@@ -49,12 +55,19 @@ void* counted_aligned_alloc(std::size_t n, std::size_t align) {
   if (n == 0) n = align;
   // aligned_alloc requires the size to be a multiple of the alignment.
   std::size_t rounded = (n + align - 1) / align * align;
-  return std::aligned_alloc(align, rounded);
+  void* p = std::aligned_alloc(align, rounded);
+  if (p != nullptr) {
+    vca::perf::note_live_alloc(
+        static_cast<int64_t>(malloc_usable_size(p)));
+  }
+  return p;
 }
 
 void counted_free(void* p) {
   if (p != nullptr) {
     vca::perf::g_free_calls.fetch_add(1, std::memory_order_relaxed);
+    vca::perf::note_live_free(
+        static_cast<int64_t>(malloc_usable_size(p)));
   }
   std::free(p);
 }

@@ -478,6 +478,10 @@ ConferenceResult run_conference(const ConferenceConfig& cfg) {
     relay_up_caps.push_back(net.capture(reg->relay_up));
     relay_down_caps.push_back(net.capture(reg->relay_down));
   }
+  TraceRecorder* c1_down_rec = nullptr;
+  if (cfg.capture_traces) {
+    c1_down_rec = net.record(ports[0].down, cfg.trace_snaplen);
+  }
 
   // Region-scoped faults.
   FaultPlan plan;
@@ -579,6 +583,15 @@ ConferenceResult run_conference(const ConferenceConfig& cfg) {
       static_cast<uint64_t>(out.invariant_violations.size()));
   for (const auto& v : net.check_invariants()) {
     out.invariant_violations.push_back(v);
+  }
+  if (cfg.capture_traces) {
+    out.c1_down_records = c1_down_rec->take_records();
+    if (!cfg.pcap_path.empty()) {
+      write_pcap_file(cfg.pcap_path, out.c1_down_records, cfg.trace_snaplen);
+    }
+    if (!clients[0]->feeds().empty()) {
+      out.c1_recv_seconds = clients[0]->feeds().front()->stats->per_second();
+    }
   }
   finish_run(net);
   return out;

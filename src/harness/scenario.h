@@ -212,6 +212,11 @@ struct ConferenceConfig {
   int sfu_blackout_region = -1;   // that region's SFU process goes dark
   Duration fault_start = Duration::seconds(30);
   Duration fault_length = Duration::seconds(10);
+  // Packet-trace capture of the observed client's downlink (the corpus
+  // generator's vantage point), as in TwoPartyConfig.
+  bool capture_traces = false;
+  uint32_t trace_snaplen = kPcapDefaultSnaplen;
+  std::string pcap_path;
   // Sharded parallel core (net/shard.h). 0 = legacy single-scheduler
   // engine (bit-exact with every pre-sharding release). >= 1 = partition
   // the simulation into one logical shard per region plus a control
@@ -247,6 +252,9 @@ struct ConferenceResult {
   int active_at_end = 0;
   int64_t forwards_to_departed = 0;
   std::vector<std::string> invariant_violations;  // empty == healthy sim
+  // Populated when cfg.capture_traces (cf. TwoPartyResult).
+  std::vector<PacketRecord> c1_down_records;
+  std::vector<SecondStats> c1_recv_seconds;
 };
 
 ConferenceResult run_conference(const ConferenceConfig& cfg);

@@ -1,0 +1,61 @@
+#include "streaming/corpus.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace vca {
+
+namespace {
+constexpr const char* kMagic = "# vca-labels v1";
+}  // namespace
+
+std::vector<LabelRow> labels_from_seconds(const std::vector<SecondStats>& s) {
+  std::vector<LabelRow> rows;
+  rows.reserve(s.size());
+  for (const SecondStats& sec : s) {
+    LabelRow r;
+    r.second = sec.at.ns() / 1'000'000'000;
+    r.fps = sec.fps;
+    r.qp = sec.avg_qp;
+    r.width = sec.width;
+    r.freeze_ms = sec.freeze_ms;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+bool write_labels_file(const std::string& path,
+                       const std::vector<LabelRow>& rows) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << kMagic << '\n';
+  f << "# second fps qp width freeze_ms\n";
+  f.precision(std::numeric_limits<double>::max_digits10);  // exact round trip
+  for (const LabelRow& r : rows) {
+    f << r.second << ' ' << r.fps << ' ' << r.qp << ' ' << r.width << ' '
+      << r.freeze_ms << '\n';
+  }
+  return f.good();
+}
+
+bool read_labels_file(const std::string& path, std::vector<LabelRow>* out) {
+  out->clear();
+  std::ifstream f(path);
+  if (!f) return false;
+  std::string line;
+  if (!std::getline(f, line) || line != kMagic) return false;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    LabelRow r;
+    if (!(ss >> r.second >> r.fps >> r.qp >> r.width >> r.freeze_ms)) {
+      out->clear();
+      return false;
+    }
+    out->push_back(r);
+  }
+  return true;
+}
+
+}  // namespace vca

@@ -1,0 +1,50 @@
+// Labeled-corpus generation (after Odiathevar et al., PAPERS.md): the
+// simulator as an infinite training-data factory for network monitors.
+//
+// A corpus item is a pcap any capture tool can open plus a ground-truth
+// label sidecar: one row per second of the observed client's received
+// video, taken from the simulator's getStats()-equivalent
+// (WebRtcStatsCollector SecondStats) — exactly the truth a blind
+// monitoring model should learn to recover from the packet stream. The
+// sidecar is a versioned, line-oriented text file:
+//
+//   # vca-labels v1
+//   # second fps qp width freeze_ms
+//   30 30.000 28.50 1280 0.0
+//
+// `second` is the virtual-clock second the row describes (end of the 1 s
+// window). write/read round-trip exactly (values printed with enough
+// digits), which streaming_corpus_test asserts against the live
+// SecondStats on both a two-party call and a 50-party conference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/webrtc_stats.h"
+
+namespace vca {
+
+struct LabelRow {
+  int64_t second = 0;      // virtual seconds since t=0 (window end)
+  double fps = 0.0;
+  double qp = 0.0;
+  int width = 0;
+  double freeze_ms = 0.0;
+
+  bool operator==(const LabelRow&) const = default;
+};
+
+// Converts collector output to sidecar rows (1:1, in order).
+std::vector<LabelRow> labels_from_seconds(const std::vector<SecondStats>& s);
+
+// Writes the sidecar; false if the file cannot be opened.
+bool write_labels_file(const std::string& path,
+                       const std::vector<LabelRow>& rows);
+
+// Parses a sidecar back; false on open failure, bad header, or a
+// malformed row. Partial output is cleared on failure.
+bool read_labels_file(const std::string& path, std::vector<LabelRow>* out);
+
+}  // namespace vca

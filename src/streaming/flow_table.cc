@@ -1,0 +1,93 @@
+#include "streaming/flow_table.h"
+
+#include <algorithm>
+
+namespace vca {
+
+FlowTable::FlowTable(const StreamingConfig& cfg)
+    : cfg_(cfg), sketch_(cfg.sketch_width, cfg.sketch_depth) {
+  size_t sketch_bytes = sketch_.memory_bytes();
+  size_t budget =
+      cfg_.memory_cap_bytes > sketch_bytes ? cfg_.memory_cap_bytes - sketch_bytes
+                                           : 0;
+  max_flows_ = std::max<size_t>(16, budget / kPerFlowCostBytes);
+  // Reserve buckets up front: table growth must never rehash mid-run
+  // (a rehash spike would breach the cap exactly when the table is full).
+  flows_.reserve(max_flows_);
+}
+
+StreamAccumulator* FlowTable::on_packet(const StreamKey& key,
+                                        const ParsedPacket& p) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    uint64_t h = stream_key_hash(key);
+    uint32_t est = sketch_.add(h);
+    if (est < cfg_.promote_packets) {
+      ++stats_.sketch_only_packets;
+      return nullptr;
+    }
+    if (flows_.size() >= max_flows_) {
+      // Full: the least-recently-active flow makes room.
+      evict(lru_.back(), /*idle=*/false);
+      ++stats_.evicted_lru;
+    }
+    lru_.push_front(key);
+    it = flows_.try_emplace(key).first;
+    it->second.lru_it = lru_.begin();
+    ++stats_.promoted;
+    if (flows_.size() > stats_.peak_live_flows) {
+      stats_.peak_live_flows = flows_.size();
+    }
+  } else {
+    sketch_.add(stream_key_hash(key));
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  }
+  it->second.acc.on_packet(p);
+  return &it->second.acc;
+}
+
+void FlowTable::evict(const StreamKey& key, bool idle) {
+  (void)idle;
+  auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  StreamReport r = it->second.acc.finish(key);
+  lru_.erase(it->second.lru_it);
+  flows_.erase(it);
+  if (report_sink_) report_sink_(r);
+}
+
+void FlowTable::sweep_idle(int64_t now_ns) {
+  std::vector<StreamKey> idle;
+  for (const auto& [key, entry] : flows_) {
+    if (now_ns - entry.acc.last_ns() >= cfg_.idle_timeout_ns) {
+      idle.push_back(key);
+    }
+  }
+  std::sort(idle.begin(), idle.end());  // deterministic flush order
+  for (const StreamKey& key : idle) {
+    evict(key, /*idle=*/true);
+    ++stats_.evicted_idle;
+  }
+}
+
+void FlowTable::flush_all() {
+  std::vector<StreamKey> keys;
+  keys.reserve(flows_.size());
+  for (const auto& [key, entry] : flows_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const StreamKey& key : keys) evict(key, /*idle=*/false);
+}
+
+void FlowTable::for_each_live(
+    const std::function<void(const StreamKey&, StreamAccumulator&)>& fn) {
+  std::vector<StreamKey> keys;
+  keys.reserve(flows_.size());
+  for (const auto& [key, entry] : flows_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const StreamKey& key : keys) {
+    auto it = flows_.find(key);
+    if (it != flows_.end()) fn(key, it->second.acc);
+  }
+}
+
+}  // namespace vca

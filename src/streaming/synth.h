@@ -1,0 +1,189 @@
+// Deterministic synthetic churn workload for the streaming analyzer's
+// benches and memory-cap tests: a time-ordered stream of parsed packets
+// drawn from three populations, sized so a run exercises every flow-
+// table path at once —
+//
+//   * mice: one-shot probes (3 small packets each, staggered joins).
+//     With a default promotion bar they live and die in the sketch; at
+//     100k+ of them they are the "million concurrent flows" the table
+//     must shrug off without allocating state.
+//   * mid flows: burst long enough to promote, then go silent — the
+//     idle-eviction + final-flush churn load.
+//   * hot flows: synthetic 30 fps video (3-packet frames on a 90 kHz
+//     clock) that stay promoted for the whole run and give the windowed
+//     estimators a real signal.
+//
+// Everything is computed from the seed; iteration is allocation-free
+// after construction (fixed event heap + per-flow scalar arrays), so a
+// bench can baseline the allocation counter after building the
+// generator and attribute every later byte to the analyzer under test.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/inference.h"
+#include "analysis/parse.h"
+
+namespace vca {
+
+struct SynthChurnConfig {
+  int mice_flows = 100'000;
+  int mid_flows = 10'000;
+  int hot_flows = 200;
+  double duration_sec = 30.0;
+  uint64_t seed = 1;
+};
+
+class SynthChurn {
+ public:
+  explicit SynthChurn(const SynthChurnConfig& cfg) : cfg_(cfg) {
+    int total = cfg_.mice_flows + cfg_.mid_flows + cfg_.hot_flows;
+    seqs_.assign(static_cast<size_t>(total), 0);
+    stages_.assign(static_cast<size_t>(total), 0);
+    heap_.reserve(static_cast<size_t>(total));
+    int64_t dur_ns = static_cast<int64_t>(cfg_.duration_sec * 1e9);
+    for (int f = 0; f < total; ++f) {
+      heap_.push_back(Ev{join_time_ns(f, dur_ns), f});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), later);
+  }
+
+  // Next packet in time order; false when the workload is exhausted.
+  bool next(ParsedPacket* out) {
+    if (pending_count_ > pending_pos_) {
+      *out = pending_[pending_pos_++];
+      return true;
+    }
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Ev ev = heap_.back();
+    heap_.pop_back();
+    emit(ev);
+    int64_t next_ns = next_event_ns(ev);
+    if (next_ns >= 0) {
+      heap_.push_back(Ev{next_ns, ev.flow});
+      std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+    ++emitted_events_;
+    *out = pending_[pending_pos_++];
+    return true;
+  }
+
+  int total_flows() const {
+    return cfg_.mice_flows + cfg_.mid_flows + cfg_.hot_flows;
+  }
+
+  static StreamKey key_of(const ParsedPacket& p) {
+    return StreamKey{p.src_ip, p.dst_ip, p.src_port, p.dst_port,
+                     p.is_rtp ? p.ssrc : 0};
+  }
+
+ private:
+  struct Ev {
+    int64_t at_ns;
+    int flow;
+  };
+  // Min-heap by time, flow id as the deterministic tiebreak.
+  static bool later(const Ev& a, const Ev& b) {
+    if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
+    return a.flow > b.flow;
+  }
+
+  bool is_mouse(int f) const { return f < cfg_.mice_flows; }
+  bool is_mid(int f) const {
+    return f >= cfg_.mice_flows && f < cfg_.mice_flows + cfg_.mid_flows;
+  }
+
+  static uint64_t mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  int64_t join_time_ns(int f, int64_t dur_ns) const {
+    // Joins staggered over the run with room for each class to play out
+    // its whole lifecycle before the end of input.
+    int64_t tail = is_mouse(f) ? 2'000'000'000
+                   : is_mid(f) ? 4'000'000'000
+                                : dur_ns - 1;  // hot flows join early
+    int64_t window = std::max<int64_t>(1, dur_ns - tail);
+    if (!is_mouse(f) && !is_mid(f)) window = std::min<int64_t>(window, 1'000'000'000);
+    return static_cast<int64_t>(mix(cfg_.seed ^ static_cast<uint64_t>(f)) %
+                                static_cast<uint64_t>(window));
+  }
+
+  // Lifecycle cadence per class; stage counts packets/frames emitted.
+  static constexpr int kMousePackets = 3;
+  static constexpr int64_t kMouseGapNs = 500'000'000;
+  static constexpr int kMidPackets = 12;
+  static constexpr int64_t kMidGapNs = 250'000'000;
+  static constexpr int64_t kHotFrameNs = 33'333'333;  // ~30 fps
+
+  int64_t next_event_ns(const Ev& ev) {
+    int stage = ++stages_[static_cast<size_t>(ev.flow)];
+    if (is_mouse(ev.flow)) {
+      return stage < kMousePackets ? ev.at_ns + kMouseGapNs : -1;
+    }
+    if (is_mid(ev.flow)) {
+      return stage < kMidPackets ? ev.at_ns + kMidGapNs : -1;
+    }
+    int64_t next = ev.at_ns + kHotFrameNs;
+    int64_t dur_ns = static_cast<int64_t>(cfg_.duration_sec * 1e9);
+    return next < dur_ns ? next : -1;
+  }
+
+  void emit(const Ev& ev) {
+    pending_pos_ = 0;
+    pending_count_ = 0;
+    if (is_mouse(ev.flow)) {
+      push_packet(ev, 150, /*rtp=*/false, /*marker=*/false);
+    } else if (is_mid(ev.flow)) {
+      push_packet(ev, 500, /*rtp=*/true, /*marker=*/true);
+    } else {
+      // One 3-packet video frame (same RTP timestamp, marker on last).
+      push_packet(ev, 900, true, false);
+      push_packet(ev, 900, true, false);
+      push_packet(ev, 450, true, true);
+    }
+  }
+
+  void push_packet(const Ev& ev, int ip_bytes, bool rtp, bool marker) {
+    ParsedPacket p;
+    // Packets inside one event get consecutive nanoseconds so the stream
+    // stays strictly time-ordered.
+    p.ts_ns = ev.at_ns + pending_count_;
+    p.wire_bytes = static_cast<uint32_t>(ip_bytes + 14);
+    p.ip_bytes = ip_bytes;
+    uint32_t f = static_cast<uint32_t>(ev.flow);
+    p.src_ip = 0x0b000000u | (f & 0xffffffu);  // 11.x.x.x, unique per flow
+    p.dst_ip = 0x0a000001u;
+    p.src_port = static_cast<uint16_t>(20000 + (f % 40000));
+    p.dst_port = 3478;
+    p.ip_proto = 17;
+    if (rtp) {
+      p.is_rtp = true;
+      p.payload_type = 96;
+      p.marker = marker;
+      p.seq = seqs_[static_cast<size_t>(ev.flow)]++;
+      p.rtp_timestamp = static_cast<uint32_t>(ev.at_ns / (1'000'000'000 / 90'000));
+      p.ssrc = 0x100000u + f;
+    } else {
+      p.is_stun = true;
+    }
+    pending_[pending_count_++] = p;
+  }
+
+  SynthChurnConfig cfg_;
+  std::vector<Ev> heap_;
+  std::vector<uint16_t> seqs_;
+  std::vector<uint8_t> stages_;
+  ParsedPacket pending_[4];
+  int pending_pos_ = 0;
+  int pending_count_ = 0;
+  int64_t emitted_events_ = 0;
+};
+
+}  // namespace vca

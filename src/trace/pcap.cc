@@ -1,6 +1,7 @@
 #include "trace/pcap.h"
 
 #include <array>
+#include <cstring>
 #include <fstream>
 
 namespace vca {
@@ -102,6 +103,70 @@ std::vector<PacketRecord> PcapReader::read_all() {
   return out;
 }
 
+PcapFileReader::PcapFileReader(const std::string& path, size_t buffer_bytes)
+    : file_(path, std::ios::binary), buf_(std::max<size_t>(buffer_bytes, 64)) {
+  if (!file_) return;
+  if (!ensure(24)) return;  // global header
+  uint32_t magic = u32_at(buf_pos_);
+  if (magic == kPcapMagicNanos) {
+    nanosecond_ = true;
+  } else if (magic == kPcapMagicMicros) {
+    nanosecond_ = false;
+  } else {
+    return;  // byte-swapped or foreign capture: not ours
+  }
+  snaplen_ = u32_at(buf_pos_ + 16);
+  link_type_ = u32_at(buf_pos_ + 20);
+  buf_pos_ += 24;
+  ok_ = true;
+}
+
+bool PcapFileReader::ensure(size_t need) {
+  if (buf_len_ - buf_pos_ >= need) return true;
+  // Compact the unread tail to the front, then refill from disk.
+  std::memmove(buf_.data(), buf_.data() + buf_pos_, buf_len_ - buf_pos_);
+  buf_len_ -= buf_pos_;
+  buf_pos_ = 0;
+  if (need > buf_.size()) buf_.resize(need);  // snaplen exceeds the chunk
+  while (buf_len_ < need) {
+    file_.read(buf_.data() + buf_len_, static_cast<std::streamsize>(
+                                           buf_.size() - buf_len_));
+    size_t got = static_cast<size_t>(file_.gcount());
+    if (got == 0) return false;
+    buf_len_ += got;
+  }
+  return true;
+}
+
+uint32_t PcapFileReader::u32_at(size_t off) const {
+  const auto* b = reinterpret_cast<const uint8_t*>(buf_.data() + off);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+bool PcapFileReader::next(PacketRecord* out) {
+  if (!ok_) return false;
+  if (!ensure(16)) return false;  // clean EOF (or truncated header)
+  uint32_t sec = u32_at(buf_pos_);
+  uint32_t frac = u32_at(buf_pos_ + 4);
+  uint32_t incl = u32_at(buf_pos_ + 8);
+  uint32_t orig = u32_at(buf_pos_ + 12);
+  if (incl > kMaxRecordBytes) {
+    ok_ = false;  // corrupt length: stop rather than allocate it
+    return false;
+  }
+  if (!ensure(16 + incl)) return false;  // truncated capture body
+  out->ts_ns = static_cast<int64_t>(sec) * 1'000'000'000 +
+               (nanosecond_ ? frac : static_cast<int64_t>(frac) * 1000);
+  out->wire_bytes = orig;
+  out->bytes.assign(
+      reinterpret_cast<const uint8_t*>(buf_.data() + buf_pos_ + 16),
+      reinterpret_cast<const uint8_t*>(buf_.data() + buf_pos_ + 16 + incl));
+  buf_pos_ += 16 + incl;
+  return true;
+}
+
 bool write_pcap_file(const std::string& path,
                      const std::vector<PacketRecord>& records,
                      uint32_t snaplen) {
@@ -113,13 +178,13 @@ bool write_pcap_file(const std::string& path,
 }
 
 std::vector<PacketRecord> read_pcap_file(const std::string& path, bool* ok) {
-  std::ifstream f(path, std::ios::binary);
-  if (ok != nullptr) *ok = false;
-  if (!f) return {};
-  PcapReader r(f);
+  PcapFileReader r(path);  // chunked: the file streams, never loads whole
+  if (ok != nullptr) *ok = r.ok();
   if (!r.ok()) return {};
-  if (ok != nullptr) *ok = true;
-  return r.read_all();
+  std::vector<PacketRecord> out;
+  PacketRecord rec;
+  while (r.next(&rec)) out.push_back(std::move(rec));
+  return out;
 }
 
 }  // namespace vca

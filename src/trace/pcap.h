@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -71,6 +72,45 @@ class PcapReader {
 
  private:
   std::istream& is_;
+  bool ok_ = false;
+  bool nanosecond_ = true;
+  uint32_t link_type_ = 0;
+  uint32_t snaplen_ = 0;
+};
+
+// Chunked file reader: iterates a libpcap file through a fixed-size read
+// buffer, so memory stays O(buffer) no matter how large the capture is.
+// This is the reader both the offline pipeline and the streaming
+// service's replay path use — a multi-gigabyte trace streams record by
+// record, never loaded whole.
+class PcapFileReader {
+ public:
+  static constexpr size_t kDefaultBufferBytes = 64 * 1024;
+  // A claimed capture length beyond this marks the file as corrupt
+  // (jumbo frames top out far below it); keeps a bad length field from
+  // driving an unbounded allocation.
+  static constexpr uint32_t kMaxRecordBytes = 1 << 20;
+
+  explicit PcapFileReader(const std::string& path,
+                          size_t buffer_bytes = kDefaultBufferBytes);
+
+  bool ok() const { return ok_; }
+  uint32_t link_type() const { return link_type_; }
+  uint32_t snaplen() const { return snaplen_; }
+  bool nanosecond() const { return nanosecond_; }
+
+  // Reads the next record; false at EOF, on a truncated file, or on a
+  // corrupt length field. Refills the chunk buffer from disk as needed.
+  bool next(PacketRecord* out);
+
+ private:
+  bool ensure(size_t need);  // >= need unread bytes buffered
+  uint32_t u32_at(size_t off) const;
+
+  std::ifstream file_;
+  std::vector<char> buf_;
+  size_t buf_pos_ = 0;  // next unread byte
+  size_t buf_len_ = 0;  // valid bytes in buf_
   bool ok_ = false;
   bool nanosecond_ = true;
   uint32_t link_type_ = 0;

@@ -161,7 +161,12 @@ PacketRecord synthesize_frame(const Packet& p, TimePoint at,
 }
 
 void TraceRecorder::on_packet(const Packet& p, TimePoint at) {
-  records_.push_back(synthesize_frame(p, at, snaplen_));
+  PacketRecord rec = synthesize_frame(p, at, snaplen_);
+  if (sink_) {
+    sink_(rec);
+    return;  // live feed: nothing accumulates
+  }
+  records_.push_back(std::move(rec));
 }
 
 }  // namespace vca

@@ -30,7 +30,9 @@
 // destroyed. Network::record() follows this contract for you.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/link.h"
@@ -41,12 +43,20 @@ namespace vca {
 
 class TraceRecorder {
  public:
+  // A live consumer of synthesized records. While a sink is installed,
+  // records flow to it instead of accumulating in memory — the tap
+  // becomes a bounded-memory feed for the streaming analyzer, like
+  // piping tcpdump into a monitor instead of writing a capture file.
+  using RecordSink = std::function<void(const PacketRecord&)>;
+
   explicit TraceRecorder(uint32_t snaplen = kPcapDefaultSnaplen)
       : snaplen_(snaplen) {}
 
   LinkTap tap() {
     return [this](const Packet& p, TimePoint at) { on_packet(p, at); };
   }
+
+  void set_sink(RecordSink sink) { sink_ = std::move(sink); }
 
   // Synthesize and append one record (the tap calls this).
   void on_packet(const Packet& p, TimePoint at);
@@ -71,6 +81,7 @@ class TraceRecorder {
 
  private:
   uint32_t snaplen_;
+  RecordSink sink_;
   std::vector<PacketRecord> records_;
 };
 

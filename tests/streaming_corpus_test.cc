@@ -1,0 +1,90 @@
+// Corpus mode: pcap + label sidecar round-trips exactly and the labels
+// match the live getStats()-derived truth, on a two-party call and on a
+// 50-party conference.
+#include "streaming/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/scenario.h"
+#include "trace/pcap.h"
+
+namespace vca {
+namespace {
+
+void check_round_trip(const std::vector<SecondStats>& truth,
+                      const std::string& tag) {
+  std::vector<LabelRow> rows = labels_from_seconds(truth);
+  ASSERT_EQ(rows.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(rows[i].second, truth[i].at.ns() / 1'000'000'000);
+    EXPECT_DOUBLE_EQ(rows[i].fps, truth[i].fps);
+    EXPECT_DOUBLE_EQ(rows[i].qp, truth[i].avg_qp);
+    EXPECT_EQ(rows[i].width, truth[i].width);
+    EXPECT_DOUBLE_EQ(rows[i].freeze_ms, truth[i].freeze_ms);
+  }
+
+  std::string path = testing::TempDir() + "/labels_" + tag + ".txt";
+  ASSERT_TRUE(write_labels_file(path, rows));
+  std::vector<LabelRow> parsed;
+  ASSERT_TRUE(read_labels_file(path, &parsed));
+  std::remove(path.c_str());
+  // Bit-exact round trip (doubles printed at max_digits10).
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(StreamingCorpusTest, TwoPartyLabelsMatchGetStatsTruth) {
+  TwoPartyConfig cfg;
+  cfg.profile = "meet";
+  cfg.seed = 7;
+  cfg.duration = Duration::seconds(45);
+  cfg.capture_traces = true;
+  std::string pcap = testing::TempDir() + "/corpus_2p.pcap";
+  cfg.pcap_path = pcap;
+  TwoPartyResult r = run_two_party(cfg);
+
+  ASSERT_GT(r.c1_recv_seconds.size(), 30u);
+  ASSERT_FALSE(r.c1_down_records.empty());
+  // The pcap side of the corpus item is a real readable capture.
+  bool ok = false;
+  std::vector<PacketRecord> back = read_pcap_file(pcap, &ok);
+  std::remove(pcap.c_str());
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.size(), r.c1_down_records.size());
+
+  check_round_trip(r.c1_recv_seconds, "2p");
+  // Ground truth is live video: the labels carry real frame rates.
+  double fps_sum = 0.0;
+  for (const SecondStats& s : r.c1_recv_seconds) fps_sum += s.fps;
+  EXPECT_GT(fps_sum / static_cast<double>(r.c1_recv_seconds.size()), 10.0);
+}
+
+TEST(StreamingCorpusTest, FiftyPartyConferenceLabelsMatchGetStatsTruth) {
+  ConferenceConfig cfg;
+  cfg.profile = "webex";
+  cfg.participants = 50;
+  cfg.regions = 2;
+  cfg.seed = 9;
+  cfg.duration = Duration::seconds(30);
+  cfg.measure_from = Duration::seconds(10);
+  cfg.capture_traces = true;
+  std::string pcap = testing::TempDir() + "/corpus_conf.pcap";
+  cfg.pcap_path = pcap;
+  ConferenceResult r = run_conference(cfg);
+  EXPECT_TRUE(r.invariant_violations.empty());
+
+  ASSERT_FALSE(r.c1_down_records.empty());
+  ASSERT_GT(r.c1_recv_seconds.size(), 20u);
+  bool ok = false;
+  std::vector<PacketRecord> back = read_pcap_file(pcap, &ok);
+  std::remove(pcap.c_str());
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(back.size(), r.c1_down_records.size());
+
+  check_round_trip(r.c1_recv_seconds, "conf");
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,172 @@
+// Flow-table behavior under the loads the streaming service sees:
+// sketch-gated promotion, LRU eviction at capacity with final-report
+// flush, idle sweeps, and evict-then-rejoin accounting.
+#include "streaming/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace vca {
+namespace {
+
+StreamKey key_of(uint32_t i) {
+  StreamKey k;
+  k.src_ip = 0x0b000000u | i;
+  k.dst_ip = 0x0a000001u;
+  k.src_port = static_cast<uint16_t>(20000 + (i % 40000));
+  k.dst_port = 3478;
+  k.ssrc = 0x100000u + i;
+  return k;
+}
+
+ParsedPacket rtp_packet(uint32_t flow, int64_t ts_ns, uint16_t seq,
+                        int bytes = 500) {
+  ParsedPacket p;
+  p.ts_ns = ts_ns;
+  p.ip_bytes = bytes;
+  p.wire_bytes = static_cast<uint32_t>(bytes + 14);
+  StreamKey k = key_of(flow);
+  p.src_ip = k.src_ip;
+  p.dst_ip = k.dst_ip;
+  p.src_port = k.src_port;
+  p.dst_port = k.dst_port;
+  p.ip_proto = 17;
+  p.is_rtp = true;
+  p.payload_type = 96;
+  p.seq = seq;
+  p.rtp_timestamp = static_cast<uint32_t>(ts_ns / 11111);
+  p.ssrc = k.ssrc;
+  return p;
+}
+
+StreamingConfig tiny_config(uint32_t promote = 1) {
+  StreamingConfig cfg;
+  cfg.sketch_width = 1 << 10;
+  cfg.sketch_depth = 4;
+  // Sketch = 1024 counters x 4 rows x 4 B = 16 KB; budget for exactly
+  // 32 flow slots on top.
+  cfg.memory_cap_bytes = 16 * 1024 + 32 * FlowTable::kPerFlowCostBytes;
+  cfg.promote_packets = promote;
+  return cfg;
+}
+
+TEST(FlowTableTest, SketchGateHoldsMiceOut) {
+  FlowTable table(tiny_config(/*promote=*/5));
+  int64_t reports = 0;
+  table.set_report_sink([&](const StreamReport&) { ++reports; });
+  // 4 packets: one short of the bar. Never promoted.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(table.on_packet(key_of(1), rtp_packet(1, n * 1000, n)), nullptr);
+  }
+  EXPECT_EQ(table.live_flows(), 0u);
+  EXPECT_EQ(table.stats().sketch_only_packets, 4);
+  // The 5th packet crosses the bar.
+  EXPECT_NE(table.on_packet(key_of(1), rtp_packet(1, 5000, 4)), nullptr);
+  EXPECT_EQ(table.live_flows(), 1u);
+  table.flush_all();
+  EXPECT_EQ(reports, 1);
+}
+
+TEST(FlowTableTest, ChurnEvictionFlushesCompleteReports) {
+  FlowTable table(tiny_config());
+  std::map<StreamKey, int64_t> flushed_packets;
+  table.set_report_sink([&](const StreamReport& r) {
+    flushed_packets[r.key] += r.packets;
+  });
+
+  // 4x more flows than slots, 10 packets each, interleaved by round so
+  // LRU pressure constantly evicts; every packet promotes on sight.
+  constexpr uint32_t kFlows = 128;
+  constexpr int kPackets = 10;
+  for (int n = 0; n < kPackets; ++n) {
+    for (uint32_t f = 0; f < kFlows; ++f) {
+      int64_t ts = (static_cast<int64_t>(n) * kFlows + f) * 100'000;
+      ASSERT_NE(table.on_packet(key_of(f), rtp_packet(f, ts, static_cast<uint16_t>(n))),
+                nullptr);
+    }
+  }
+  EXPECT_EQ(table.live_flows(), table.max_flows());
+  EXPECT_GT(table.stats().evicted_lru, 0);
+  table.flush_all();
+  EXPECT_EQ(table.live_flows(), 0u);
+
+  // Conservation: every packet fed shows up in exactly one final report.
+  int64_t total = 0;
+  for (const auto& [key, n] : flushed_packets) total += n;
+  EXPECT_EQ(total, static_cast<int64_t>(kFlows) * kPackets);
+  EXPECT_EQ(flushed_packets.size(), kFlows);
+}
+
+TEST(FlowTableTest, EvictThenRejoinRepromotesWithoutDoubleCounting) {
+  FlowTable table(tiny_config(/*promote=*/3));
+  std::vector<StreamReport> reports;
+  table.set_report_sink([&](const StreamReport& r) { reports.push_back(r); });
+
+  // Flow 7 promotes (3 packets), then goes idle and is swept.
+  for (int n = 0; n < 5; ++n) {
+    table.on_packet(key_of(7), rtp_packet(7, 1'000'000 * (n + 1),
+                                          static_cast<uint16_t>(n)));
+  }
+  EXPECT_EQ(table.live_flows(), 1u);
+  table.sweep_idle(5'000'000 + StreamingConfig{}.idle_timeout_ns + 1);
+  ASSERT_EQ(reports.size(), 1u);
+  // Generation 1: only the 3 post-promotion packets have full state (the
+  // first 2 were sketch-only), none double-counted.
+  EXPECT_EQ(reports[0].packets, 3);
+  EXPECT_EQ(table.stats().evicted_idle, 1);
+  EXPECT_EQ(table.live_flows(), 0u);
+
+  // Rejoin: the sketch remembers the flow, so the very next packet
+  // re-promotes it (no second climb to the bar).
+  int64_t rejoin_ns = 60'000'000'000;
+  StreamAccumulator* acc =
+      table.on_packet(key_of(7), rtp_packet(7, rejoin_ns, 100));
+  ASSERT_NE(acc, nullptr);
+  EXPECT_EQ(table.stats().promoted, 2);
+  table.on_packet(key_of(7), rtp_packet(7, rejoin_ns + 1'000'000, 101));
+  table.flush_all();
+  ASSERT_EQ(reports.size(), 2u);
+  // Generation 2 covers only post-rejoin packets — fresh state, fresh
+  // first timestamp, no bytes carried over from generation 1.
+  EXPECT_EQ(reports[1].packets, 2);
+  EXPECT_DOUBLE_EQ(reports[1].first_ts_sec, 60.0);
+  EXPECT_EQ(reports[0].packets + reports[1].packets, 5);
+}
+
+TEST(FlowTableTest, LruEvictsLeastRecentlyActive) {
+  StreamingConfig cfg = tiny_config();
+  FlowTable table(cfg);
+  std::vector<StreamKey> evicted;
+  table.set_report_sink([&](const StreamReport& r) { evicted.push_back(r.key); });
+
+  size_t cap = table.max_flows();
+  int64_t ts = 0;
+  for (uint32_t f = 0; f < cap; ++f) {
+    table.on_packet(key_of(f), rtp_packet(f, ts++, 0));
+  }
+  // Touch flow 0 so flow 1 becomes the LRU victim.
+  table.on_packet(key_of(0), rtp_packet(0, ts++, 1));
+  table.on_packet(key_of(9999), rtp_packet(9999, ts++, 0));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], key_of(1));
+  EXPECT_EQ(table.live_flows(), cap);
+}
+
+TEST(FlowTableTest, CapacityFollowsMemoryCap) {
+  StreamingConfig cfg;
+  cfg.sketch_width = 1 << 15;
+  cfg.sketch_depth = 4;
+  cfg.memory_cap_bytes = 32 * 1024 * 1024;
+  FlowTable table(cfg);
+  size_t sketch_bytes = table.sketch().memory_bytes();
+  EXPECT_EQ(table.max_flows(),
+            (cfg.memory_cap_bytes - sketch_bytes) / FlowTable::kPerFlowCostBytes);
+  // A cap smaller than the sketch still leaves a tiny working table.
+  cfg.memory_cap_bytes = 1024;
+  FlowTable tiny(cfg);
+  EXPECT_EQ(tiny.max_flows(), 16u);
+}
+
+}  // namespace
+}  // namespace vca

@@ -1,0 +1,74 @@
+// The hard acceptance gate for the streaming service: a >=100k-distinct-
+// flow churn workload processed under a fixed memory cap, with peak live
+// heap measured by the allocation-counting operator new/delete
+// (vca_perf_alloc) and asserted below the configured bound.
+#include <gtest/gtest.h>
+
+#include "core/perf.h"
+#include "streaming/analyzer.h"
+#include "streaming/synth.h"
+
+namespace vca {
+namespace {
+
+TEST(StreamingMemcapTest, ChurnWithHundredThousandFlowsStaysUnderCap) {
+  ASSERT_TRUE(perf::alloc_tracking_active())
+      << "this test must link vca_perf_alloc";
+
+  SynthChurnConfig scfg;  // defaults: 100k mice + 10k mid + 200 hot, 30 s
+  SynthChurn gen(scfg);
+  ASSERT_GE(gen.total_flows(), 100'000);
+
+  StreamingConfig cfg;
+  cfg.memory_cap_bytes = 32 * 1024 * 1024;
+  cfg.promote_packets = 8;
+
+  // Baseline after the generator (whose fixed arrays are workload, not
+  // analyzer) and before the analyzer exists: every byte the analyzer
+  // ever holds is in the delta.
+  int64_t baseline = perf::live_bytes();
+  perf::reset_peak_live();
+
+  int64_t final_reports = 0, window_reports = 0, window_frames = 0;
+  StreamingAnalyzer::Stats stats;
+  FlowTable::Stats table_stats;
+  size_t max_flows = 0;
+  {
+    StreamingAnalyzer an(cfg);
+    // Service posture: sinks, not accumulation.
+    an.set_report_sink([&](const StreamReport&) { ++final_reports; });
+    an.set_window_sink([&](const WindowReport& w) {
+      ++window_reports;
+      window_frames += w.frames;
+    });
+    ParsedPacket p;
+    while (gen.next(&p)) an.on_parsed(p);
+    an.finish();
+
+    int64_t peak_delta = perf::peak_live_bytes() - baseline;
+    EXPECT_LE(peak_delta, static_cast<int64_t>(cfg.memory_cap_bytes))
+        << "peak " << (peak_delta >> 20) << " MB over a "
+        << (cfg.memory_cap_bytes >> 20) << " MB cap";
+    EXPECT_GT(peak_delta, 0);
+
+    stats = an.stats();
+    table_stats = an.table().stats();
+    max_flows = an.table().max_flows();
+  }
+
+  // The workload exercised every flow-table path.
+  EXPECT_GT(stats.packets, 500'000);
+  EXPECT_GT(table_stats.sketch_only_packets, 100'000);  // mice stayed out
+  // Promotions exceed the table's capacity, so LRU churn occurred...
+  EXPECT_GT(table_stats.promoted, static_cast<int64_t>(max_flows));
+  EXPECT_GT(table_stats.evicted_lru + table_stats.evicted_idle, 0);
+  EXPECT_EQ(table_stats.peak_live_flows, max_flows);
+  // ...and every promoted generation produced exactly one final report.
+  EXPECT_EQ(final_reports, table_stats.promoted);
+  // Hot flows kept the windowed estimators fed.
+  EXPECT_GT(window_reports, 0);
+  EXPECT_GT(window_frames, 0);
+}
+
+}  // namespace
+}  // namespace vca

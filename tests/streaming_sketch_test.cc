@@ -1,0 +1,81 @@
+// Count-min sketch properties the flow table's admission logic relies
+// on: no undercounting ever, and bounded overcounting (false promotions)
+// under a realistic mouse-flow load.
+#include "streaming/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/inference.h"
+
+namespace vca {
+namespace {
+
+uint64_t key_hash_of(uint32_t i) {
+  StreamKey k;
+  k.src_ip = 0x0b000000u | i;
+  k.dst_ip = 0x0a000001u;
+  k.src_port = static_cast<uint16_t>(20000 + (i % 40000));
+  k.dst_port = 3478;
+  k.ssrc = 0x100000u + i;
+  return stream_key_hash(k);
+}
+
+TEST(CountMinSketchTest, NeverUndercounts) {
+  CountMinSketch sk(1 << 12, 4);
+  // Heavy keys with known exact counts, amid background noise.
+  for (uint32_t i = 0; i < 20'000; ++i) sk.add(key_hash_of(i));
+  for (uint32_t h = 0; h < 32; ++h) {
+    uint64_t hash = key_hash_of(1'000'000 + h);
+    for (int n = 0; n < 100; ++n) sk.add(hash);
+  }
+  for (uint32_t h = 0; h < 32; ++h) {
+    EXPECT_GE(sk.estimate(key_hash_of(1'000'000 + h)), 100u);
+  }
+  // Every background key reads at least its true count of 1.
+  for (uint32_t i = 0; i < 20'000; i += 97) {
+    EXPECT_GE(sk.estimate(key_hash_of(i)), 1u);
+  }
+}
+
+TEST(CountMinSketchTest, FalsePromotionRateIsBounded) {
+  // The flow table's sizing scenario: default sketch geometry, a large
+  // population of single-packet mice, promotion bar at 8. The classic
+  // bound says overcount beyond 2N/width (~6 here) happens with
+  // probability <= 2^-depth per key; empirically the false-promotion
+  // fraction should be far below 1%.
+  CountMinSketch sk(1 << 15, 4);
+  constexpr uint32_t kMice = 100'000;
+  constexpr uint32_t kBar = 8;
+  uint32_t false_promotions = 0;
+  for (uint32_t i = 0; i < kMice; ++i) {
+    if (sk.add(key_hash_of(i)) >= kBar) ++false_promotions;
+  }
+  EXPECT_LT(false_promotions, kMice / 100)
+      << "false-promotion rate " << false_promotions << "/" << kMice;
+  // And a genuinely heavy flow still promotes immediately.
+  uint64_t heavy = key_hash_of(5'000'000);
+  uint32_t est = 0;
+  for (uint32_t n = 0; n < kBar; ++n) est = sk.add(heavy);
+  EXPECT_GE(est, kBar);
+}
+
+TEST(CountMinSketchTest, WidthRoundsToPowerOfTwoAndClears) {
+  CountMinSketch sk(1000, 3);
+  EXPECT_EQ(sk.width(), 1024u);
+  EXPECT_EQ(sk.depth(), 3);
+  EXPECT_EQ(sk.memory_bytes(), 1024u * 3u * sizeof(uint32_t));
+  sk.add(key_hash_of(7), 42);
+  EXPECT_GE(sk.estimate(key_hash_of(7)), 42u);
+  sk.clear();
+  EXPECT_EQ(sk.estimate(key_hash_of(7)), 0u);
+}
+
+TEST(CountMinSketchTest, SaturatesInsteadOfWrapping) {
+  CountMinSketch sk(64, 2);
+  uint64_t h = key_hash_of(1);
+  sk.add(h, UINT32_MAX - 1);
+  EXPECT_GE(sk.add(h, 16), UINT32_MAX - 1);  // no wrap to a tiny estimate
+}
+
+}  // namespace
+}  // namespace vca
